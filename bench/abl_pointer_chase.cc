@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: streaming vs pointer-chasing memory behaviour. The paper
+ * attributes mcf's modest speedup (8.1% despite 25 MPPKI and huge
+ * footprints) to "a large number of long latency misses which is
+ * difficult for the code generator to cover". The pointer-chase
+ * kernel family isolates that effect: as the list outgrows each cache
+ * level, the dependent-load chase dominates and decomposition's
+ * relative win shrinks, while the L1/L2-resident points keep a
+ * healthy speedup.
+ */
+
+#include "bench_common.hh"
+
+#include "compiler/decompose.hh"
+#include "compiler/layout.hh"
+#include "compiler/scheduler.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/listchase.hh"
+
+using namespace vanguard;
+
+namespace {
+
+struct ChasePoint
+{
+    uint64_t nodes;
+    const char *regime;
+};
+
+double
+measure(uint64_t nodes, uint64_t &base_cycles, double &miss_rate)
+{
+    ListChaseSpec spec;
+    spec.nodes = nodes;
+    // Revisit every node a few times so the footprint label reflects
+    // the steady-state residency, not compulsory misses.
+    spec.iterations = std::max<uint64_t>(benchIterations(), nodes * 3);
+    spec.payloadLoads = 3;
+
+    BuiltKernel k = buildListChaseKernel(spec, 0xc0ffee);
+    InstId flag_branch = kNoInst;
+    for (const auto &bb : k.fn.blocks())
+        if (bb.hasTerminator() && bb.terminator().op == Opcode::BR &&
+            bb.terminator().takenTarget > bb.id)
+            flag_branch = bb.terminator().id;
+
+    Function dec_fn = k.fn;
+    decomposeBranches(dec_fn, {flag_branch});
+    ScheduleOptions sched;
+    scheduleFunction(dec_fn, sched);
+    Function base_fn = k.fn;
+    scheduleFunction(base_fn, sched);
+
+    Program base = linearize(base_fn);
+    Program dec = linearize(dec_fn);
+    BuiltKernel m1 = buildListChaseKernel(spec, 0xc0ffee);
+    BuiltKernel m2 = buildListChaseKernel(spec, 0xc0ffee);
+    auto p1 = makePredictor("gshare3");
+    auto p2 = makePredictor("gshare3");
+    MachineConfig cfg = MachineConfig::widthVariant(4);
+    SimStats sb = simulate(base, *m1.mem, *p1, cfg);
+    SimStats se = simulate(dec, *m2.mem, *p2, cfg);
+    base_cycles = sb.cycles;
+    miss_rate = sb.l1dAccesses == 0
+        ? 0.0
+        : 100.0 * static_cast<double>(sb.l1dMisses) /
+              static_cast<double>(sb.l1dAccesses);
+    return speedupPercent(speedupRatio(sb.cycles, se.cycles));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: decomposition vs pointer-chase footprint "
+           "(one unbiased-predictable branch per node)",
+           "relative win shrinks as the dependent-load chase grows "
+           "past each cache level (the mcf effect)");
+
+    TablePrinter table({"list footprint", "regime", "baseline cycles",
+                        "L1D miss %", "speedup %"});
+    const ChasePoint points[] = {
+        {256, "L1-resident"},      {2048, "L2-resident"},
+        {16384, "L3-resident"},    {1 << 17, "memory-bound"},
+    };
+    for (const auto &pt : points) {
+        std::fprintf(stderr, "  %llu nodes...\n",
+                     static_cast<unsigned long long>(pt.nodes));
+        uint64_t cycles = 0;
+        double miss = 0;
+        double spd = measure(pt.nodes, cycles, miss);
+        char footprint[32];
+        std::snprintf(footprint, sizeof(footprint), "%llu KB",
+                      static_cast<unsigned long long>(pt.nodes * 64 /
+                                                      1024));
+        table.addRow({footprint, pt.regime,
+                      TablePrinter::fmtInt(cycles),
+                      TablePrinter::fmt(miss),
+                      TablePrinter::fmt(spd, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

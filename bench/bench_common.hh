@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every binary regenerates one exhibit (table or figure) of the paper
+ * and prints it in a uniform ASCII format, with a header stating what
+ * the paper reported so the shape comparison is immediate.
+ *
+ * Runtime scaling: VANGUARD_ITERS overrides the per-benchmark loop
+ * trip count (default 12000), letting CI run quick passes while full
+ * runs use larger counts.
+ */
+
+#ifndef VANGUARD_BENCH_COMMON_HH
+#define VANGUARD_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bpred/factory.hh"
+#include "core/experiment.hh"
+#include "core/vanguard.hh"
+#include "profile/profiler.hh"
+#include "support/stats.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+
+inline uint64_t
+benchIterations(uint64_t fallback = 12000)
+{
+    const char *env = std::getenv("VANGUARD_ITERS");
+    if (env != nullptr) {
+        uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+inline std::vector<BenchmarkSpec>
+scaled(std::vector<BenchmarkSpec> suite, uint64_t iters = 0)
+{
+    if (iters == 0)
+        iters = benchIterations();
+    for (auto &spec : suite)
+        spec.iterations = iters;
+    return suite;
+}
+
+inline void
+banner(const char *exhibit, const char *paper_claim)
+{
+    std::printf("================================================="
+                "=====================\n");
+    std::printf("%s\n", exhibit);
+    std::printf("Paper: %s\n", paper_claim);
+    std::printf("================================================="
+                "=====================\n");
+}
+
+/**
+ * Figures 2/3 machinery: profile a suite, pool its top-75 forward
+ * branches by execution count, sort by descending bias, and print the
+ * (bias, predictability) series.
+ */
+inline void
+emitPredVsBiasFigure(const char *title,
+                     const std::vector<BenchmarkSpec> &suite)
+{
+    struct PooledBranch
+    {
+        std::string bench;
+        uint64_t execs;
+        double bias;
+        double predictability;
+    };
+
+    std::vector<PooledBranch> pool;
+    for (const auto &spec : suite) {
+        BuiltKernel kernel = buildKernel(spec, kTrainSeed);
+        auto pred = makePredictor("gshare3");
+        BranchProfile prof =
+            profileFunction(kernel.fn, *kernel.mem, *pred);
+        for (const auto &[id, bs] : prof.all()) {
+            if (!bs.forward || bs.execs < 64)
+                continue;
+            pool.push_back({spec.name, bs.execs, bs.bias(),
+                            bs.predictability()});
+        }
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const PooledBranch &a, const PooledBranch &b) {
+                  return a.execs > b.execs;
+              });
+    if (pool.size() > 75)
+        pool.resize(75);
+    std::sort(pool.begin(), pool.end(),
+              [](const PooledBranch &a, const PooledBranch &b) {
+                  return a.bias > b.bias;
+              });
+
+    TablePrinter table({"rank", "benchmark", "bias", "predictability",
+                        "exposed"});
+    for (size_t i = 0; i < pool.size(); ++i) {
+        table.addRow({TablePrinter::fmtInt(i + 1), pool[i].bench,
+                      TablePrinter::fmt(pool[i].bias, 3),
+                      TablePrinter::fmt(pool[i].predictability, 3),
+                      TablePrinter::fmt(pool[i].predictability -
+                                            pool[i].bias,
+                                        3)});
+    }
+    std::printf("%s\n%s", title, table.render().c_str());
+
+    double head = 0, tail = 0;
+    size_t half = pool.size() / 2;
+    for (size_t i = 0; i < pool.size(); ++i)
+        (i < half ? head : tail) +=
+            pool[i].predictability - pool[i].bias;
+    if (half > 0 && pool.size() > half) {
+        head /= static_cast<double>(half);
+        tail /= static_cast<double>(pool.size() - half);
+        std::printf("\nmean exposed predictability: high-bias half "
+                    "%.3f, low-bias half %.3f (paper: the low-bias "
+                    "tail diverges)\n",
+                    head, tail);
+    }
+}
+
+} // namespace vanguard
+
+#endif // VANGUARD_BENCH_COMMON_HH

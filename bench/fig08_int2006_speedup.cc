@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reproduces Figure 8: SPEC 2006 INT % speedup over baseline,
+ * averaged over all REF inputs, at 2/4/8-wide.
+ *
+ * Expected shape: Geomean ~11% in the paper; h264ref/perlbench/astar
+ * at the top, mcf/hmmer/libquantum at the bottom; 4-wide benefits the
+ * most.
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Figure 8: SPEC 2006 INT speedup over baseline, all REF "
+           "inputs, 2/4/8-wide",
+           "Geomean 11% (4-wide best); max 18% (h264ref-class top)");
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure(
+        "SPEC 2006 INT (% speedup, all-REF-input average)",
+        scaled(specInt2006()), {2, 4, 8}, opts,
+        /*best_input=*/false);
+    std::printf("%s\n", fig.c_str());
+    return 0;
+}

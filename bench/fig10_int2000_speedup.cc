@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Figure 10: SPEC 2000 INT % speedup over baseline,
+ * averaged over all REF inputs, at 2/4/8-wide.
+ *
+ * Expected shape: SPEC 2000 INT is more predictable and better
+ * behaved cache-wise than 2006, so its Geomean exceeds Fig. 8's;
+ * vortex/crafty/eon/gap/parser at the top (paper max 35%),
+ * twolf/vpr at the bottom.
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Figure 10: SPEC 2000 INT speedup over baseline, all REF "
+           "inputs, 2/4/8-wide",
+           "Geomean ~11%, max 35% (vortex-class); twolf/vpr lowest");
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure(
+        "SPEC 2000 INT (% speedup, all-REF-input average)",
+        scaled(specInt2000()), {2, 4, 8}, opts,
+        /*best_input=*/false);
+    std::printf("%s\n", fig.c_str());
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces Figure 11: SPEC 2000 INT % speedup over baseline for the
+ * top-performing REF input, at 2/4/8-wide.
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Figure 11: SPEC 2000 INT speedup, best-performing REF "
+           "input, 2/4/8-wide",
+           "per-benchmark best input >= the all-input average of "
+           "Fig. 10");
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure(
+        "SPEC 2000 INT (% speedup, best REF input)",
+        scaled(specInt2000()), {2, 4, 8}, opts,
+        /*best_input=*/true);
+    std::printf("%s\n", fig.c_str());
+    return 0;
+}

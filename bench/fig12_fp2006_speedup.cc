@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Figure 12: SPEC 2006 FP % speedup over baseline,
+ * averaged over all REF inputs, at 2/4/8-wide.
+ *
+ * Expected shape: FP Geomean (paper ~7%) below INT's; wrf/povray at
+ * the top (paper 26.3/22.3), GemsFDTD/zeusmp/dealII/cactusADM/
+ * leslie3d near zero (few eligible branches, early stores).
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Figure 12: SPEC 2006 FP speedup over baseline, all REF "
+           "inputs, 2/4/8-wide",
+           "Geomean 7%; wrf 26.3 / povray 22.3 top; leslie3d 1.0 "
+           "bottom");
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure(
+        "SPEC 2006 FP (% speedup, all-REF-input average)",
+        scaled(specFp2006()), {2, 4, 8}, opts,
+        /*best_input=*/false);
+    std::printf("%s\n", fig.c_str());
+    return 0;
+}

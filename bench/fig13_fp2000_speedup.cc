@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces Figure 13: SPEC 2000 FP % speedup over baseline,
+ * averaged over all REF inputs, at 2/4/8-wide.
+ *
+ * Expected shape: art/ammp/mesa at the top (high predictability,
+ * modest eligible fractions); the falloff is steeper than SPEC 2006
+ * FP's, with the tail showing little improvement (~10% eligible
+ * forward branches only).
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Figure 13: SPEC 2000 FP speedup over baseline, all REF "
+           "inputs, 2/4/8-wide",
+           "art/ammp/mesa top (max 26%); steep falloff; tail near "
+           "zero");
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure(
+        "SPEC 2000 FP (% speedup, all-REF-input average)",
+        scaled(specFp2000()), {2, 4, 8}, opts,
+        /*best_input=*/false);
+    std::printf("%s\n", fig.c_str());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces the Sec. 5.3 branch-predictor sensitivity study: rerun
+ * the four hard-to-predict INT analogs (astar, sjeng, gobmk, mcf)
+ * with an improving ladder of predictors, from the paper-default
+ * 24KB gshare3 up to a 64KB-class ISL-TAGE, plus oracle endpoints.
+ *
+ * For each predictor the speedup is computed against a *baseline
+ * using the same predictor* (exactly the paper's methodology:
+ * "improves over the baseline with the improved branch predictor").
+ *
+ * Expected shape: speedup grows as the mispredict rate falls — the
+ * paper reports roughly +0.3% speedup per 1% mispredict-rate
+ * reduction on these four benchmarks.
+ */
+
+#include "bench_common.hh"
+
+using namespace vanguard;
+
+int
+main()
+{
+    banner("Sec. 5.3: sensitivity to branch predictor accuracy "
+           "(astar/sjeng/gobmk/mcf analogs, 4-wide)",
+           "speedup improves ~0.3% per 1% mispredict-rate reduction");
+
+    std::vector<BenchmarkSpec> hard;
+    for (const auto &spec : scaled(specInt2006()))
+        for (const char *name :
+             {"astar-like", "sjeng-like", "gobmk-like", "mcf-like"})
+            if (spec.name == std::string(name))
+                hard.push_back(spec);
+
+    std::vector<std::string> ladder = sensitivityLadder();
+    ladder.push_back("ideal:0.99");
+    ladder.push_back("ideal:1.0");
+
+    TablePrinter table({"predictor", "base MPPKI", "exp MPPKI",
+                        "geomean speedup %"});
+    double prev_speedup = 0.0;
+    double prev_misp = 0.0;
+    bool have_prev = false;
+    std::vector<std::string> deltas;
+
+    for (const auto &pname : ladder) {
+        std::fprintf(stderr, "  ladder rung %s...\n", pname.c_str());
+        VanguardOptions opts;
+        opts.width = 4;
+        opts.predictor = pname;
+        std::vector<double> spds;
+        double base_mppki = 0, exp_mppki = 0;
+        for (const auto &spec : hard) {
+            BenchmarkOutcome o =
+                evaluateBenchmark(spec, opts, kRefSeeds[0]);
+            spds.push_back(o.speedupPct);
+            base_mppki += o.base.mppki();
+            exp_mppki += o.exp.mppki();
+        }
+        base_mppki /= static_cast<double>(hard.size());
+        exp_mppki /= static_cast<double>(hard.size());
+        double spd = geomeanPct(spds);
+        table.addRow({pname, TablePrinter::fmt(base_mppki, 2),
+                      TablePrinter::fmt(exp_mppki, 2),
+                      TablePrinter::fmt(spd, 2)});
+        if (have_prev && prev_misp > base_mppki + 1e-9) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "  %-14s: +%.2f%% speedup per MPPKI removed",
+                          pname.c_str(),
+                          (spd - prev_speedup) /
+                              (prev_misp - base_mppki));
+            deltas.push_back(buf);
+        }
+        prev_speedup = spd;
+        prev_misp = base_mppki;
+        have_prev = true;
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    for (const auto &d : deltas)
+        std::printf("%s\n", d.c_str());
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The paper's running example (Fig. 6): a simplified rendition of
+ * SPEC 2006 omnetpp's cArray::add(cObject*).
+ *
+ * The hot branch asks "does the array need to grow?" — unbiased
+ * (arrays keep filling up) yet highly predictable (growth follows a
+ * learnable rhythm). Its condition consumes freshly loaded fields
+ * (`size`, `lastItem`), so the in-order stalls at resolution while
+ * both successors immediately load more fields. The Decomposed Branch
+ * Transformation overlaps those loads with the resolution — "saving a
+ * load latency is significant on high-frequency machines with
+ * multi-cycle cache hits".
+ *
+ * This example builds the IR by hand (mirroring Fig. 6a), applies the
+ * transformation to that single branch, prints the before/after code,
+ * and measures both on the 4-wide machine.
+ */
+
+#include <cstdio>
+
+#include "bpred/factory.hh"
+#include "compiler/decompose.hh"
+#include "compiler/layout.hh"
+#include "compiler/scheduler.hh"
+#include "ir/builder.hh"
+#include "support/stats.hh"
+#include "uarch/pipeline.hh"
+
+using namespace vanguard;
+
+namespace {
+
+// Object layout (byte offsets off the `this` pointer in r1):
+constexpr int64_t kSize = 0;        // int size
+constexpr int64_t kLast = 8;        // int lastItem
+constexpr int64_t kVector = 16;     // cObject** vector
+constexpr int64_t kGrowthRhythm = 24; // scripted outcome state
+constexpr int64_t kItem = 32;       // the cObject* being added
+
+struct CArrayAdd
+{
+    Function fn{"cArray_add"};
+    InstId branch = kNoInst;
+};
+
+/** Build: loop { load fields; branch grow/fast; both paths store }. */
+CArrayAdd
+build(uint64_t calls)
+{
+    CArrayAdd out;
+    IRBuilder b(out.fn);
+    b.startBlock("entry");
+    BlockId a = out.fn.addBlock("A");
+    BlockId grow = out.fn.addBlock("B_grow");
+    BlockId fast = out.fn.addBlock("C_fast");
+    BlockId done = out.fn.addBlock("ret");
+    BlockId exit = out.fn.addBlock("exit");
+
+    b.movi(0, 0);                        // call counter
+    b.movi(2, static_cast<int64_t>(calls));
+    b.jmp(a);
+
+    // --- A: the compare consumes two fresh loads (Fig. 6 lines 1-3).
+    // Each call targets a different cArray object (omnetpp juggles
+    // thousands), so the field loads regularly miss.
+    b.setInsertPoint(a);
+    b.op2i(Opcode::MUL, 15, 0, 192);     // object index -> offset
+    b.andi(15, 15, (4 << 20) - 1);
+    b.addi(1, 15, 4096);                 // this
+    b.load(3, 1, kSize);                 // ld size       (line 2)
+    b.load(4, 1, kLast);                 // ld lastItem
+    b.addi(5, 4, 1);                     // lastItem + 1
+    // Growth decision: the scripted rhythm (learnable, ~60/40) mixed
+    // with the freshly loaded size field, exactly the Fig. 6 shape of
+    // a compare consuming a recent load.
+    b.load(7, 1, kGrowthRhythm);
+    b.shri(13, 3, 62);                   // always 0 (sizes are small)
+    b.xorOp(7, 7, 13);                   // ...but a true dependence
+    b.cmpi(Opcode::CMPNE, 6, 7, 0);      // need growth?  (line 3)
+    out.branch = b.br(6, grow, fast);
+
+    // --- B (grow): loads of vector/item then writeback (lines 5-7)
+    b.setInsertPoint(grow);
+    b.load(8, 1, kVector);               // ld vector
+    b.load(9, 1, kItem);                 // ld item
+    b.op2i(Opcode::MUL, 10, 3, 2);       // size * growth factor
+    b.store(1, kSize, 10);               // size = size*2 (line 6)
+    b.add(11, 8, 5);
+    b.store(1, kVector, 11);
+    b.jmp(done);
+
+    // --- C (fast): vector[++last] = item (lines 40-41)
+    b.setInsertPoint(fast);
+    b.load(8, 1, kVector);               // ld vector (line 40)
+    b.load(9, 1, kItem);
+    b.add(12, 8, 9);
+    b.store(1, kLast, 5);                // lastItem++ (line 41)
+    b.jmp(done);
+
+    // --- shared return path + growth-rhythm update
+    b.setInsertPoint(done);
+    b.addi(0, 0, 1);
+    // rhythm for the NEXT object: grow when the low bits of a rolling
+    // product align — learnable by global history, ~40% grow rate.
+    b.op2i(Opcode::MUL, 13, 0, 5);
+    b.andi(13, 13, 7);
+    b.cmpi(Opcode::CMPLT, 13, 13, 3);
+    b.op2i(Opcode::MUL, 15, 0, 192);
+    b.andi(15, 15, (4 << 20) - 1);
+    b.addi(14, 15, 4096);
+    b.store(14, kGrowthRhythm, 13);
+    b.cmp(Opcode::CMPLT, 14, 0, 2);
+    b.br(14, a, exit);
+    b.setInsertPoint(exit);
+    b.halt();
+    return out;
+}
+
+uint64_t
+simulateVariant(const Function &fn, const char *label)
+{
+    Function scheduled = fn;
+    ScheduleOptions sched;
+    sched.width = 4;
+    scheduleFunction(scheduled, sched);
+    Program prog = linearize(scheduled);
+    Memory mem(8 << 20);
+    mem.write64(4096 + kSize, 64);
+    auto pred = makePredictor("gshare3");
+    SimStats s = simulate(prog, mem, *pred,
+                          MachineConfig::widthVariant(4));
+    std::printf("%s: %llu cycles, IPC %.3f, mispredict-class events "
+                "%llu\n",
+                label, static_cast<unsigned long long>(s.cycles),
+                s.ipc(),
+                static_cast<unsigned long long>(s.brMispredicts +
+                                                s.resolveRedirects));
+    return s.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    CArrayAdd original = build(40000);
+    std::printf("=== original cArray::add (Fig. 6a) ===\n%s\n",
+                original.fn.toString().c_str());
+
+    CArrayAdd transformed = build(40000);
+    DecomposeStats stats =
+        decomposeBranches(transformed.fn, {transformed.branch});
+    std::printf("=== after the Decomposed Branch Transformation "
+                "(Fig. 6c) ===\n%s\n",
+                transformed.fn.toString().c_str());
+    std::printf("converted %u branch(es); %llu instructions "
+                "speculatively hoisted; %llu slice instructions pushed "
+                "down\n\n",
+                stats.converted,
+                static_cast<unsigned long long>(stats.hoistedInsts),
+                static_cast<unsigned long long>(stats.sliceInsts));
+
+    uint64_t base = simulateVariant(original.fn, "baseline   ");
+    uint64_t exp = simulateVariant(transformed.fn, "decomposed ");
+    std::printf("\nspeedup: %+.2f%% — the B/C loads now overlap the "
+                "branch-resolution loads\n",
+                speedupPercent(speedupRatio(base, exp)));
+    return 0;
+}

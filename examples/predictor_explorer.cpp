@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Predictor explorer: compare the direction-predictor zoo on any
+ * suite benchmark — profiling accuracy, per-quadrant behavior, and
+ * the end-to-end effect on decomposed-branch performance.
+ *
+ * Run:  ./predictor_explorer [benchmark-name]   (default: sjeng-like)
+ */
+
+#include <cstdio>
+
+#include "bpred/factory.hh"
+#include "core/vanguard.hh"
+#include "profile/profiler.hh"
+#include "support/stats.hh"
+#include "workloads/suites.hh"
+
+using namespace vanguard;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "sjeng-like";
+    BenchmarkSpec spec = findBenchmark(name);
+    spec.iterations = 12000;
+
+    std::printf("predictor comparison on %s\n\n", spec.name);
+    TablePrinter table({"predictor", "storage", "TRAIN MPPKI",
+                        "accuracy %", "decomposed speedup %"});
+
+    for (const char *pname :
+         {"bimodal", "local", "gshare", "gshare3", "gshare3-big",
+          "tage", "isltage", "ideal:1.0"}) {
+        // Profiling accuracy with this predictor as the SW model.
+        BuiltKernel kernel = buildKernel(spec, kTrainSeed);
+        auto pred = makePredictor(pname);
+        BranchProfile prof =
+            profileFunction(kernel.fn, *kernel.mem, *pred);
+        uint64_t correct = 0, execs = 0;
+        for (const auto &[id, bs] : prof.all()) {
+            correct += bs.correct;
+            execs += bs.execs;
+        }
+        double accuracy = execs == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(correct) /
+                  static_cast<double>(execs);
+
+        // End-to-end: same predictor in the machine.
+        VanguardOptions opts;
+        opts.predictor = pname;
+        BenchmarkOutcome o =
+            evaluateBenchmark(spec, opts, kRefSeeds[0]);
+
+        char storage[32];
+        size_t bits = pred->storageBits();
+        if (bits == 0)
+            std::snprintf(storage, sizeof(storage), "oracle");
+        else
+            std::snprintf(storage, sizeof(storage), "%.1f KB",
+                          static_cast<double>(bits) / 8192.0);
+        table.addRow({pname, storage,
+                      TablePrinter::fmt(prof.mppki(), 2),
+                      TablePrinter::fmt(accuracy, 2),
+                      TablePrinter::fmt(o.speedupPct, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nNote: speedups compare against a baseline using "
+                "the SAME predictor, so better prediction can raise "
+                "or lower the relative win (Sec. 5.3: it raises it on "
+                "hard-to-predict integer codes).\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Quickstart: the whole Branch Vanguard methodology in one page.
+ *
+ *   1. pick a benchmark (a synthetic SPEC analog),
+ *   2. profile it on the TRAIN input with the machine's predictor,
+ *   3. select predictable-but-unbiased forward branches (paper
+ *      heuristic: predictability exceeds bias by >= 5%),
+ *   4. compile baseline and decomposed configurations,
+ *   5. simulate both on a REF input on the 4-wide in-order machine,
+ *   6. report the speedup and where it came from.
+ *
+ * Run:  ./quickstart [benchmark-name]   (default: h264ref-like)
+ */
+
+#include <cstdio>
+
+#include "core/vanguard.hh"
+#include "support/stats.hh"
+#include "workloads/suites.hh"
+
+using namespace vanguard;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "h264ref-like";
+    BenchmarkSpec spec = findBenchmark(name);
+    spec.iterations = 15000;
+
+    VanguardOptions opts;            // 4-wide, gshare3, Table-1 machine
+    std::printf("benchmark: %s  (machine: %u-wide in-order, %s)\n\n",
+                spec.name, opts.width, opts.predictor.c_str());
+
+    // Steps 2-3: TRAIN profile + selection.
+    TrainArtifacts train = trainBenchmark(spec, opts);
+    std::printf("profiled %llu dynamic instructions; selected %zu "
+                "branches to decompose:\n",
+                static_cast<unsigned long long>(
+                    train.profile.totalDynamicInsts),
+                train.selected.size());
+    for (InstId id : train.selected) {
+        const BranchStats *bs = train.profile.find(id);
+        std::printf("  branch #%u: bias %.3f, predictability %.3f "
+                    "(exposed %.3f)\n",
+                    id, bs->bias(), bs->predictability(),
+                    bs->exposedPredictability());
+    }
+
+    // Step 4: compile both configurations.
+    CompiledConfig base = compileConfig(spec, train, false, opts);
+    DecomposeStats dstats;
+    CompiledConfig exp = compileConfig(spec, train, true, opts,
+                                       &dstats);
+    std::printf("\ncompiled: baseline %zu insts; decomposed %zu insts "
+                "(%u branches converted, %llu insts speculated, %llu "
+                "commit moves)\n",
+                base.staticInsts, exp.staticInsts, dstats.converted,
+                static_cast<unsigned long long>(dstats.hoistedInsts),
+                static_cast<unsigned long long>(dstats.commitMovs));
+
+    // Step 5: simulate on a REF input.
+    SimStats sb = simulateConfig(spec, base, opts, kRefSeeds[0]);
+    SimStats se = simulateConfig(spec, exp, opts, kRefSeeds[0]);
+
+    // Step 6: report.
+    std::printf("\n%-28s %14s %14s\n", "", "baseline", "decomposed");
+    auto line = [](const char *label, double a, double b,
+                   const char *fmt = "%14.0f %14.0f") {
+        std::printf("%-28s ", label);
+        std::printf(fmt, a, b);
+        std::printf("\n");
+    };
+    line("cycles", static_cast<double>(sb.cycles),
+         static_cast<double>(se.cycles));
+    line("instructions committed", static_cast<double>(sb.dynamicInsts),
+         static_cast<double>(se.dynamicInsts));
+    line("instructions issued", static_cast<double>(sb.issued),
+         static_cast<double>(se.issued));
+    line("IPC", sb.ipc(), se.ipc(), "%14.3f %14.3f");
+    line("branch mispredicts + fixups",
+         static_cast<double>(sb.brMispredicts),
+         static_cast<double>(se.brMispredicts + se.resolveRedirects));
+    line("branch-issue stall cycles",
+         static_cast<double>(sb.branchStallCycles),
+         static_cast<double>(se.branchStallCycles));
+
+    double speedup =
+        speedupPercent(speedupRatio(sb.cycles, se.cycles));
+    std::printf("\n==> speedup from the Decomposed Branch "
+                "Transformation: %+.2f%%\n",
+                speedup);
+    return 0;
+}

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * vanguard_cli — the kitchen-sink command-line front end.
+ *
+ *   vanguard_cli [options]
+ *     --benchmark NAME     suite benchmark (default h264ref-like)
+ *     --list               list all suite benchmarks and exit
+ *     --width N            2, 4, or 8 (default 4)
+ *     --predictor NAME     bimodal|local|gshare|gshare3|gshare3-big|
+ *                          perceptron|tage|isltage|ideal:<p>
+ *     --iterations N       loop trip count (default 15000)
+ *     --seed N             REF input seed (default first REF seed)
+ *     --no-decompose       measure the baseline configuration only
+ *     --no-superblock      disable the biased-branch pass
+ *     --no-shadow-commit   commit MOVs consume issue slots
+ *     --dbb N              Decomposed Branch Buffer entries
+ *     --threshold P        selection threshold (default 0.05)
+ *     --save-profile FILE  write the TRAIN profile (PGO artifact)
+ *     --load-profile FILE  reuse a saved profile instead of training
+ *     --dump-ir            print the transformed IR
+ *     --dump-asm           print the laid-out program
+ *     --timeline           print a steady-state pipeline timeline
+ *     --stats              print the full counter set
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "bpred/factory.hh"
+#include "compiler/layout.hh"
+#include "compiler/select.hh"
+#include "core/vanguard.hh"
+#include "profile/profile_io.hh"
+#include "support/stats.hh"
+#include "uarch/trace.hh"
+#include "workloads/suites.hh"
+
+using namespace vanguard;
+
+namespace {
+
+void
+dumpStats(const char *label, const SimStats &s)
+{
+    StatSet set;
+    set.set("cycles", static_cast<double>(s.cycles));
+    set.set("insts", static_cast<double>(s.dynamicInsts));
+    set.set("ipc", s.ipc());
+    set.set("fetched", static_cast<double>(s.fetched));
+    set.set("issued", static_cast<double>(s.issued));
+    set.set("br.cond", static_cast<double>(s.condBranches));
+    set.set("br.mispredicts", static_cast<double>(s.brMispredicts));
+    set.set("dbb.predicts", static_cast<double>(s.predictsExecuted));
+    set.set("dbb.resolves", static_cast<double>(s.resolvesExecuted));
+    set.set("dbb.redirects", static_cast<double>(s.resolveRedirects));
+    set.set("dbb.maxOccupancy",
+            static_cast<double>(s.dbbMaxOccupancy));
+    set.set("mppki", s.mppki());
+    set.set("icache.misses", static_cast<double>(s.icacheMisses));
+    set.set("l1d.accesses", static_cast<double>(s.l1dAccesses));
+    set.set("l1d.misses", static_cast<double>(s.l1dMisses));
+    set.set("l2.misses", static_cast<double>(s.l2Misses));
+    set.set("l3.misses", static_cast<double>(s.l3Misses));
+    set.set("stall.branchCycles",
+            static_cast<double>(s.branchStallCycles));
+    set.set("stall.fetchBuffer",
+            static_cast<double>(s.fetchBufferStalls));
+    set.set("stall.mshr", static_cast<double>(s.mshrStalls));
+    set.set("commit.foldedMovs",
+            static_cast<double>(s.foldedCommitMovs));
+    std::printf("%s", set.dump(std::string(label) + ".").c_str());
+}
+
+[[noreturn]] void
+usageAndExit()
+{
+    std::fprintf(stderr,
+                 "usage: vanguard_cli [--benchmark NAME] [--list] "
+                 "[--width N] [--predictor NAME] [--iterations N] "
+                 "[--seed N] [--no-decompose] [--no-superblock] "
+                 "[--no-shadow-commit] [--dbb N] [--threshold P] "
+                 "[--save-profile F] [--load-profile F] "
+                 "[--dump-ir] [--dump-asm] [--timeline] [--stats]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark = "h264ref-like";
+    VanguardOptions opts;
+    uint64_t iterations = 15000;
+    uint64_t seed = kRefSeeds[0];
+    bool dump_ir = false, dump_asm = false, timeline = false,
+         stats = false;
+    std::string save_profile, load_profile;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageAndExit();
+            return argv[++i];
+        };
+        if (arg == "--benchmark") {
+            benchmark = next();
+        } else if (arg == "--list") {
+            for (const auto &suite :
+                 {specInt2006(), specFp2006(), specInt2000(),
+                  specFp2000()}) {
+                for (const auto &spec : suite)
+                    std::printf("%s\n", spec.name);
+            }
+            return 0;
+        } else if (arg == "--width") {
+            opts.width = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--predictor") {
+            opts.predictor = next();
+        } else if (arg == "--iterations") {
+            iterations = strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-decompose") {
+            opts.applyDecomposition = false;
+        } else if (arg == "--no-superblock") {
+            opts.applySuperblock = false;
+        } else if (arg == "--no-shadow-commit") {
+            opts.shadowCommit = false;
+        } else if (arg == "--dbb") {
+            opts.dbbEntries = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--threshold") {
+            opts.selection.minExposed = atof(next());
+        } else if (arg == "--save-profile") {
+            save_profile = next();
+        } else if (arg == "--load-profile") {
+            load_profile = next();
+        } else if (arg == "--dump-ir") {
+            dump_ir = true;
+        } else if (arg == "--dump-asm") {
+            dump_asm = true;
+        } else if (arg == "--timeline") {
+            timeline = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else {
+            usageAndExit();
+        }
+    }
+
+    BenchmarkSpec spec = findBenchmark(benchmark);
+    spec.iterations = iterations;
+
+    TrainArtifacts train;
+    if (!load_profile.empty()) {
+        std::ifstream in(load_profile);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         load_profile.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        ProfileParseResult parsed = deserializeProfile(buf.str());
+        if (!parsed.ok) {
+            std::fprintf(stderr, "bad profile: %s\n",
+                         parsed.error.c_str());
+            return 1;
+        }
+        train.profile = std::move(parsed.profile);
+        BuiltKernel shape = buildKernel(spec, kTrainSeed);
+        train.selected =
+            selectBranches(shape.fn, train.profile, opts.selection);
+        std::printf("loaded profile from %s\n", load_profile.c_str());
+    } else {
+        train = trainBenchmark(spec, opts);
+    }
+    if (!save_profile.empty()) {
+        std::ofstream out(save_profile);
+        out << serializeProfile(train.profile);
+        std::printf("profile written to %s\n", save_profile.c_str());
+    }
+    std::printf("%s: %zu branches selected (threshold %.2f)\n",
+                spec.name, train.selected.size(),
+                opts.selection.minExposed);
+
+    CompiledConfig base = compileConfig(spec, train, false, opts);
+    CompiledConfig exp = compileConfig(
+        spec, train, opts.applyDecomposition, opts);
+
+    if (dump_ir || dump_asm) {
+        // Rebuild the transformed IR for printing (compileConfig only
+        // keeps the laid-out program).
+        if (dump_asm)
+            std::printf("%s\n", exp.prog.toString().c_str());
+        if (dump_ir)
+            std::printf("(use examples/transform_viewer for staged IR "
+                        "dumps)\n");
+    }
+
+    PipelineTrace trace(timeline ? 2000 : 0);
+    SimStats sb = simulateConfig(spec, base, opts, seed);
+
+    BuiltKernel ref = buildKernel(spec, seed);
+    auto pred = makePredictor(opts.predictor, seed);
+    SimOptions sopts;
+    sopts.maxInsts = opts.simMaxInsts;
+    if (timeline)
+        sopts.trace = &trace;
+    std::vector<bool> outcomes;
+    if (opts.predictor.rfind("ideal:", 0) == 0 && exp.decomposed) {
+        outcomes = prerecordPredictOutcomes(exp.prog, *ref.mem,
+                                            opts.simMaxInsts * 2);
+        sopts.predictOutcomes = &outcomes;
+    }
+    if (!exp.hoistedMask.empty())
+        sopts.hoistedMask = &exp.hoistedMask;
+    SimStats se =
+        simulate(exp.prog, *ref.mem, *pred, opts.machine(), sopts);
+
+    std::printf("baseline   : %12llu cycles  IPC %.3f\n",
+                static_cast<unsigned long long>(sb.cycles), sb.ipc());
+    std::printf("experiment : %12llu cycles  IPC %.3f\n",
+                static_cast<unsigned long long>(se.cycles), se.ipc());
+    std::printf("speedup    : %+.2f%%\n",
+                speedupPercent(speedupRatio(sb.cycles, se.cycles)));
+
+    if (stats) {
+        std::printf("\n");
+        dumpStats("base", sb);
+        dumpStats("exp", se);
+    }
+    if (timeline) {
+        PipelineTrace window(48);
+        const auto &all = trace.entries();
+        size_t start = all.size() > 1500 ? 1400 : all.size() / 2;
+        for (size_t i = start; i < all.size() && window.wants(); ++i)
+            window.record(all[i]);
+        std::printf("\nsteady-state timeline (experiment):\n%s",
+                    window.render(110).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "bpred/bimodal.hh"
+
+namespace vanguard {
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : index_bits_(index_bits),
+      table_(1u << index_bits, SatCounter(2, 1))
+{
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal-" + std::to_string(table_.size());
+}
+
+size_t
+BimodalPredictor::storageBits() const
+{
+    return table_.size() * 2;
+}
+
+uint32_t
+BimodalPredictor::index(uint64_t pc) const
+{
+    // Instruction addresses are 4-byte aligned; drop the low bits.
+    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t idx = index(pc);
+    meta.v[0] = idx;
+    meta.dir = table_[idx].predictTaken();
+    return meta.dir;
+}
+
+void
+BimodalPredictor::updateHistory(bool)
+{
+    // Bimodal keeps no history.
+}
+
+void
+BimodalPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    table_[meta.v[0]].update(taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &ctr : table_)
+        ctr.set(1);
+}
+
+} // namespace vanguard

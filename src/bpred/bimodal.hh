@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bimodal (per-PC 2-bit counter) direction predictor — the base
+ * component of the PTLSim-style combining predictor and the weakest
+ * rung of the Sec. 5.3 sensitivity ladder.
+ */
+
+#ifndef VANGUARD_BPRED_BIMODAL_HH
+#define VANGUARD_BPRED_BIMODAL_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace vanguard {
+
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param index_bits log2 of the counter-table size. */
+    explicit BimodalPredictor(unsigned index_bits = 13);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+  private:
+    uint32_t index(uint64_t pc) const;
+
+    unsigned index_bits_;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_BIMODAL_HH

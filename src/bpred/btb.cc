@@ -1,0 +1,87 @@
+#include "bpred/btb.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+BranchTargetBuffer::BranchTargetBuffer(unsigned index_bits,
+                                       unsigned tag_bits)
+    : index_bits_(index_bits), tag_bits_(tag_bits),
+      entries_(size_t{1} << index_bits)
+{
+}
+
+uint32_t
+BranchTargetBuffer::index(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
+}
+
+uint32_t
+BranchTargetBuffer::tag(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> (2 + index_bits_)) &
+                                 ((1u << tag_bits_) - 1));
+}
+
+bool
+BranchTargetBuffer::lookup(uint64_t pc, uint64_t &target) const
+{
+    const Entry &e = entries_[index(pc)];
+    if (e.valid && e.tag == tag(pc)) {
+        target = e.target;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+BranchTargetBuffer::insert(uint64_t pc, uint64_t target)
+{
+    Entry &e = entries_[index(pc)];
+    e.valid = true;
+    e.tag = tag(pc);
+    e.target = target;
+}
+
+void
+BranchTargetBuffer::reset()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    hits_ = misses_ = 0;
+}
+
+ReturnAddressStack::ReturnAddressStack(size_t depth) : stack_(depth, 0)
+{
+    vg_assert(depth > 0);
+}
+
+void
+ReturnAddressStack::push(uint64_t return_pc)
+{
+    stack_[top_] = return_pc;
+    top_ = (top_ + 1) % stack_.size();
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+uint64_t
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return 0; // underflow: mispredicted return, caller handles
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    return stack_[top_];
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top_ = size_ = 0;
+}
+
+} // namespace vanguard

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Branch Target Buffer and Return Address Stack (Table 1: 4K-entry
+ * BTB, 64-entry RAS). In our IR direct branch targets are known at
+ * decode, so the BTB's timing role is to let fetch redirect *at fetch*
+ * for predicted-taken branches it has seen before; a BTB miss on a
+ * taken branch costs the fetch-to-decode re-steer bubble. The RAS is
+ * provided (and unit-tested) for completeness of the front-end model;
+ * the single-procedure IR programs do not exercise call/return.
+ */
+
+#ifndef VANGUARD_BPRED_BTB_HH
+#define VANGUARD_BPRED_BTB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vanguard {
+
+class BranchTargetBuffer
+{
+  public:
+    /** @param index_bits log2 of entry count (default 12 => 4K).
+     *  @param tag_bits partial tag width. */
+    explicit BranchTargetBuffer(unsigned index_bits = 12,
+                                unsigned tag_bits = 16);
+
+    /** Look up pc; returns true and sets target on hit. */
+    bool lookup(uint64_t pc, uint64_t &target) const;
+
+    /** Install/refresh a branch's target. */
+    void insert(uint64_t pc, uint64_t target);
+
+    void reset();
+
+    size_t numEntries() const { return entries_.size(); }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint64_t target = 0;
+    };
+
+    uint32_t index(uint64_t pc) const;
+    uint32_t tag(uint64_t pc) const;
+
+    unsigned index_bits_;
+    unsigned tag_bits_;
+    std::vector<Entry> entries_;
+    mutable uint64_t hits_ = 0;
+    mutable uint64_t misses_ = 0;
+};
+
+/** Circular return-address stack with overflow wraparound. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(size_t depth = 64);
+
+    void push(uint64_t return_pc);
+    uint64_t pop();
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t depth() const { return stack_.size(); }
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;    ///< index of next push slot
+    size_t size_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_BTB_HH

@@ -1,0 +1,47 @@
+#include "bpred/factory.hh"
+
+#include <cstdlib>
+
+#include "bpred/bimodal.hh"
+#include "bpred/gshare.hh"
+#include "bpred/ideal.hh"
+#include "bpred/local.hh"
+#include "bpred/perceptron.hh"
+#include "bpred/tage.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(const std::string &name, uint64_t seed)
+{
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "gshare3")
+        return std::make_unique<CombiningPredictor>();
+    if (name == "gshare3-big")
+        return std::make_unique<CombiningPredictor>(17, 17);
+    if (name == "local")
+        return std::make_unique<LocalHistoryPredictor>();
+    if (name == "perceptron")
+        return std::make_unique<PerceptronPredictor>();
+    if (name == "tage")
+        return std::make_unique<TagePredictor>();
+    if (name == "isltage")
+        return std::make_unique<IslTagePredictor>();
+    if (name.rfind("ideal:", 0) == 0) {
+        double acc = std::strtod(name.c_str() + 6, nullptr);
+        return std::make_unique<IdealPredictor>(acc, seed);
+    }
+    vg_fatal("unknown predictor '%s'", name.c_str());
+}
+
+std::vector<std::string>
+sensitivityLadder()
+{
+    return {"gshare3", "gshare3-big", "perceptron", "tage", "isltage"};
+}
+
+} // namespace vanguard

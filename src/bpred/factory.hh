@@ -1,0 +1,36 @@
+/**
+ * @file
+ * By-name construction of direction predictors, and the accuracy
+ * ladder used by the Sec. 5.3 sensitivity experiment.
+ */
+
+#ifndef VANGUARD_BPRED_FACTORY_HH
+#define VANGUARD_BPRED_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace vanguard {
+
+/**
+ * Construct a predictor by name. Supported names:
+ *   "bimodal", "gshare", "gshare3" (paper default, 24 KB),
+ *   "gshare3-big", "local", "perceptron", "tage",
+ *   "isltage" (64 KB-class),
+ *   "ideal:<accuracy>" e.g. "ideal:0.98".
+ */
+std::unique_ptr<DirectionPredictor> makePredictor(
+    const std::string &name, uint64_t seed = 1);
+
+/**
+ * The "series of ever improving conditional branch predictors" of
+ * Sec. 5.3, from the paper-default gshare3 up to ISL-TAGE.
+ */
+std::vector<std::string> sensitivityLadder();
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_FACTORY_HH

@@ -1,0 +1,148 @@
+#include "bpred/gshare.hh"
+
+namespace vanguard {
+
+GsharePredictor::GsharePredictor(unsigned index_bits, unsigned history_bits)
+    : index_bits_(index_bits), history_bits_(history_bits),
+      table_(1u << index_bits, SatCounter(2, 1))
+{
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare-" + std::to_string(index_bits_) + "i" +
+           std::to_string(history_bits_) + "h";
+}
+
+size_t
+GsharePredictor::storageBits() const
+{
+    return table_.size() * 2 + history_bits_;
+}
+
+uint32_t
+GsharePredictor::index(uint64_t pc) const
+{
+    uint64_t hist = history_ & ((1ull << history_bits_) - 1);
+    return static_cast<uint32_t>(((pc >> 2) ^ hist) &
+                                 ((1u << index_bits_) - 1));
+}
+
+bool
+GsharePredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t idx = index(pc);
+    meta.v[0] = idx;
+    meta.dir = table_[idx].predictTaken();
+    return meta.dir;
+}
+
+void
+GsharePredictor::updateHistory(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    table_[meta.v[0]].update(taken);
+}
+
+void
+GsharePredictor::reset()
+{
+    history_ = 0;
+    for (auto &ctr : table_)
+        ctr.set(1);
+}
+
+CombiningPredictor::CombiningPredictor(unsigned index_bits,
+                                       unsigned history_bits)
+    : index_bits_(index_bits), history_bits_(history_bits),
+      bimodal_(1u << index_bits, SatCounter(2, 1)),
+      gshare_(1u << index_bits, SatCounter(2, 1)),
+      chooser_(1u << index_bits, SatCounter(2, 1))
+{
+}
+
+std::string
+CombiningPredictor::name() const
+{
+    return "gshare3-" + std::to_string((storageBits() + 8191) / 8192) +
+           "KB";
+}
+
+size_t
+CombiningPredictor::storageBits() const
+{
+    return (bimodal_.size() + gshare_.size() + chooser_.size()) * 2 +
+           history_bits_;
+}
+
+uint32_t
+CombiningPredictor::pcIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
+}
+
+uint32_t
+CombiningPredictor::gshareIndex(uint64_t pc) const
+{
+    uint64_t hist = history_ & ((1ull << history_bits_) - 1);
+    return static_cast<uint32_t>(((pc >> 2) ^ hist) &
+                                 ((1u << index_bits_) - 1));
+}
+
+bool
+CombiningPredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t bi = pcIndex(pc);
+    uint32_t gi = gshareIndex(pc);
+    bool bim_dir = bimodal_[bi].predictTaken();
+    bool gsh_dir = gshare_[gi].predictTaken();
+    bool use_gshare = chooser_[bi].predictTaken();
+
+    meta.v[0] = bi;
+    meta.v[1] = gi;
+    meta.v[2] = (bim_dir ? 1u : 0u) | (gsh_dir ? 2u : 0u);
+    meta.dir = use_gshare ? gsh_dir : bim_dir;
+    return meta.dir;
+}
+
+void
+CombiningPredictor::updateHistory(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+CombiningPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    uint32_t bi = meta.v[0];
+    uint32_t gi = meta.v[1];
+    bool bim_dir = (meta.v[2] & 1u) != 0;
+    bool gsh_dir = (meta.v[2] & 2u) != 0;
+
+    bimodal_[bi].update(taken);
+    gshare_[gi].update(taken);
+
+    // Chooser trains only when the components disagreed.
+    if (bim_dir != gsh_dir)
+        chooser_[bi].update(gsh_dir == taken);
+}
+
+void
+CombiningPredictor::reset()
+{
+    history_ = 0;
+    for (auto &ctr : bimodal_)
+        ctr.set(1);
+    for (auto &ctr : gshare_)
+        ctr.set(1);
+    for (auto &ctr : chooser_)
+        ctr.set(1);
+}
+
+} // namespace vanguard

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GShare-family predictors.
+ *
+ * GsharePredictor: the classic single-table XOR-indexed predictor.
+ *
+ * CombiningPredictor: PTLSim's default direction predictor — a
+ * McFarling-style combination of a bimodal table, a gshare table, and
+ * a chooser ("GShare, 24 KB 3-table direction predictor" in the
+ * paper's Table 1: 3 tables x 32K 2-bit entries = 24 KB).
+ */
+
+#ifndef VANGUARD_BPRED_GSHARE_HH
+#define VANGUARD_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace vanguard {
+
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    GsharePredictor(unsigned index_bits = 15, unsigned history_bits = 15);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+    bool supportsCheckpoint() const override { return true; }
+    uint64_t checkpointHistory() const override { return history_; }
+    void restoreHistory(uint64_t h) override { history_ = h; }
+
+  private:
+    uint32_t index(uint64_t pc) const;
+
+    unsigned index_bits_;
+    unsigned history_bits_;
+    uint64_t history_ = 0;
+    std::vector<SatCounter> table_;
+};
+
+/**
+ * Bimodal + gshare + chooser. The chooser is indexed by PC and trained
+ * toward whichever component was correct when they disagree.
+ */
+class CombiningPredictor : public DirectionPredictor
+{
+  public:
+    /** Default sizing: 3 x 2^15 x 2-bit = 24 KB (paper Table 1). */
+    CombiningPredictor(unsigned index_bits = 15,
+                       unsigned history_bits = 15);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+    bool supportsCheckpoint() const override { return true; }
+    uint64_t checkpointHistory() const override { return history_; }
+    void restoreHistory(uint64_t h) override { history_ = h; }
+
+  private:
+    uint32_t pcIndex(uint64_t pc) const;
+    uint32_t gshareIndex(uint64_t pc) const;
+
+    unsigned index_bits_;
+    unsigned history_bits_;
+    uint64_t history_ = 0;
+    std::vector<SatCounter> bimodal_;
+    std::vector<SatCounter> gshare_;
+    std::vector<SatCounter> chooser_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_GSHARE_HH

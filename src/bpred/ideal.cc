@@ -1,0 +1,42 @@
+#include "bpred/ideal.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+IdealPredictor::IdealPredictor(double accuracy, uint64_t seed)
+    : accuracy_(accuracy), seed_(seed), rng_(seed)
+{
+    vg_assert(accuracy >= 0.0 && accuracy <= 1.0);
+}
+
+std::string
+IdealPredictor::name() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ideal-%.1f%%", accuracy_ * 100.0);
+    return buf;
+}
+
+bool
+IdealPredictor::predict(uint64_t, PredMeta &meta)
+{
+    meta.dir = true;
+    return true;
+}
+
+bool
+IdealPredictor::predictWithOracle(uint64_t, bool actual, PredMeta &meta)
+{
+    bool correct = rng_.chance(accuracy_);
+    meta.dir = correct ? actual : !actual;
+    return meta.dir;
+}
+
+void
+IdealPredictor::reset()
+{
+    rng_.reseed(seed_);
+}
+
+} // namespace vanguard

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Idealized direction predictor: correct with a configurable
+ * probability, independent of the branch. The asymptotic endpoint of
+ * the Sec. 5.3 predictor-accuracy sensitivity ladder, and the knob the
+ * workload generators use to validate target predictabilities.
+ */
+
+#ifndef VANGUARD_BPRED_IDEAL_HH
+#define VANGUARD_BPRED_IDEAL_HH
+
+#include "bpred/predictor.hh"
+#include "support/rng.hh"
+
+namespace vanguard {
+
+class IdealPredictor : public DirectionPredictor
+{
+  public:
+    /** @param accuracy probability a prediction is correct, in [0,1].
+     *  @param seed RNG seed for the error process. */
+    explicit IdealPredictor(double accuracy = 1.0, uint64_t seed = 1);
+
+    std::string name() const override;
+    size_t storageBits() const override { return 0; }
+
+    /** Without an oracle, fall back to predicting taken. */
+    bool predict(uint64_t pc, PredMeta &meta) override;
+
+    bool predictWithOracle(uint64_t pc, bool actual,
+                           PredMeta &meta) override;
+
+    void updateHistory(bool) override {}
+    void update(uint64_t, bool, const PredMeta &) override {}
+    void reset() override;
+
+  private:
+    double accuracy_;
+    uint64_t seed_;
+    Rng rng_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_IDEAL_HH

@@ -1,0 +1,62 @@
+#include "bpred/local.hh"
+
+namespace vanguard {
+
+LocalHistoryPredictor::LocalHistoryPredictor(unsigned pc_bits,
+                                             unsigned local_bits)
+    : pc_bits_(pc_bits), local_bits_(local_bits),
+      histories_(1u << pc_bits, 0),
+      pattern_(1u << local_bits, SatCounter(2, 1))
+{
+}
+
+std::string
+LocalHistoryPredictor::name() const
+{
+    return "local-" + std::to_string(pc_bits_) + "x" +
+           std::to_string(local_bits_);
+}
+
+size_t
+LocalHistoryPredictor::storageBits() const
+{
+    return histories_.size() * local_bits_ + pattern_.size() * 2;
+}
+
+bool
+LocalHistoryPredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t hidx =
+        static_cast<uint32_t>((pc >> 2) & ((1u << pc_bits_) - 1));
+    uint32_t hist = histories_[hidx] & ((1u << local_bits_) - 1);
+    meta.v[0] = hidx;
+    meta.v[1] = hist;
+    meta.dir = pattern_[hist].predictTaken();
+    return meta.dir;
+}
+
+void
+LocalHistoryPredictor::updateHistory(bool)
+{
+    // Local histories are advanced in update(), keyed by PC.
+}
+
+void
+LocalHistoryPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    pattern_[meta.v[1]].update(taken);
+    uint32_t hidx = meta.v[0];
+    histories_[hidx] =
+        ((histories_[hidx] << 1) | (taken ? 1u : 0u)) &
+        ((1u << local_bits_) - 1);
+}
+
+void
+LocalHistoryPredictor::reset()
+{
+    std::fill(histories_.begin(), histories_.end(), 0);
+    for (auto &ctr : pattern_)
+        ctr.set(1);
+}
+
+} // namespace vanguard

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Two-level local-history predictor (PAg-style): a per-PC history
+ * table indexes a shared pattern table. A middle rung of the Sec. 5.3
+ * predictor-accuracy ladder; strong on loop-like per-branch patterns
+ * that gshare's global history dilutes.
+ */
+
+#ifndef VANGUARD_BPRED_LOCAL_HH
+#define VANGUARD_BPRED_LOCAL_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace vanguard {
+
+class LocalHistoryPredictor : public DirectionPredictor
+{
+  public:
+    LocalHistoryPredictor(unsigned pc_bits = 11, unsigned local_bits = 11);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+  private:
+    unsigned pc_bits_;
+    unsigned local_bits_;
+    std::vector<uint32_t> histories_;
+    std::vector<SatCounter> pattern_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_LOCAL_HH

@@ -1,0 +1,118 @@
+#include "bpred/perceptron.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+// Meta packing: v[0] = perceptron index, v[1..2] = history snapshot,
+// v[3] = |output| clamped (training-threshold test), dir in meta.dir.
+constexpr int kWeightMax = 127;
+constexpr int kWeightMin = -128;
+
+} // namespace
+
+PerceptronPredictor::PerceptronPredictor(unsigned table_bits,
+                                         unsigned history_len)
+    : table_bits_(table_bits), history_len_(history_len)
+{
+    vg_assert(history_len_ >= 1 && history_len_ <= 63);
+    // Optimal threshold from Jimenez & Lin: 1.93*h + 14.
+    threshold_ =
+        static_cast<int>(1.93 * static_cast<double>(history_len_)) +
+        14;
+    weights_.assign((size_t{1} << table_bits_) * (history_len_ + 1),
+                    0);
+}
+
+std::string
+PerceptronPredictor::name() const
+{
+    return "perceptron-" + std::to_string(1u << table_bits_) + "x" +
+           std::to_string(history_len_);
+}
+
+size_t
+PerceptronPredictor::storageBits() const
+{
+    return weights_.size() * 8 + history_len_;
+}
+
+uint32_t
+PerceptronPredictor::index(uint64_t pc) const
+{
+    uint64_t p = pc >> 2;
+    return static_cast<uint32_t>((p ^ (p >> table_bits_)) &
+                                 ((1u << table_bits_) - 1));
+}
+
+int
+PerceptronPredictor::dotProduct(uint32_t idx, uint64_t history) const
+{
+    const int16_t *w = &weights_[size_t{idx} * (history_len_ + 1)];
+    int y = w[0]; // bias weight
+    for (unsigned i = 0; i < history_len_; ++i) {
+        bool bit = (history >> i) & 1;
+        y += bit ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t idx = index(pc);
+    int y = dotProduct(idx, history_);
+    meta.v[0] = idx;
+    meta.v[1] = static_cast<uint32_t>(history_);
+    meta.v[2] = static_cast<uint32_t>(history_ >> 32);
+    meta.v[3] = static_cast<uint32_t>(std::abs(y));
+    meta.dir = y >= 0;
+    return meta.dir;
+}
+
+void
+PerceptronPredictor::updateHistory(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+PerceptronPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    bool predicted = meta.dir;
+    int magnitude = static_cast<int>(meta.v[3]);
+    if (predicted == taken && magnitude > threshold_)
+        return; // confident and correct: no training
+
+    uint64_t history = static_cast<uint64_t>(meta.v[1]) |
+                       (static_cast<uint64_t>(meta.v[2]) << 32);
+    int16_t *w = &weights_[size_t{meta.v[0]} * (history_len_ + 1)];
+    int t = taken ? 1 : -1;
+
+    auto adjust = [&](int16_t &weight, int direction) {
+        int next = weight + direction;
+        if (next > kWeightMax)
+            next = kWeightMax;
+        if (next < kWeightMin)
+            next = kWeightMin;
+        weight = static_cast<int16_t>(next);
+    };
+    adjust(w[0], t);
+    for (unsigned i = 0; i < history_len_; ++i) {
+        bool bit = (history >> i) & 1;
+        adjust(w[i + 1], bit == taken ? 1 : -1);
+    }
+}
+
+void
+PerceptronPredictor::reset()
+{
+    std::fill(weights_.begin(), weights_.end(), 0);
+    history_ = 0;
+}
+
+} // namespace vanguard

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Perceptron direction predictor (Jimenez & Lin, HPCA 2001).
+ *
+ * Each branch hashes to a vector of signed weights; the prediction is
+ * the sign of the dot product between the weights and the global
+ * history (encoded as +/-1), plus a bias weight. Training adjusts
+ * weights toward the outcome when the prediction was wrong or the
+ * magnitude was below threshold.
+ *
+ * Included as an alternative accuracy point on the Sec. 5.3 ladder:
+ * perceptrons capture long linearly-separable correlations that
+ * bounded-history gshare misses, at different storage trade-offs than
+ * TAGE.
+ */
+
+#ifndef VANGUARD_BPRED_PERCEPTRON_HH
+#define VANGUARD_BPRED_PERCEPTRON_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace vanguard {
+
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    /** @param table_bits log2 of the number of perceptrons.
+     *  @param history_len weights (history bits) per perceptron. */
+    PerceptronPredictor(unsigned table_bits = 9,
+                        unsigned history_len = 31);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+    bool supportsCheckpoint() const override { return true; }
+    uint64_t checkpointHistory() const override { return history_; }
+    void restoreHistory(uint64_t h) override { history_ = h; }
+
+  private:
+    uint32_t index(uint64_t pc) const;
+    int dotProduct(uint32_t idx, uint64_t history) const;
+
+    unsigned table_bits_;
+    unsigned history_len_;
+    int threshold_;
+    std::vector<int16_t> weights_; ///< (history_len_+1) per perceptron
+    uint64_t history_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_PERCEPTRON_HH

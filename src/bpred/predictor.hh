@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface.
+ *
+ * Usage protocol (one dynamic branch):
+ *   1. dir = predict(pc, meta)        — consult tables, fill meta
+ *   2. updateHistory(outcome)         — advance global/path history
+ *   3. update(pc, outcome, meta)      — train tables (at resolution)
+ *
+ * The PredMeta blob captures "the indices into the branch prediction
+ * table hierarchy and the prediction metadata" that the paper's
+ * Decomposed Branch Buffer stores per entry (24 bits in their
+ * implementation; we keep a modeling superset). Training MUST use the
+ * meta captured at prediction time, because for a decomposed branch
+ * the resolution happens at a different PC and a different time than
+ * the prediction — this is exactly the re-association problem the DBB
+ * solves.
+ *
+ * The trace-driven harness advances history with the *actual* outcome
+ * (perfect history repair), the standard approximation for in-order
+ * trace simulation; gshare-family predictors additionally support
+ * explicit checkpoint/restore to demonstrate the hardware recovery
+ * mechanism (unit-tested).
+ */
+
+#ifndef VANGUARD_BPRED_PREDICTOR_HH
+#define VANGUARD_BPRED_PREDICTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vanguard {
+
+/** Opaque per-prediction metadata captured at predict time. */
+struct PredMeta
+{
+    uint32_t v[16] = {};
+    bool dir = false;   ///< the direction that was predicted
+};
+
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Total model storage in bits (for config reporting). */
+    virtual size_t storageBits() const = 0;
+
+    /** Predict the branch at pc; records lookup state into meta. */
+    virtual bool predict(uint64_t pc, PredMeta &meta) = 0;
+
+    /**
+     * Oracle-assisted variant for idealized predictors; real
+     * predictors ignore `actual` and defer to predict().
+     */
+    virtual bool
+    predictWithOracle(uint64_t pc, bool actual, PredMeta &meta)
+    {
+        (void)actual;
+        return predict(pc, meta);
+    }
+
+    /** Advance branch history by one outcome. */
+    virtual void updateHistory(bool taken) = 0;
+
+    /** Train tables for the branch at pc given its actual outcome. */
+    virtual void update(uint64_t pc, bool taken, const PredMeta &meta) = 0;
+
+    /** Restore all tables/history to power-on state. */
+    virtual void reset() = 0;
+
+    /** History checkpoint support (gshare family). */
+    virtual bool supportsCheckpoint() const { return false; }
+    virtual uint64_t checkpointHistory() const { return 0; }
+    virtual void restoreHistory(uint64_t) {}
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_PREDICTOR_HH

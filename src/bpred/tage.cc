@@ -1,0 +1,444 @@
+#include "bpred/tage.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+constexpr size_t kGhistSize = 1024;
+
+// PredMeta field layout (see predict()):
+//   v[0..5]  per-table index
+//   v[6..11] per-table tag
+//   v[12]    provider table (kBaseProvider for base)
+//   v[13]    base-predictor index
+//   v[14]    flags
+//   v[15]    ISL extras (loop / statistical corrector)
+constexpr uint32_t kFlagAltDir = 1u << 0;
+constexpr uint32_t kFlagProviderDir = 1u << 1;
+constexpr uint32_t kFlagProviderWeak = 1u << 2;
+constexpr uint32_t kFlagTageDir = 1u << 3;
+
+constexpr uint32_t kIslLoopHit = 1u << 0;
+constexpr uint32_t kIslLoopDir = 1u << 1;
+constexpr uint32_t kIslLoopUsed = 1u << 2;
+constexpr uint32_t kIslScUsed = 1u << 3;
+
+} // namespace
+
+void
+TagePredictor::FoldedHistory::init(unsigned orig, unsigned comp_len)
+{
+    comp = 0;
+    compLength = comp_len;
+    origLength = orig;
+    outPoint = orig % comp_len;
+}
+
+void
+TagePredictor::FoldedHistory::update(const std::vector<uint8_t> &hist,
+                                     size_t head, size_t hist_size)
+{
+    comp = (comp << 1) | hist[head];
+    comp ^= static_cast<uint32_t>(hist[(head + origLength) % hist_size])
+            << outPoint;
+    comp ^= comp >> compLength;
+    comp &= (1u << compLength) - 1;
+}
+
+TagePredictor::TagePredictor() : TagePredictor(Config{}) {}
+
+TagePredictor::TagePredictor(const Config &cfg)
+    : cfg_(cfg), ghist_(kGhistSize, 0)
+{
+    vg_assert(cfg_.numTables >= 2 && cfg_.numTables <= 6,
+              "meta packing supports up to 6 tagged tables");
+    vg_assert(cfg_.maxHistory < kGhistSize);
+
+    // Geometric history-length series, Seznec-style.
+    hist_lengths_.resize(cfg_.numTables);
+    double ratio = std::pow(
+        static_cast<double>(cfg_.maxHistory) / cfg_.minHistory,
+        1.0 / (cfg_.numTables - 1));
+    double len = cfg_.minHistory;
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        hist_lengths_[t] = static_cast<unsigned>(len + 0.5);
+        len *= ratio;
+    }
+    hist_lengths_.back() = cfg_.maxHistory;
+
+    tables_.assign(cfg_.numTables,
+                   std::vector<TaggedEntry>(1u << cfg_.tableBits));
+    base_.assign(1u << cfg_.baseBits, SatCounter(2, 1));
+
+    idx_fold_.resize(cfg_.numTables);
+    tag_fold1_.resize(cfg_.numTables);
+    tag_fold2_.resize(cfg_.numTables);
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        idx_fold_[t].init(hist_lengths_[t], cfg_.tableBits);
+        tag_fold1_[t].init(hist_lengths_[t], cfg_.tagBits);
+        tag_fold2_[t].init(hist_lengths_[t], cfg_.tagBits - 1);
+    }
+}
+
+std::string
+TagePredictor::name() const
+{
+    return "tage-" + std::to_string(cfg_.numTables) + "x" +
+           std::to_string(1u << cfg_.tableBits);
+}
+
+size_t
+TagePredictor::storageBits() const
+{
+    size_t tagged_entry_bits = cfg_.tagBits + 3 + 2;
+    return tables_.size() * (1u << cfg_.tableBits) * tagged_entry_bits +
+           base_.size() * 2 + cfg_.maxHistory;
+}
+
+uint32_t
+TagePredictor::baseIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & ((1u << cfg_.baseBits) - 1));
+}
+
+uint32_t
+TagePredictor::tableIndex(uint64_t pc, unsigned table) const
+{
+    uint32_t mask = (1u << cfg_.tableBits) - 1;
+    uint64_t p = pc >> 2;
+    // Path history is clipped to the component's own history length
+    // so short-history tables keep their generalization power.
+    unsigned path_bits = std::min(hist_lengths_[table], 8u);
+    uint64_t path = path_hist_ & ((1ull << path_bits) - 1);
+    return static_cast<uint32_t>(
+        (p ^ (p >> (cfg_.tableBits - (table % 4))) ^
+         idx_fold_[table].comp ^ path) & mask);
+}
+
+uint16_t
+TagePredictor::tableTag(uint64_t pc, unsigned table) const
+{
+    uint32_t mask = (1u << cfg_.tagBits) - 1;
+    return static_cast<uint16_t>(
+        ((pc >> 2) ^ tag_fold1_[table].comp ^
+         (tag_fold2_[table].comp << 1)) & mask);
+}
+
+bool
+TagePredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    uint32_t base_idx = baseIndex(pc);
+    bool base_dir = base_[base_idx].predictTaken();
+
+    uint32_t provider = kBaseProvider;
+    uint32_t alt_provider = kBaseProvider;
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        meta.v[t] = tableIndex(pc, t);
+        meta.v[6 + t] = tableTag(pc, t);
+        if (tables_[t][meta.v[t]].tag == meta.v[6 + t]) {
+            alt_provider = provider;
+            provider = t;
+        }
+    }
+
+    bool provider_dir = base_dir;
+    bool alt_dir = base_dir;
+    bool provider_weak = false;
+    if (provider != kBaseProvider) {
+        const TaggedEntry &e = tables_[provider][meta.v[provider]];
+        provider_dir = e.ctr.positive();
+        provider_weak = (e.useful.value() == 0) &&
+                        (e.ctr.value() == 0 || e.ctr.value() == -1);
+        if (alt_provider != kBaseProvider) {
+            alt_dir =
+                tables_[alt_provider][meta.v[alt_provider]].ctr.positive();
+        }
+    }
+
+    // Newly-allocated provider entries are unreliable; optionally trust
+    // the alternate prediction (adaptive USE_ALT_ON_NA policy).
+    bool dir = provider_dir;
+    if (provider != kBaseProvider && provider_weak &&
+        use_alt_on_na_.positive()) {
+        dir = alt_dir;
+    }
+
+    meta.v[12] = provider;
+    meta.v[13] = base_idx;
+    meta.v[14] = (alt_dir ? kFlagAltDir : 0) |
+                 (provider_dir ? kFlagProviderDir : 0) |
+                 (provider_weak ? kFlagProviderWeak : 0) |
+                 (dir ? kFlagTageDir : 0);
+    meta.dir = dir;
+    return dir;
+}
+
+void
+TagePredictor::updateHistory(bool taken)
+{
+    ghead_ = (ghead_ + kGhistSize - 1) % kGhistSize;
+    ghist_[ghead_] = taken ? 1 : 0;
+    path_hist_ = (path_hist_ << 1) | (taken ? 1 : 0);
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        idx_fold_[t].update(ghist_, ghead_, kGhistSize);
+        tag_fold1_[t].update(ghist_, ghead_, kGhistSize);
+        tag_fold2_[t].update(ghist_, ghead_, kGhistSize);
+    }
+}
+
+void
+TagePredictor::update(uint64_t, bool taken, const PredMeta &meta)
+{
+    uint32_t provider = meta.v[12];
+    bool alt_dir = meta.v[14] & kFlagAltDir;
+    bool provider_dir = meta.v[14] & kFlagProviderDir;
+    bool provider_weak = meta.v[14] & kFlagProviderWeak;
+    bool tage_dir = meta.v[14] & kFlagTageDir;
+
+    if (provider != kBaseProvider) {
+        TaggedEntry &e = tables_[provider][meta.v[provider]];
+        // Track whether trusting the alternate on weak entries pays off.
+        if (provider_weak && provider_dir != alt_dir)
+            use_alt_on_na_.update(alt_dir == taken);
+        if (provider_dir != alt_dir)
+            e.useful.update(provider_dir == taken);
+        e.ctr.update(taken);
+    } else {
+        base_[meta.v[13]].update(taken);
+    }
+
+    // Allocate a longer-history entry when the final prediction
+    // missed. The starting table is chosen with a geometric random
+    // skip (Seznec): always picking the shortest eligible table lets
+    // hot short-history indices churn forever while longer tables
+    // starve.
+    if (tage_dir != taken) {
+        unsigned start =
+            provider == kBaseProvider ? 0 : provider + 1;
+        // Allocation throttling: under unlearnable noise, allocating
+        // on every mispredict churns entries faster than they can
+        // prove useful; a 1/2 rate keeps steady-state pollution down.
+        alloc_rng_ = alloc_rng_ * 6364136223846793005ULL +
+                     1442695040888963407ULL;
+        if ((alloc_rng_ >> 62) & 1)
+            return;
+        if (start < cfg_.numTables) {
+            alloc_rng_ = alloc_rng_ * 6364136223846793005ULL +
+                         1442695040888963407ULL;
+            uint64_t r = alloc_rng_ >> 33;
+            while (start + 1 < cfg_.numTables && (r & 1)) {
+                ++start;
+                r >>= 1;
+            }
+        }
+        bool allocated = false;
+        for (unsigned t = start; t < cfg_.numTables && !allocated; ++t) {
+            TaggedEntry &e = tables_[t][meta.v[t]];
+            if (e.useful.value() == 0) {
+                e.tag = static_cast<uint16_t>(meta.v[6 + t]);
+                e.ctr.set(taken ? 0 : -1);
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            for (unsigned t = start; t < cfg_.numTables; ++t)
+                tables_[t][meta.v[t]].useful.decrement();
+        }
+    }
+
+    // Periodic graceful aging of usefulness counters.
+    if ((++update_count_ & ((1u << 18) - 1)) == 0) {
+        for (auto &table : tables_)
+            for (auto &e : table)
+                e.useful.decrement();
+    }
+}
+
+void
+TagePredictor::reset()
+{
+    for (auto &table : tables_)
+        for (auto &e : table)
+            e = TaggedEntry{};
+    for (auto &ctr : base_)
+        ctr.set(1);
+    std::fill(ghist_.begin(), ghist_.end(), 0);
+    ghead_ = 0;
+    path_hist_ = 0;
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        idx_fold_[t].init(hist_lengths_[t], cfg_.tableBits);
+        tag_fold1_[t].init(hist_lengths_[t], cfg_.tagBits);
+        tag_fold2_[t].init(hist_lengths_[t], cfg_.tagBits - 1);
+    }
+    use_alt_on_na_.set(0);
+    alloc_rng_ = 0x2545f4914f6cdd1dULL;
+    update_count_ = 0;
+}
+
+TagePredictor::Config
+IslTagePredictor::biggerDefault()
+{
+    Config cfg;
+    cfg.numTables = 6;
+    cfg.tableBits = 13;
+    cfg.tagBits = 11;
+    cfg.baseBits = 14;
+    cfg.minHistory = 5;
+    cfg.maxHistory = 640;
+    return cfg;
+}
+
+IslTagePredictor::IslTagePredictor()
+    : IslTagePredictor(biggerDefault())
+{
+}
+
+IslTagePredictor::IslTagePredictor(const Config &cfg)
+    : TagePredictor(cfg),
+      loop_(1u << kLoopBits),
+      sc_(1u << kScBits, SignedSatCounter(6, 0)),
+      local_hist_(1u << kLocalBits, 0)
+{
+}
+
+std::string
+IslTagePredictor::name() const
+{
+    return "isltage-" +
+           std::to_string((storageBits() + 8191) / 8192) + "KB";
+}
+
+size_t
+IslTagePredictor::storageBits() const
+{
+    size_t loop_bits = loop_.size() * (16 + 16 + 16 + 3 + 1 + 1);
+    return TagePredictor::storageBits() + loop_bits + sc_.size() * 6 +
+           local_hist_.size() * kLocalHistLen;
+}
+
+uint32_t
+IslTagePredictor::loopIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & ((1u << kLoopBits) - 1));
+}
+
+uint16_t
+IslTagePredictor::loopTag(uint64_t pc) const
+{
+    return static_cast<uint16_t>((pc >> (2 + kLoopBits)) & 0x3ff);
+}
+
+uint32_t
+IslTagePredictor::localIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> 2) & ((1u << kLocalBits) - 1));
+}
+
+uint32_t
+IslTagePredictor::scIndex(uint64_t pc, uint32_t local_hist) const
+{
+    uint64_t p = pc >> 2;
+    return static_cast<uint32_t>(
+        ((p * 0x9E5F) ^ (uint64_t{local_hist} << 3)) &
+        ((1u << kScBits) - 1));
+}
+
+bool
+IslTagePredictor::predict(uint64_t pc, PredMeta &meta)
+{
+    bool tage_dir = TagePredictor::predict(pc, meta);
+    bool provider_weak = meta.v[14] & kFlagProviderWeak;
+    bool dir = tage_dir;
+    uint32_t isl = 0;
+
+    // Loop predictor: overrides when trained to high confidence.
+    const LoopEntry &ent = loop_[loopIndex(pc)];
+    if (ent.valid && ent.tag == loopTag(pc) && ent.tripCount > 0 &&
+        ent.confidence.value() == ent.confidence.maxValue()) {
+        bool body_dir = ent.bodyDir;
+        bool loop_pred =
+            ent.currentIter < ent.tripCount ? body_dir : !body_dir;
+        dir = loop_pred;
+        isl |= kIslLoopHit | kIslLoopUsed |
+               (loop_pred ? kIslLoopDir : 0);
+    }
+
+    // Local-history statistical corrector: overrides when confident.
+    if (!(isl & kIslLoopUsed)) {
+        uint32_t lh = local_hist_[localIndex(pc)];
+        const SignedSatCounter &sc = sc_[scIndex(pc, lh)];
+        bool confident = sc.value() >= kScThreshold ||
+                         sc.value() < -kScThreshold;
+        if (confident && (provider_weak || sc.value() >= 2 * kScThreshold ||
+                          sc.value() < -2 * kScThreshold)) {
+            dir = sc.positive();
+            isl |= kIslScUsed;
+        }
+    }
+    (void)provider_weak;
+    (void)tage_dir;
+
+    meta.v[15] = isl;
+    meta.dir = dir;
+    return dir;
+}
+
+void
+IslTagePredictor::update(uint64_t pc, bool taken, const PredMeta &meta)
+{
+    // Loop predictor training.
+    LoopEntry &e = loop_[loopIndex(pc)];
+    uint16_t tag = loopTag(pc);
+    if (e.valid && e.tag == tag) {
+        if (taken == e.bodyDir) {
+            if (++e.currentIter > 0x3fff)
+                e.valid = false; // runaway; not a fixed-trip loop
+        } else {
+            if (e.tripCount == e.currentIter && e.tripCount > 0) {
+                e.confidence.increment();
+            } else {
+                e.tripCount = e.currentIter;
+                e.confidence.set(0);
+            }
+            e.currentIter = 0;
+        }
+    } else if (!e.valid || e.confidence.value() == 0) {
+        e.valid = true;
+        e.tag = tag;
+        e.bodyDir = taken;
+        e.tripCount = 0;
+        e.currentIter = 1;
+        e.confidence.set(0);
+    } else {
+        e.confidence.decrement();
+    }
+
+    // Statistical corrector training over the local history as seen
+    // at this update (prediction-time snapshot is one update behind at
+    // most; resolution order is program order, so this is exact).
+    uint32_t lidx = localIndex(pc);
+    uint32_t lh = local_hist_[lidx];
+    sc_[scIndex(pc, lh)].update(taken);
+    local_hist_[lidx] = static_cast<uint16_t>(
+        ((lh << 1) | (taken ? 1 : 0)) & ((1u << kLocalHistLen) - 1));
+
+    TagePredictor::update(pc, taken, meta);
+}
+
+void
+IslTagePredictor::reset()
+{
+    TagePredictor::reset();
+    for (auto &e : loop_)
+        e = LoopEntry{};
+    for (auto &c : sc_)
+        c.set(0);
+    std::fill(local_hist_.begin(), local_hist_.end(), 0);
+}
+
+} // namespace vanguard

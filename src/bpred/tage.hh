@@ -1,0 +1,146 @@
+/**
+ * @file
+ * TAGE and ISL-TAGE-style predictors (Seznec), the upper rungs of the
+ * Sec. 5.3 predictor-accuracy ladder.
+ *
+ * TagePredictor: base bimodal + 6 tagged components with geometric
+ * history lengths, partial tags, 3-bit prediction counters, 2-bit
+ * usefulness counters, alt-on-newly-allocated policy, and periodic
+ * usefulness aging.
+ *
+ * IslTagePredictor: TAGE augmented with a loop predictor (captures
+ * constant-trip-count loop branches) and a small statistical corrector
+ * that overrides weak provider predictions — the "ISL" additions of
+ * Seznec's MICRO'11 "A New Case for the TAGE Branch Predictor" paper,
+ * modeled at reduced fidelity (we need the accuracy ordering, not the
+ * CBP-contest bit-exactness).
+ */
+
+#ifndef VANGUARD_BPRED_TAGE_HH
+#define VANGUARD_BPRED_TAGE_HH
+
+#include <memory>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace vanguard {
+
+class TagePredictor : public DirectionPredictor
+{
+  public:
+    struct Config
+    {
+        unsigned numTables = 6;         ///< tagged components (max 6)
+        unsigned tableBits = 12;        ///< log2 entries per component
+        unsigned tagBits = 11;
+        unsigned baseBits = 13;         ///< log2 bimodal entries
+        unsigned minHistory = 7;        ///< shortest history length
+        unsigned maxHistory = 320;      ///< longest history length
+    };
+
+    TagePredictor();
+    explicit TagePredictor(const Config &cfg);
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void updateHistory(bool taken) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+  protected:
+    struct TaggedEntry
+    {
+        uint16_t tag = 0;
+        SignedSatCounter ctr{3, 0};
+        SatCounter useful{2, 0};
+    };
+
+    struct FoldedHistory
+    {
+        uint32_t comp = 0;
+        unsigned compLength = 0;
+        unsigned origLength = 0;
+        unsigned outPoint = 0;
+
+        void init(unsigned orig, unsigned comp_len);
+        void update(const std::vector<uint8_t> &hist, size_t head,
+                    size_t hist_size);
+    };
+
+    uint32_t tableIndex(uint64_t pc, unsigned table) const;
+    uint16_t tableTag(uint64_t pc, unsigned table) const;
+    uint32_t baseIndex(uint64_t pc) const;
+
+    /** Provider-table id value meaning "base predictor provided". */
+    static constexpr uint32_t kBaseProvider = 0xffffffffu;
+
+    Config cfg_;
+    std::vector<unsigned> hist_lengths_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    std::vector<SatCounter> base_;
+
+    std::vector<uint8_t> ghist_;
+    size_t ghead_ = 0;
+    uint64_t path_hist_ = 0;
+
+    std::vector<FoldedHistory> idx_fold_;
+    std::vector<FoldedHistory> tag_fold1_;
+    std::vector<FoldedHistory> tag_fold2_;
+
+    SignedSatCounter use_alt_on_na_{4, 0};
+    uint64_t update_count_ = 0;
+    uint64_t alloc_rng_ = 0x2545f4914f6cdd1dULL;
+};
+
+/** TAGE + loop predictor + statistical corrector. */
+class IslTagePredictor : public TagePredictor
+{
+  public:
+    IslTagePredictor();
+    explicit IslTagePredictor(const Config &cfg);
+
+    /** 64KB-class sizing used by the paper's sensitivity study. */
+    static Config biggerDefault();
+
+    std::string name() const override;
+    size_t storageBits() const override;
+    bool predict(uint64_t pc, PredMeta &meta) override;
+    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
+    void reset() override;
+
+  private:
+    struct LoopEntry
+    {
+        uint16_t tag = 0;
+        uint16_t tripCount = 0;
+        uint16_t currentIter = 0;
+        SatCounter confidence{3, 0};
+        bool valid = false;
+        bool bodyDir = false;   ///< direction taken during the loop body
+    };
+
+    static constexpr unsigned kLoopBits = 8;
+    static constexpr unsigned kScBits = 14;
+    static constexpr unsigned kLocalBits = 10;
+    static constexpr unsigned kLocalHistLen = 6;
+    static constexpr int kScThreshold = 5;
+
+    uint32_t loopIndex(uint64_t pc) const;
+    uint16_t loopTag(uint64_t pc) const;
+    uint32_t localIndex(uint64_t pc) const;
+    uint32_t scIndex(uint64_t pc, uint32_t local_hist) const;
+
+    std::vector<LoopEntry> loop_;
+    /** Statistical corrector over per-PC local history (the "L" of
+     *  TAGE-SC-L): captures repeat-last run structure that global-
+     *  history components fragment. */
+    std::vector<SignedSatCounter> sc_;
+    std::vector<uint16_t> local_hist_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_TAGE_HH

@@ -1,0 +1,111 @@
+#include "compiler/cleanup.hh"
+
+#include <vector>
+
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+unsigned
+removeUnreachableBlocks(Function &fn)
+{
+    auto rpo = reversePostOrder(fn);
+    if (rpo.size() == fn.numBlocks())
+        return 0;
+
+    std::vector<bool> reachable(fn.numBlocks(), false);
+    for (BlockId b : rpo)
+        reachable[b] = true;
+
+    // Dense renumbering of the surviving blocks.
+    std::vector<BlockId> remap(fn.numBlocks(), kNoBlock);
+    BlockId next = 0;
+    for (BlockId b = 0; b < fn.numBlocks(); ++b)
+        if (reachable[b])
+            remap[b] = next++;
+
+    std::vector<BasicBlock> kept;
+    kept.reserve(next);
+    for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+        if (!reachable[b])
+            continue;
+        BasicBlock bb = std::move(fn.block(b));
+        bb.id = remap[b];
+        Instruction &term = bb.terminator();
+        if (term.takenTarget != kNoBlock) {
+            term.takenTarget = remap[term.takenTarget];
+            vg_assert(term.takenTarget != kNoBlock,
+                      "reachable block targets unreachable one");
+        }
+        if (term.fallTarget != kNoBlock) {
+            term.fallTarget = remap[term.fallTarget];
+            vg_assert(term.fallTarget != kNoBlock,
+                      "reachable block falls to unreachable one");
+        }
+        kept.push_back(std::move(bb));
+    }
+
+    unsigned removed =
+        static_cast<unsigned>(fn.numBlocks() - kept.size());
+    fn.blocks() = std::move(kept);
+    return removed;
+}
+
+unsigned
+mergeStraightLineBlocks(Function &fn)
+{
+    unsigned merged = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        auto preds = fn.predecessors();
+        for (auto &bb : fn.blocks()) {
+            if (!bb.hasTerminator() ||
+                bb.terminator().op != Opcode::JMP) {
+                continue;
+            }
+            BlockId succ_id = bb.terminator().takenTarget;
+            if (succ_id == bb.id || preds[succ_id].size() != 1)
+                continue;
+            if (succ_id == 0)
+                continue; // never merge the entry away
+            BasicBlock &succ = fn.block(succ_id);
+            // Fold: drop the jmp, append the successor's body +
+            // terminator; the successor becomes unreachable.
+            bb.insts.pop_back();
+            bb.insts.insert(bb.insts.end(), succ.insts.begin(),
+                            succ.insts.end());
+            succ.insts.clear();
+            // Leave a self-halt so the (unreachable) block stays
+            // structurally valid until removeUnreachableBlocks runs.
+            Instruction halt;
+            halt.op = Opcode::HALT;
+            halt.id = fn.nextInstId();
+            succ.insts.push_back(halt);
+            ++merged;
+            changed = true;
+            break; // predecessor lists are stale; recompute
+        }
+    }
+    return merged;
+}
+
+CleanupStats
+simplifyCfg(Function &fn)
+{
+    CleanupStats stats;
+    for (;;) {
+        unsigned merged = mergeStraightLineBlocks(fn);
+        unsigned removed = removeUnreachableBlocks(fn);
+        stats.blocksMerged += merged;
+        stats.blocksRemoved += removed;
+        if (merged == 0 && removed == 0)
+            break;
+    }
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "cleanup broke the CFG: %s", err.c_str());
+    return stats;
+}
+
+} // namespace vanguard

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CFG cleanup passes.
+ *
+ * - removeUnreachableBlocks: drops blocks unreachable from the entry
+ *   and renumbers the survivors (BlockIds are dense indices). Needed
+ *   after if-conversion, which strands the converted hammock sides.
+ * - mergeStraightLineBlocks: folds `A: ...; jmp B` into A when B has
+ *   no other predecessors, enlarging scheduling regions.
+ * - simplifyCfg: both, to a fixed point.
+ */
+
+#ifndef VANGUARD_COMPILER_CLEANUP_HH
+#define VANGUARD_COMPILER_CLEANUP_HH
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct CleanupStats
+{
+    unsigned blocksRemoved = 0;
+    unsigned blocksMerged = 0;
+};
+
+/** Remove unreachable blocks; renumbers BlockIds. */
+unsigned removeUnreachableBlocks(Function &fn);
+
+/** Merge single-pred jump-connected chains. Returns merges done. */
+unsigned mergeStraightLineBlocks(Function &fn);
+
+/** Run both passes to a fixed point. */
+CleanupStats simplifyCfg(Function &fn);
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_CLEANUP_HH

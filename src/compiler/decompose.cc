@@ -1,0 +1,330 @@
+#include "compiler/decompose.hh"
+
+#include <map>
+
+#include "compiler/hoist.hh"
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** Copy an instruction, assigning a fresh id. */
+Instruction
+cloneInst(const Instruction &inst, Function &fn)
+{
+    Instruction copy = inst;
+    copy.id = fn.nextInstId();
+    return copy;
+}
+
+/** Find the block whose terminator is the BR with the given id. */
+BlockId
+findBranchBlock(const Function &fn, InstId branch)
+{
+    for (const auto &bb : fn.blocks()) {
+        if (bb.hasTerminator() && bb.terminator().id == branch &&
+            bb.terminator().op == Opcode::BR) {
+            return bb.id;
+        }
+    }
+    return kNoBlock;
+}
+
+/**
+ * Compute the condition slice of block A: body indices of instructions
+ * that feed only the branch condition and can legally move below the
+ * rest of A (into the resolution blocks).
+ */
+std::vector<size_t>
+computeConditionSlice(const BasicBlock &a, RegId cond, unsigned max_depth)
+{
+    size_t body_n = a.bodySize();
+    std::vector<bool> in_slice(body_n, false);
+    RegSet needed;
+    needed.set(cond);
+
+    RegSet written_below;   // by non-slice insts below the scan point
+    RegSet read_below;      // by non-slice insts below the scan point
+    bool store_below = false;
+    unsigned count = 0;
+
+    for (size_t k = body_n; k > 0; --k) {
+        size_t i = k - 1;
+        const Instruction &inst = a.insts[i];
+        bool writes_needed =
+            inst.writesDst() && needed.test(inst.dst);
+
+        if (writes_needed) {
+            // Whether taken or not, this is the reaching def of that
+            // register; earlier writers are dead to the slice.
+            needed.reset(inst.dst);
+
+            bool eligible =
+                count < max_depth &&
+                inst.op != Opcode::DIV &&             // may fault
+                !(inst.isLoad() && store_below) &&    // alias hazard
+                !read_below.test(inst.dst) &&         // non-slice use
+                (instUses(inst) & written_below).none(); // WAR
+            if (eligible) {
+                in_slice[i] = true;
+                needed |= instUses(inst);
+                ++count;
+                continue;
+            }
+        }
+        written_below |= instDefs(inst);
+        read_below |= instUses(inst);
+        if (inst.isStore())
+            store_below = true;
+    }
+
+    std::vector<size_t> slice;
+    for (size_t i = 0; i < body_n; ++i)
+        if (in_slice[i])
+            slice.push_back(i);
+    return slice;
+}
+
+/** Hoisted-code emission result for one predicted path. */
+struct SpeculativeCopy
+{
+    std::vector<Instruction> insts;             ///< renamed clones
+    std::vector<std::pair<RegId, RegId>> commits; ///< (arch, temp) moves
+};
+
+/**
+ * Clone the hoist-planned instructions of `src`, renaming every def
+ * into a temp register from the pool and converting loads to LD_S.
+ * Returns nullopt-like empty copy if the pool is too small.
+ */
+SpeculativeCopy
+makeSpeculativeCopy(Function &fn, const BasicBlock &src,
+                    const HoistPlan &plan,
+                    const std::vector<RegId> &pool, size_t pool_start)
+{
+    SpeculativeCopy out;
+    std::map<RegId, RegId> rename;
+    size_t next_temp = pool_start;
+
+    for (size_t idx : plan.indices) {
+        if (next_temp >= pool.size())
+            break; // out of temps: hoist fewer instructions
+        Instruction copy = cloneInst(src.insts[idx], fn);
+        for (RegId *srcReg : {&copy.src1, &copy.src2, &copy.src3}) {
+            auto it = *srcReg == kNoReg ? rename.end()
+                                        : rename.find(*srcReg);
+            if (it != rename.end())
+                *srcReg = it->second;
+        }
+        vg_assert(copy.writesDst(), "hoistable insts define a register");
+        RegId temp = pool[next_temp++];
+        rename[copy.dst] = temp;
+        out.commits.emplace_back(copy.dst, temp);
+        copy.dst = temp;
+        if (copy.op == Opcode::LD)
+            copy.op = Opcode::LD_S;
+        out.insts.push_back(copy);
+    }
+    return out;
+}
+
+/**
+ * Build the "rest" block for a successor: commit MOVs, then the
+ * successor's non-hoisted body instructions, then a clone of its
+ * terminator. Returns the instructions (block is created by caller).
+ */
+std::vector<Instruction>
+makeRestInsts(Function &fn, const BasicBlock &succ, const HoistPlan &plan,
+              const SpeculativeCopy &copy)
+{
+    std::vector<Instruction> insts;
+    for (auto [arch, temp] : copy.commits) {
+        Instruction mv;
+        mv.op = Opcode::MOV;
+        mv.id = fn.nextInstId();
+        mv.dst = arch;
+        mv.src1 = temp;
+        insts.push_back(mv);
+    }
+    std::vector<bool> hoisted(succ.insts.size(), false);
+    for (size_t i = 0; i < copy.insts.size(); ++i)
+        hoisted[plan.indices[i]] = true;
+    for (size_t i = 0; i < succ.bodySize(); ++i)
+        if (!hoisted[i])
+            insts.push_back(cloneInst(succ.insts[i], fn));
+    insts.push_back(cloneInst(succ.terminator(), fn));
+    return insts;
+}
+
+} // namespace
+
+std::vector<RegId>
+freeTempPool(const Function &fn)
+{
+    bool used[kNumRegs] = {};
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb.insts) {
+            if (inst.writesDst())
+                used[inst.dst] = true;
+            for (RegId src : {inst.src1, inst.src2, inst.src3})
+                if (src != kNoReg)
+                    used[src] = true;
+        }
+    }
+    std::vector<RegId> pool;
+    for (unsigned t = 0; t < kNumTempRegs; ++t)
+        if (!used[tempReg(t)])
+            pool.push_back(tempReg(t));
+    return pool;
+}
+
+bool
+decomposeBranch(Function &fn, InstId branch,
+                const std::vector<RegId> &temp_pool,
+                const DecomposeOptions &opts, DecomposeStats &stats)
+{
+    ++stats.attempted;
+
+    BlockId a_id = findBranchBlock(fn, branch);
+    if (a_id == kNoBlock)
+        return false;
+    // Copies: fn.addBlock() below invalidates block references.
+    Instruction br = fn.block(a_id).terminator();
+    BlockId t_id = br.takenTarget;
+    BlockId f_id = br.fallTarget;
+    if (t_id == f_id || t_id == a_id || f_id == a_id)
+        return false;
+    if (temp_pool.empty())
+        return false; // need at least the negated-condition temp
+    RegId cond = br.src1;
+
+    std::vector<size_t> slice =
+        computeConditionSlice(fn.block(a_id), cond, opts.maxSliceDepth);
+
+    // Temp pool layout: pool[0] holds the negated condition; the rest
+    // is shared by both paths' renames (their live ranges are on
+    // mutually exclusive predicted paths).
+    RegId nc = temp_pool[0];
+
+    HoistPlan hb = computeHoistPlan(fn.block(f_id),
+                                    opts.maxHoistPerPath);
+    HoistPlan hc = computeHoistPlan(fn.block(t_id),
+                                    opts.maxHoistPerPath);
+    SpeculativeCopy copy_b =
+        makeSpeculativeCopy(fn, fn.block(f_id), hb, temp_pool, 1);
+    SpeculativeCopy copy_c =
+        makeSpeculativeCopy(fn, fn.block(t_id), hc, temp_pool, 1);
+
+    if (slice.empty() && copy_b.insts.empty() && copy_c.insts.empty())
+        return false; // nothing to overlap; not profitable
+
+    // --- create new blocks (ids only; fill below) ---------------------
+    BlockId ba = fn.addBlock("ba'");
+    BlockId ca = fn.addBlock("ca'");
+    BlockId f_rest = copy_b.insts.empty()
+        ? kNoBlock : fn.addBlock("f_rest");
+    BlockId t_rest = copy_c.insts.empty()
+        ? kNoBlock : fn.addBlock("t_rest");
+
+    // --- rewrite A: drop the slice, replace br with PREDICT -----------
+    {
+        BasicBlock &a = fn.block(a_id);
+        std::vector<bool> in_slice(a.insts.size(), false);
+        for (size_t i : slice)
+            in_slice[i] = true;
+        std::vector<Instruction> new_a;
+        std::vector<Instruction> slice_insts;
+        for (size_t i = 0; i < a.bodySize(); ++i) {
+            if (in_slice[i])
+                slice_insts.push_back(a.insts[i]);
+            else
+                new_a.push_back(a.insts[i]);
+        }
+        Instruction predict;
+        predict.op = Opcode::PREDICT;
+        predict.id = fn.nextInstId();
+        predict.takenTarget = ca;
+        predict.fallTarget = ba;
+        predict.origBranch = branch;
+        new_a.push_back(predict);
+        a.insts = std::move(new_a);
+
+        // --- BA' (predicted not-taken path) ---------------------------
+        BasicBlock &bba = fn.block(ba);
+        for (const Instruction &si : slice_insts)
+            bba.insts.push_back(si); // moved, ids preserved
+        for (const Instruction &hi : copy_b.insts)
+            bba.insts.push_back(hi);
+        Instruction res_b;
+        res_b.op = Opcode::RESOLVE;
+        res_b.id = fn.nextInstId();
+        res_b.src1 = cond;
+        res_b.takenTarget = t_id;   // Correct-C: all of T
+        res_b.fallTarget = copy_b.insts.empty() ? f_id : f_rest;
+        res_b.origBranch = branch;
+        res_b.resolvePathTaken = false;
+        bba.insts.push_back(res_b);
+
+        // --- CA' (predicted taken path) -------------------------------
+        BasicBlock &bca = fn.block(ca);
+        for (const Instruction &si : slice_insts)
+            bca.insts.push_back(cloneInst(si, fn));
+        Instruction neg;
+        neg.op = Opcode::CMPEQ;
+        neg.id = fn.nextInstId();
+        neg.dst = nc;
+        neg.src1 = cond;
+        neg.imm = 0; // nc = (cond == 0)
+        bca.insts.push_back(neg);
+        for (const Instruction &hi : copy_c.insts)
+            bca.insts.push_back(hi);
+        Instruction res_c;
+        res_c.op = Opcode::RESOLVE;
+        res_c.id = fn.nextInstId();
+        res_c.src1 = nc;
+        res_c.takenTarget = f_id;   // Correct-B: all of F
+        res_c.fallTarget = copy_c.insts.empty() ? t_id : t_rest;
+        res_c.origBranch = branch;
+        res_c.resolvePathTaken = true;
+        bca.insts.push_back(res_c);
+
+        stats.sliceInsts += slice_insts.size();
+    }
+
+    // --- rest blocks: commit MOVs + non-hoisted successor code --------
+    if (f_rest != kNoBlock) {
+        auto insts = makeRestInsts(fn, fn.block(f_id), hb, copy_b);
+        fn.block(f_rest).insts = std::move(insts);
+    }
+    if (t_rest != kNoBlock) {
+        auto insts = makeRestInsts(fn, fn.block(t_id), hc, copy_c);
+        fn.block(t_rest).insts = std::move(insts);
+    }
+
+    stats.hoistedInsts += copy_b.insts.size() + copy_c.insts.size();
+    stats.commitMovs += copy_b.commits.size() + copy_c.commits.size();
+    for (const auto &hi : copy_b.insts)
+        stats.hoistedIds.push_back(hi.id);
+    for (const auto &hi : copy_c.insts)
+        stats.hoistedIds.push_back(hi.id);
+    ++stats.converted;
+    return true;
+}
+
+DecomposeStats
+decomposeBranches(Function &fn, const std::vector<InstId> &branches,
+                  const DecomposeOptions &opts)
+{
+    DecomposeStats stats;
+    std::vector<RegId> pool = freeTempPool(fn);
+    for (InstId branch : branches)
+        decomposeBranch(fn, branch, pool, opts, stats);
+
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "decompose broke the CFG: %s", err.c_str());
+    return stats;
+}
+
+} // namespace vanguard

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Decomposed Branch Transformation (paper Sec. 3).
+ *
+ * For a selected conditional branch `br` in block A with taken
+ * successor T and fall-through successor F, the transformation:
+ *
+ *  1. computes the branch's condition slice within A (the cmp and the
+ *     instructions feeding only it) and removes it from A;
+ *  2. replaces `br` with a PREDICT whose taken/fall targets are two new
+ *     resolution blocks CA'/BA' (one per predicted direction);
+ *  3. fills BA' with [slice][speculatively hoisted prefix of F, renamed
+ *     into temp registers, loads converted to LD_S][RESOLVE cond];
+ *     the RESOLVE's taken target is T in full (the "Correct-C"
+ *     compensation path), its fall-through is F_rest;
+ *  4. fills CA' symmetrically with the negated condition, hoisted
+ *     prefix of T, RESOLVE targeting F in full ("Correct-B"),
+ *     falling through to T_rest;
+ *  5. creates F_rest/T_rest: commit MOVs (temp -> architectural reg)
+ *     followed by the successor's non-hoisted instructions and a clone
+ *     of its terminator.
+ *
+ * T and F themselves are left untouched, so they double as the
+ * compensation blocks (they recompute the hoisted values directly into
+ * architectural registers, exactly as the paper's Correct-B/Correct-C
+ * "merely duplicate the hoisted instructions") and other predecessors
+ * of T/F are unaffected.
+ *
+ * The two RESOLVEs created for one PREDICT match the paper's "two
+ * resolve instructions associated with each predict instruction".
+ */
+
+#ifndef VANGUARD_COMPILER_DECOMPOSE_HH
+#define VANGUARD_COMPILER_DECOMPOSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct DecomposeOptions
+{
+    unsigned maxHoistPerPath = 12;   ///< cap on speculated insts per path
+    unsigned maxSliceDepth = 4;     ///< cap on condition-slice size
+};
+
+struct DecomposeStats
+{
+    unsigned attempted = 0;
+    unsigned converted = 0;
+    uint64_t sliceInsts = 0;        ///< static slice insts pushed down
+    uint64_t hoistedInsts = 0;      ///< static insts speculated (both paths)
+    uint64_t commitMovs = 0;        ///< temp->arch commit moves emitted
+
+    /** InstIds of the speculative (hoisted) clones — the population
+     *  whose dynamic executions form the paper's PDIH metric. */
+    std::vector<InstId> hoistedIds;
+};
+
+/**
+ * Decompose a single branch (identified by the InstId of its BR).
+ *
+ * @param fn         function, mutated in place.
+ * @param branch     InstId of the BR terminator to convert.
+ * @param temp_pool  temp registers free for speculative renaming; the
+ *                   same pool may be reused across branches (their
+ *                   speculative live ranges are disjoint by
+ *                   construction).
+ * @return true if the branch was converted.
+ */
+bool decomposeBranch(Function &fn, InstId branch,
+                     const std::vector<RegId> &temp_pool,
+                     const DecomposeOptions &opts, DecomposeStats &stats);
+
+/**
+ * Decompose every branch in `branches` (hottest-first order is the
+ * caller's responsibility). Computes the free temp pool once.
+ */
+DecomposeStats decomposeBranches(Function &fn,
+                                 const std::vector<InstId> &branches,
+                                 const DecomposeOptions &opts = {});
+
+/** Temp registers unused by fn, available for speculative renaming. */
+std::vector<RegId> freeTempPool(const Function &fn);
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_DECOMPOSE_HH

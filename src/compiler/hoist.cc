@@ -1,0 +1,64 @@
+#include "compiler/hoist.hh"
+
+namespace vanguard {
+
+HoistPlan
+computeHoistPlan(const BasicBlock &bb, unsigned max_hoist)
+{
+    HoistPlan plan;
+    plan.bodySize = bb.bodySize();
+
+    RegSet skipped_defs;
+    RegSet skipped_uses;
+    bool saw_store = false;
+
+    for (size_t i = 0; i < plan.bodySize; ++i) {
+        const Instruction &inst = bb.insts[i];
+        if (plan.indices.size() >= max_hoist)
+            break;
+
+        auto skip = [&] {
+            skipped_defs |= instDefs(inst);
+            skipped_uses |= instUses(inst);
+            if (inst.isStore())
+                saw_store = true;
+        };
+
+        // Never speculate stores or (non-load) faulting ops, and keep
+        // loads below any store they might alias.
+        if (inst.isStore() || inst.op == Opcode::DIV ||
+            inst.op == Opcode::NOP ||
+            (inst.isLoad() && saw_store)) {
+            skip();
+            continue;
+        }
+        // PREDICT/RESOLVE/branches only appear as terminators; body
+        // instructions here are data ops and loads.
+
+        // Dependence checks against instructions being jumped over.
+        RegSet uses = instUses(inst);
+        RegSet defs = instDefs(inst);
+        if ((uses & skipped_defs).any() ||     // RAW
+            (defs & skipped_uses).any() ||     // WAR
+            (defs & skipped_defs).any()) {     // WAW
+            skip();
+            continue;
+        }
+
+        plan.indices.push_back(i);
+    }
+    return plan;
+}
+
+double
+hoistableFraction(const BasicBlock &bb)
+{
+    if (bb.bodySize() == 0)
+        return 0.0;
+    HoistPlan plan = computeHoistPlan(
+        bb, static_cast<unsigned>(bb.bodySize()));
+    return static_cast<double>(plan.indices.size()) /
+           static_cast<double>(plan.bodySize);
+}
+
+} // namespace vanguard

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hoist planning: which instructions of a successor block may legally
+ * be executed early (speculatively, above a branch resolution point).
+ *
+ * An instruction is hoistable out of a block when:
+ *   - it is not a terminator or a store (stores are never speculated;
+ *     the paper sinks them below the resolution point),
+ *   - it cannot fault, or is a load (loads become LD_S, the paper's
+ *     non-faulting speculative load),
+ *   - it is not a load that would move above an earlier (skipped)
+ *     store in the same block (no data-speculation recovery is
+ *     modeled, so we stay alias-conservative),
+ *   - its register sources are not defined by skipped instructions
+ *     (RAW), and its destination is neither read (WAR) nor written
+ *     (WAW) by skipped instructions it would jump over.
+ */
+
+#ifndef VANGUARD_COMPILER_HOIST_HH
+#define VANGUARD_COMPILER_HOIST_HH
+
+#include <vector>
+
+#include "ir/analysis.hh"
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct HoistPlan
+{
+    /** Body indices of hoistable instructions, in original order. */
+    std::vector<size_t> indices;
+
+    /** Body size scanned (terminator excluded). */
+    size_t bodySize = 0;
+
+    bool empty() const { return indices.empty(); }
+};
+
+/**
+ * Plan hoisting for the body of bb.
+ *
+ * @param bb        candidate successor block.
+ * @param max_hoist cap on the number of hoisted instructions.
+ */
+HoistPlan computeHoistPlan(const BasicBlock &bb, unsigned max_hoist);
+
+/**
+ * Fraction of a block's body instructions that are hoistable — the
+ * per-block ingredient of the paper's PHI metric (Table 2).
+ */
+double hoistableFraction(const BasicBlock &bb);
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_HOIST_HH

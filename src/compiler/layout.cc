@@ -1,0 +1,200 @@
+#include "compiler/layout.hh"
+
+#include <sstream>
+
+#include "exec/semantics.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (const auto &li : insts_) {
+        os << std::hex << "0x" << li.pc << std::dec << ":  "
+           << li.inst.toString();
+        if (li.inst.isBranch())
+            os << "   ; taken -> 0x" << std::hex << li.takenPc
+               << std::dec;
+        os << "\n";
+    }
+    return os.str();
+}
+
+Program
+linearize(const Function &fn)
+{
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "linearize: invalid function: %s",
+              err.c_str());
+
+    // Pass 1: choose a block order that honors fall-through edges.
+    size_t n = fn.numBlocks();
+    std::vector<bool> placed(n, false);
+    std::vector<BlockId> order;
+    order.reserve(n);
+
+    BlockId next_seed = 0;
+    BlockId cur = 0;
+    for (;;) {
+        placed[cur] = true;
+        order.push_back(cur);
+
+        const Instruction &term = fn.block(cur).terminator();
+        BlockId want = kNoBlock;
+        if (term.op == Opcode::BR || term.op == Opcode::PREDICT ||
+            term.op == Opcode::RESOLVE) {
+            want = term.fallTarget;
+        } else if (term.op == Opcode::JMP) {
+            want = term.takenTarget;
+        }
+        if (want != kNoBlock && !placed[want]) {
+            cur = want;
+            continue;
+        }
+        // Start a new chain at the lowest unplaced block.
+        while (next_seed < n && placed[next_seed])
+            ++next_seed;
+        if (next_seed >= n)
+            break;
+        cur = next_seed;
+    }
+
+    // Pass 2: emit instructions (indices only; addresses are linear).
+    // Layout-order position of each block, for adjacency tests.
+    std::vector<size_t> pos(n);
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+
+    Program prog;
+    prog.block_start_.assign(n, 0);
+
+    for (size_t i = 0; i < order.size(); ++i) {
+        BlockId b = order[i];
+        const BasicBlock &bb = fn.block(b);
+        prog.block_start_[b] = prog.insts_.size();
+        bool last_in_layout = (i + 1 == order.size());
+        BlockId next_block = last_in_layout ? kNoBlock : order[i + 1];
+
+        for (const Instruction &inst : bb.insts) {
+            if (inst.op == Opcode::JMP && inst.takenTarget == next_block)
+                continue; // fall-through; elide the jump
+            LaidInst li;
+            li.inst = inst;
+            li.srcBlock = b;
+            prog.insts_.push_back(li);
+
+            // A conditional fall-through that is not adjacent needs a
+            // synthesized unconditional jump after the branch.
+            if ((inst.op == Opcode::BR || inst.op == Opcode::PREDICT ||
+                 inst.op == Opcode::RESOLVE) &&
+                inst.fallTarget != next_block) {
+                LaidInst jmp;
+                jmp.inst.op = Opcode::JMP;
+                jmp.inst.id = kNoInst;
+                jmp.inst.takenTarget = inst.fallTarget;
+                jmp.srcBlock = b;
+                prog.insts_.push_back(jmp);
+            }
+        }
+    }
+
+    // Pass 3: resolve target addresses.
+    for (size_t i = 0; i < prog.insts_.size(); ++i) {
+        LaidInst &li = prog.insts_[i];
+        li.pc = kCodeBase + i * kInstBytes;
+        if (li.inst.isBranch()) {
+            li.takenPc = kCodeBase +
+                         prog.block_start_[li.inst.takenTarget] *
+                             kInstBytes;
+        }
+    }
+    return prog;
+}
+
+ProgramExecutor::ProgramExecutor(const Program &prog, Memory &mem)
+    : prog_(prog), mem_(mem)
+{
+    predict_hook_ = [](const LaidInst &) { return false; };
+}
+
+void
+ProgramExecutor::setPredictHook(PredictHook hook)
+{
+    vg_assert(hook != nullptr);
+    predict_hook_ = std::move(hook);
+}
+
+ProgramExecutor::StepInfo
+ProgramExecutor::step()
+{
+    StepInfo info;
+    if (halted_) {
+        info.halted = true;
+        return info;
+    }
+
+    size_t index = prog_.indexOf(pc_);
+    vg_assert(index < prog_.size(), "pc 0x%llx out of program",
+              static_cast<unsigned long long>(pc_));
+    const LaidInst &li = prog_.at(index);
+    info.inst = &li;
+
+    switch (li.inst.op) {
+      case Opcode::HALT:
+        halted_ = true;
+        info.halted = true;
+        return info;
+      case Opcode::JMP:
+        pc_ = li.takenPc;
+        info.taken = true;
+        return info;
+      case Opcode::PREDICT: {
+        bool dir = predict_hook_(li);
+        info.taken = dir;
+        pc_ = dir ? li.takenPc : pc_ + kInstBytes;
+        return info;
+      }
+      case Opcode::BR:
+      case Opcode::RESOLVE: {
+        OpResult r = evaluate(li.inst, regs_, mem_);
+        info.taken = r.taken;
+        pc_ = r.taken ? li.takenPc : pc_ + kInstBytes;
+        return info;
+      }
+      default:
+        break;
+    }
+
+    OpResult r = evaluate(li.inst, regs_, mem_);
+    info.memAddr = r.memAddr;
+    if (r.fault) {
+        faulted_ = true;
+        halted_ = true;
+        info.fault = true;
+        return info;
+    }
+    if (r.isStore) {
+        mem_.write64(r.memAddr, r.storeValue);
+        if (record_stores_)
+            store_log_.emplace_back(r.memAddr, r.storeValue);
+    } else if (li.inst.writesDst()) {
+        regs_[li.inst.dst] = r.value;
+    }
+    pc_ += kInstBytes;
+    return info;
+}
+
+uint64_t
+ProgramExecutor::run(uint64_t max_insts)
+{
+    uint64_t executed = 0;
+    while (!halted_ && executed < max_insts) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace vanguard

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Code layout: linearize a Function's CFG into an addressed instruction
+ * stream (the form the timing simulator fetches). Layout is where the
+ * transformation's code-size side effects (paper Sec. 6.1, PISCS)
+ * become real: every instruction occupies 4 bytes of I-cache-visible
+ * address space.
+ *
+ * The linearizer chains blocks following fall-through edges so that
+ * BR/PREDICT/RESOLVE not-taken paths are adjacent, inserts JMPs where a
+ * required fall-through could not be honored, and elides JMPs whose
+ * target ends up adjacent anyway.
+ */
+
+#ifndef VANGUARD_COMPILER_LAYOUT_HH
+#define VANGUARD_COMPILER_LAYOUT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/memory.hh"
+#include "ir/function.hh"
+
+namespace vanguard {
+
+inline constexpr uint64_t kCodeBase = 0x10000;
+inline constexpr unsigned kInstBytes = 4;
+
+/** One laid-out instruction with resolved control-flow addresses. */
+struct LaidInst
+{
+    Instruction inst;
+    uint64_t pc = 0;
+    uint64_t takenPc = 0;   ///< target address for taken control flow
+    BlockId srcBlock = kNoBlock;
+};
+
+/** An addressed program: contiguous instructions from kCodeBase. */
+class Program
+{
+  public:
+    const LaidInst &at(size_t index) const { return insts_[index]; }
+    size_t size() const { return insts_.size(); }
+
+    size_t
+    indexOf(uint64_t pc) const
+    {
+        return static_cast<size_t>((pc - kCodeBase) / kInstBytes);
+    }
+
+    uint64_t codeBytes() const { return size() * kInstBytes; }
+
+    /** Index of the first instruction of a block (layout order). */
+    size_t blockStart(BlockId b) const { return block_start_[b]; }
+
+    std::string toString() const;
+
+    friend Program linearize(const Function &fn);
+
+  private:
+    std::vector<LaidInst> insts_;
+    std::vector<size_t> block_start_;
+};
+
+/** Lay out fn; requires fn.verify() to pass. */
+Program linearize(const Function &fn);
+
+/**
+ * Functional executor over a laid-out Program — the post-layout golden
+ * model, used to validate the linearizer against the CFG interpreter
+ * and reused (stepwise) by the timing simulator.
+ */
+class ProgramExecutor
+{
+  public:
+    /** Everything the caller learns from one executed instruction. */
+    struct StepInfo
+    {
+        const LaidInst *inst = nullptr;
+        bool taken = false;         ///< control left fall-through path
+        bool halted = false;
+        bool fault = false;
+        uint64_t memAddr = 0;       ///< valid for loads/stores
+    };
+
+    using PredictHook = std::function<bool(const LaidInst &)>;
+
+    ProgramExecutor(const Program &prog, Memory &mem);
+
+    /** Decide PREDICT directions; default always predicts not-taken. */
+    void setPredictHook(PredictHook hook);
+
+    int64_t reg(RegId r) const { return regs_[r]; }
+    void setReg(RegId r, int64_t v) { regs_[r] = v; }
+    const int64_t *regs() const { return regs_; }
+
+    bool halted() const { return halted_; }
+    uint64_t pc() const { return pc_; }
+
+    /** Execute one instruction, updating architectural state. */
+    StepInfo step();
+
+    /** Run to completion (HALT/fault/limit); returns executed count. */
+    uint64_t run(uint64_t max_insts = 100'000'000);
+
+    /** Committed (addr, value) store stream, if recording. */
+    void recordStores(bool enable) { record_stores_ = enable; }
+
+    const std::vector<std::pair<uint64_t, int64_t>> &
+    storeLog() const
+    {
+        return store_log_;
+    }
+
+    bool faulted() const { return faulted_; }
+
+  private:
+    const Program &prog_;
+    Memory &mem_;
+    int64_t regs_[kNumRegs] = {};
+    uint64_t pc_ = kCodeBase;
+    bool halted_ = false;
+    bool faulted_ = false;
+    PredictHook predict_hook_;
+    bool record_stores_ = false;
+    std::vector<std::pair<uint64_t, int64_t>> store_log_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_LAYOUT_HH

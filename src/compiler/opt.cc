@@ -1,0 +1,137 @@
+#include "compiler/opt.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "exec/memory.hh"
+#include "exec/semantics.hh"
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** Ops whose only effect is their register result. */
+bool
+removable(const Instruction &inst, bool aggressive)
+{
+    if (!inst.writesDst() || inst.isTerminator() || inst.isStore())
+        return false;
+    if (opcodeCanFault(inst.op) && !aggressive)
+        return false; // removing could hide a fault
+    return true;
+}
+
+} // namespace
+
+unsigned
+deadCodeElimination(Function &fn, bool aggressive)
+{
+    unsigned removed_total = 0;
+    for (;;) {
+        Liveness live(fn);
+        unsigned removed = 0;
+        for (auto &bb : fn.blocks()) {
+            RegSet live_after = live.liveOut(bb.id);
+            // Walk backward, rebuilding the block without dead defs.
+            std::vector<Instruction> kept;
+            kept.reserve(bb.insts.size());
+            for (size_t k = bb.insts.size(); k > 0; --k) {
+                const Instruction &inst = bb.insts[k - 1];
+                bool dead = removable(inst, aggressive) &&
+                            !live_after.test(inst.dst);
+                if (dead) {
+                    ++removed;
+                    continue;
+                }
+                live_after &= ~instDefs(inst);
+                live_after |= instUses(inst);
+                kept.push_back(inst);
+            }
+            std::reverse(kept.begin(), kept.end());
+            bb.insts = std::move(kept);
+        }
+        removed_total += removed;
+        if (removed == 0)
+            break;
+    }
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "DCE broke the CFG: %s", err.c_str());
+    return removed_total;
+}
+
+unsigned
+constantFolding(Function &fn)
+{
+    unsigned folded = 0;
+    // Tiny dummy memory: evaluate() only touches it for memory ops,
+    // which we never fold.
+    Memory dummy(8);
+
+    for (auto &bb : fn.blocks()) {
+        // Known-constant register values within this block.
+        std::optional<int64_t> known[kNumRegs];
+
+        for (auto &inst : bb.insts) {
+            // Try folding pure ALU/compare/select ops whose inputs are
+            // all known.
+            bool pure = inst.writesDst() && !inst.isMemRef() &&
+                        !inst.isTerminator() &&
+                        inst.op != Opcode::MOVI &&
+                        !opcodeCanFault(inst.op);
+            if (pure) {
+                bool inputs_known = true;
+                int64_t regs[kNumRegs] = {};
+                for (RegId src : {inst.src1, inst.src2, inst.src3}) {
+                    if (src == kNoReg)
+                        continue;
+                    if (known[src].has_value())
+                        regs[src] = *known[src];
+                    else
+                        inputs_known = false;
+                }
+                if (inputs_known) {
+                    OpResult r = evaluate(inst, regs, dummy);
+                    RegId dst = inst.dst;
+                    inst = Instruction{};
+                    inst.op = Opcode::MOVI;
+                    inst.id = fn.nextInstId();
+                    inst.dst = dst;
+                    inst.imm = r.value;
+                    ++folded;
+                }
+            }
+
+            // Update the constant map.
+            if (inst.op == Opcode::MOVI) {
+                known[inst.dst] = inst.imm;
+            } else if (inst.op == Opcode::MOV &&
+                       known[inst.src1].has_value()) {
+                known[inst.dst] = known[inst.src1];
+            } else if (inst.writesDst()) {
+                known[inst.dst].reset();
+            }
+        }
+    }
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "folding broke the CFG: %s", err.c_str());
+    return folded;
+}
+
+OptStats
+optimize(Function &fn, bool aggressive_dce)
+{
+    OptStats stats;
+    for (;;) {
+        unsigned folded = constantFolding(fn);
+        unsigned removed = deadCodeElimination(fn, aggressive_dce);
+        stats.instsFolded += folded;
+        stats.instsRemoved += removed;
+        if (folded == 0 && removed == 0)
+            break;
+    }
+    return stats;
+}
+
+} // namespace vanguard

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Scalar optimization passes run before scheduling:
+ *
+ * - deadCodeElimination: removes instructions whose results are never
+ *   used (global liveness-based, iterated to a fixed point). Loads
+ *   can be removed (no fault can be observed earlier than the load
+ *   itself would have faulted... they can fault — only LD_S and
+ *   non-faulting ops are removed unless `aggressive`); stores,
+ *   terminators, and anything with observable effects stay.
+ * - constantFolding: forward-propagates constants within each block
+ *   (MOVI/MOV chains, ALU on constants) and folds computable results
+ *   into MOVIs, shortening dependence chains ahead of the scheduler.
+ *
+ * Both preserve architectural semantics exactly (property-tested).
+ */
+
+#ifndef VANGUARD_COMPILER_OPT_HH
+#define VANGUARD_COMPILER_OPT_HH
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct OptStats
+{
+    unsigned instsRemoved = 0;
+    unsigned instsFolded = 0;
+};
+
+/**
+ * Remove dead (unused-result) instructions.
+ *
+ * @param aggressive also remove dead faulting ops (LD/DIV) — changes
+ *        fault behaviour but never architectural results of
+ *        non-faulting runs.
+ */
+unsigned deadCodeElimination(Function &fn, bool aggressive = false);
+
+/** Per-block constant propagation and folding. */
+unsigned constantFolding(Function &fn);
+
+/** Both passes to a fixed point. */
+OptStats optimize(Function &fn, bool aggressive_dce = false);
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_OPT_HH

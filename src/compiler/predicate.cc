@@ -1,0 +1,183 @@
+#include "compiler/predicate.hh"
+
+#include <map>
+#include <optional>
+
+#include "compiler/decompose.hh" // freeTempPool
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** A hammock side eligible for predication. */
+struct Side
+{
+    BlockId block = kNoBlock;
+    BlockId join = kNoBlock;
+};
+
+/** Check whether a side block can execute unconditionally. */
+bool
+sideEligible(const Function &fn, BlockId b, unsigned max_insts,
+             const std::vector<std::vector<BlockId>> &preds)
+{
+    const BasicBlock &bb = fn.block(b);
+    if (bb.bodySize() > max_insts)
+        return false;
+    if (preds[b].size() != 1)
+        return false;
+    if (bb.terminator().op != Opcode::JMP)
+        return false;
+    for (size_t i = 0; i < bb.bodySize(); ++i) {
+        const Instruction &inst = bb.insts[i];
+        if (inst.isStore() || inst.op == Opcode::DIV)
+            return false;
+        if (!inst.writesDst())
+            return false; // NOP etc. — just bail, keep it simple
+    }
+    return true;
+}
+
+/** Clone a side's body, renaming defs to temps. Returns the final
+ *  temp (or original reg) holding each architectural def. */
+std::vector<Instruction>
+cloneSide(Function &fn, const BasicBlock &side,
+          const std::vector<RegId> &pool, size_t &next_temp,
+          std::map<RegId, RegId> &finals)
+{
+    std::vector<Instruction> out;
+    std::map<RegId, RegId> rename;
+    for (size_t i = 0; i < side.bodySize(); ++i) {
+        if (next_temp >= pool.size())
+            return {}; // out of temps; caller aborts this hammock
+        Instruction copy = side.insts[i];
+        copy.id = fn.nextInstId();
+        for (RegId *src : {&copy.src1, &copy.src2, &copy.src3}) {
+            auto it = *src == kNoReg ? rename.end() : rename.find(*src);
+            if (it != rename.end())
+                *src = it->second;
+        }
+        RegId temp = pool[next_temp++];
+        rename[copy.dst] = temp;
+        finals[copy.dst] = temp;
+        copy.dst = temp;
+        if (copy.op == Opcode::LD)
+            copy.op = Opcode::LD_S;
+        out.push_back(copy);
+    }
+    return out;
+}
+
+} // namespace
+
+PredicationStats
+ifConvertBranches(Function &fn, const std::vector<InstId> &branches,
+                  const PredicationOptions &opts)
+{
+    PredicationStats stats;
+    std::vector<RegId> pool = freeTempPool(fn);
+
+    for (InstId branch : branches) {
+        auto preds = fn.predecessors();
+
+        BlockId a_id = kNoBlock;
+        for (const auto &bb : fn.blocks()) {
+            if (bb.hasTerminator() && bb.terminator().id == branch &&
+                bb.terminator().op == Opcode::BR) {
+                a_id = bb.id;
+                break;
+            }
+        }
+        if (a_id == kNoBlock)
+            continue;
+
+        Instruction br = fn.block(a_id).terminator();
+        BlockId t_id = br.takenTarget;
+        BlockId f_id = br.fallTarget;
+        if (t_id == f_id || t_id == a_id || f_id == a_id)
+            continue;
+
+        bool t_ok = sideEligible(fn, t_id, opts.maxSideInsts, preds);
+        bool f_ok = sideEligible(fn, f_id, opts.maxSideInsts, preds);
+
+        BlockId join = kNoBlock;
+        bool diamond = false;
+        if (t_ok && f_ok &&
+            fn.block(t_id).terminator().takenTarget ==
+                fn.block(f_id).terminator().takenTarget) {
+            join = fn.block(t_id).terminator().takenTarget;
+            diamond = true;
+        } else if (t_ok &&
+                   fn.block(t_id).terminator().takenTarget == f_id) {
+            join = f_id; // triangle: taken side only
+        } else {
+            continue;
+        }
+        // The join must be a genuinely distinct continuation (for a
+        // triangle the join IS the fall-through block, which is fine).
+        if (join == a_id || join == t_id ||
+            (diamond && join == f_id)) {
+            continue;
+        }
+
+        size_t next_temp = 0;
+        std::map<RegId, RegId> t_finals, f_finals;
+        std::vector<Instruction> t_code =
+            cloneSide(fn, fn.block(t_id), pool, next_temp, t_finals);
+        if (t_code.empty() && fn.block(t_id).bodySize() > 0)
+            continue; // temp exhaustion
+        std::vector<Instruction> f_code;
+        if (diamond) {
+            f_code = cloneSide(fn, fn.block(f_id), pool, next_temp,
+                               f_finals);
+            if (f_code.empty() && fn.block(f_id).bodySize() > 0)
+                continue;
+        }
+
+        // Rewrite A: body + both sides + SELECT merges + JMP join.
+        BasicBlock &a = fn.block(a_id);
+        a.insts.pop_back(); // drop the BR
+        for (auto &inst : t_code)
+            a.insts.push_back(inst);
+        for (auto &inst : f_code)
+            a.insts.push_back(inst);
+
+        std::map<RegId, std::pair<RegId, RegId>> merges;
+        for (auto [arch, temp] : t_finals)
+            merges[arch] = {temp, arch};
+        for (auto [arch, temp] : f_finals) {
+            auto it = merges.find(arch);
+            if (it != merges.end())
+                it->second.second = temp;
+            else
+                merges[arch] = {arch, temp};
+        }
+        for (auto &[arch, pair] : merges) {
+            Instruction sel;
+            sel.op = Opcode::SELECT;
+            sel.id = fn.nextInstId();
+            sel.dst = arch;
+            sel.src1 = br.src1;
+            sel.src2 = pair.first;   // value if condition true (taken)
+            sel.src3 = pair.second;  // value if condition false
+            a.insts.push_back(sel);
+            ++stats.selectsInserted;
+        }
+
+        Instruction jmp;
+        jmp.op = Opcode::JMP;
+        jmp.id = fn.nextInstId();
+        jmp.takenTarget = join;
+        a.insts.push_back(jmp);
+        ++stats.converted;
+    }
+
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "if-conversion broke the CFG: %s",
+              err.c_str());
+    return stats;
+}
+
+} // namespace vanguard

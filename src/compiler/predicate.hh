@@ -1,0 +1,43 @@
+/**
+ * @file
+ * If-conversion (predication) of simple hammocks — the classic answer
+ * for the *unbiased, unpredictable* quadrant of the paper's Figure 1,
+ * implemented as a comparison baseline for the abl_vs_predication
+ * benchmark.
+ *
+ * Diamonds (A -> {T, F} -> J) and triangles (A -> {T, J}) whose sides
+ * are small, store-free, and fault-free (loads become LD_S) are
+ * converted to straight-line code: both sides execute into temp
+ * registers and SELECTs merge the results — converting the control
+ * dependence into a data dependence.
+ */
+
+#ifndef VANGUARD_COMPILER_PREDICATE_HH
+#define VANGUARD_COMPILER_PREDICATE_HH
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct PredicationOptions
+{
+    unsigned maxSideInsts = 6;  ///< max body size of each hammock side
+};
+
+struct PredicationStats
+{
+    unsigned converted = 0;
+    uint64_t selectsInserted = 0;
+};
+
+/**
+ * If-convert every eligible hammock whose branch id is in `branches`
+ * (pass all branch ids to convert everything convertible).
+ */
+PredicationStats ifConvertBranches(Function &fn,
+                                   const std::vector<InstId> &branches,
+                                   const PredicationOptions &opts = {});
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_PREDICATE_HH

@@ -1,0 +1,68 @@
+#include "compiler/select.hh"
+
+#include <algorithm>
+
+namespace vanguard {
+
+std::vector<InstId>
+selectBranches(const Function &fn, const BranchProfile &profile,
+               const SelectionOptions &opts)
+{
+    std::vector<const BranchStats *> candidates;
+    for (const auto &[id, bs] : profile.all()) {
+        if (bs.execs < opts.minExecs)
+            continue;
+        if (opts.forwardOnly && !bs.forward)
+            continue;
+        if (bs.predictability() < opts.minPredictability)
+            continue;
+        if (bs.exposedPredictability() < opts.minExposed)
+            continue;
+
+        // The branch must still exist as a BR whose successors form a
+        // decomposable shape (distinct, non-self successors).
+        bool shape_ok = false;
+        for (const auto &bb : fn.blocks()) {
+            if (bb.hasTerminator() && bb.terminator().id == id &&
+                bb.terminator().op == Opcode::BR) {
+                const Instruction &br = bb.terminator();
+                shape_ok = br.takenTarget != br.fallTarget &&
+                           br.takenTarget != bb.id &&
+                           br.fallTarget != bb.id;
+                break;
+            }
+        }
+        if (!shape_ok)
+            continue;
+        candidates.push_back(&bs);
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const BranchStats *a, const BranchStats *b) {
+                  if (a->execs != b->execs)
+                      return a->execs > b->execs;
+                  return a->branch < b->branch;
+              });
+
+    std::vector<InstId> out;
+    out.reserve(candidates.size());
+    for (const BranchStats *bs : candidates)
+        out.push_back(bs->branch);
+    return out;
+}
+
+double
+convertedBranchFraction(const BranchProfile &profile,
+                        const std::vector<InstId> &selected)
+{
+    size_t forward_static = 0;
+    for (const auto &[id, bs] : profile.all())
+        if (bs.forward)
+            ++forward_static;
+    if (forward_static == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(selected.size()) /
+           static_cast<double>(forward_static);
+}
+
+} // namespace vanguard

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Profile-guided branch selection for the Decomposed Branch
+ * Transformation. The paper's heuristic (Sec. 5): transform forward
+ * branches whose predictability exceeds bias by at least 5%.
+ */
+
+#ifndef VANGUARD_COMPILER_SELECT_HH
+#define VANGUARD_COMPILER_SELECT_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+#include "profile/branch_profile.hh"
+
+namespace vanguard {
+
+struct SelectionOptions
+{
+    /** predictability - bias threshold ("at least 5%"). */
+    double minExposed = 0.05;
+
+    /** Ignore branches colder than this dynamic count. */
+    uint64_t minExecs = 64;
+
+    /** Don't convert hopelessly unpredictable branches: the resolve
+     *  would redirect too often and eat the gains. */
+    double minPredictability = 0.70;
+
+    /** Backward (loop) branches are handled by classic loop
+     *  transformations, not decomposition (paper footnote 1). */
+    bool forwardOnly = true;
+};
+
+/**
+ * Rank-and-filter the profiled branches, returning the InstIds to
+ * convert in descending execution-count order.
+ */
+std::vector<InstId> selectBranches(const Function &fn,
+                                   const BranchProfile &profile,
+                                   const SelectionOptions &opts = {});
+
+/** Fraction of profiled *forward static* branches selected (PBC). */
+double convertedBranchFraction(const BranchProfile &profile,
+                               const std::vector<InstId> &selected);
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_SELECT_HH

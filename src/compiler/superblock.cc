@@ -1,0 +1,105 @@
+#include "compiler/superblock.hh"
+
+#include "compiler/hoist.hh"
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+SuperblockStats
+hoistAboveBiasedBranches(Function &fn, const BranchProfile &profile,
+                         const SuperblockOptions &opts)
+{
+    SuperblockStats stats;
+    auto preds = fn.predecessors();
+    Liveness live(fn);
+
+    for (auto &a : fn.blocks()) {
+        if (!a.hasTerminator() || a.terminator().op != Opcode::BR)
+            continue;
+        const Instruction &br = a.terminator();
+        const BranchStats *bs = profile.find(br.id);
+        if (!bs || bs->execs < opts.minExecs ||
+            bs->bias() < opts.biasThreshold) {
+            continue;
+        }
+
+        bool likely_taken = bs->taken * 2 > bs->execs;
+        BlockId s_id = likely_taken ? br.takenTarget : br.fallTarget;
+        BlockId o_id = likely_taken ? br.fallTarget : br.takenTarget;
+        if (s_id == o_id || s_id == a.id)
+            continue;
+        if (preds[s_id].size() != 1)
+            continue; // other entries would miss the hoisted code
+
+        BasicBlock &s = fn.block(s_id);
+        HoistPlan plan = computeHoistPlan(s, opts.maxHoist);
+        if (plan.empty())
+            continue;
+
+        const RegSet &other_live = live.liveIn(o_id);
+
+        // Filter: safe without renaming only if the destination is
+        // dead on the other path and unused by the branch itself.
+        // Rejecting a plan member also invalidates later members that
+        // would jump over it, so re-run the RAW/WAR/WAW checks against
+        // the accumulated rejected set.
+        std::vector<size_t> final_pick;
+        RegSet rejected_defs;
+        RegSet rejected_uses;
+        for (size_t idx : plan.indices) {
+            const Instruction &inst = s.insts[idx];
+            vg_assert(inst.writesDst());
+            RegSet defs = instDefs(inst);
+            bool ok = !other_live.test(inst.dst) &&
+                      inst.dst != br.src1 &&
+                      (instUses(inst) & rejected_defs).none() &&  // RAW
+                      (defs & rejected_uses).none() &&            // WAR
+                      (defs & rejected_defs).none();              // WAW
+            if (ok) {
+                final_pick.push_back(idx);
+            } else {
+                rejected_defs |= defs;
+                rejected_uses |= instUses(inst);
+            }
+        }
+        if (final_pick.empty())
+            continue;
+
+        // Move the chosen instructions to the end of A's body.
+        std::vector<bool> moved(s.insts.size(), false);
+        for (size_t idx : final_pick)
+            moved[idx] = true;
+
+        std::vector<Instruction> hoisted;
+        std::vector<Instruction> remaining;
+        for (size_t i = 0; i < s.insts.size(); ++i) {
+            if (moved[i]) {
+                Instruction inst = s.insts[i];
+                if (inst.op == Opcode::LD)
+                    inst.op = Opcode::LD_S; // speculative on other path
+                hoisted.push_back(inst);
+            } else {
+                remaining.push_back(s.insts[i]);
+            }
+        }
+        s.insts = std::move(remaining);
+
+        auto &a_insts = a.insts;
+        a_insts.insert(a_insts.end() - 1, hoisted.begin(),
+                       hoisted.end());
+
+        ++stats.branchesSpeculated;
+        stats.instsHoisted += hoisted.size();
+
+        // Liveness changed; refresh for subsequent branches.
+        live = Liveness(fn);
+    }
+
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "superblock pass broke the CFG: %s",
+              err.c_str());
+    return stats;
+}
+
+} // namespace vanguard

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Superblock-style speculation for *highly biased* branches — the
+ * upper-left quadrant of the paper's Figure 1 taxonomy, which both the
+ * baseline and the experimental configuration receive (it is part of
+ * any -O3+PGO-class code generator). Complements decomposition, which
+ * targets the predictable-but-unbiased quadrant.
+ *
+ * The pass hoists instructions from a branch's dominant successor
+ * above the branch when it is safe without compensation code:
+ * destination dead on the other path, no faults (loads become LD_S),
+ * the successor has no other predecessors, and no dependence on
+ * skipped instructions.
+ */
+
+#ifndef VANGUARD_COMPILER_SUPERBLOCK_HH
+#define VANGUARD_COMPILER_SUPERBLOCK_HH
+
+#include "ir/function.hh"
+#include "profile/branch_profile.hh"
+
+namespace vanguard {
+
+struct SuperblockOptions
+{
+    double biasThreshold = 0.95;    ///< minimum bias to speculate over
+    uint64_t minExecs = 64;
+    unsigned maxHoist = 8;
+};
+
+struct SuperblockStats
+{
+    unsigned branchesSpeculated = 0;
+    uint64_t instsHoisted = 0;
+};
+
+/** Apply biased-branch speculation across fn. */
+SuperblockStats hoistAboveBiasedBranches(
+    Function &fn, const BranchProfile &profile,
+    const SuperblockOptions &opts = {});
+
+} // namespace vanguard
+
+#endif // VANGUARD_COMPILER_SUPERBLOCK_HH

@@ -1,0 +1,81 @@
+#include "core/experiment.hh"
+
+#include <cstdio>
+
+#include "support/stats.hh"
+
+namespace vanguard {
+
+double
+geomeanPct(const std::vector<double> &pcts)
+{
+    std::vector<double> ratios;
+    ratios.reserve(pcts.size());
+    for (double p : pcts)
+        ratios.push_back(1.0 + p / 100.0);
+    return (geomean(ratios) - 1.0) * 100.0;
+}
+
+SuiteResult
+runSuite(const std::vector<BenchmarkSpec> &suite,
+         const VanguardOptions &opts, bool verbose)
+{
+    SuiteResult result;
+    std::vector<double> means;
+    std::vector<double> bests;
+    for (const auto &spec : suite) {
+        SeedSummary summary = evaluateBenchmarkAllRefs(spec, opts);
+        if (verbose) {
+            std::fprintf(stderr, "  %-18s mean %+6.1f%%  best %+6.1f%%\n",
+                         summary.name.c_str(), summary.meanSpeedupPct,
+                         summary.bestSpeedupPct);
+        }
+        means.push_back(summary.meanSpeedupPct);
+        bests.push_back(summary.bestSpeedupPct);
+        result.rows.push_back(std::move(summary));
+    }
+    result.geomeanMeanPct = geomeanPct(means);
+    result.geomeanBestPct = geomeanPct(bests);
+    return result;
+}
+
+std::string
+renderSpeedupFigure(const std::string &title,
+                    const std::vector<BenchmarkSpec> &suite,
+                    const std::vector<unsigned> &widths,
+                    const VanguardOptions &base, bool best_input)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (unsigned w : widths)
+        headers.push_back(std::to_string(w) + "-wide %");
+    TablePrinter table(std::move(headers));
+
+    std::vector<SuiteResult> per_width;
+    for (unsigned w : widths) {
+        VanguardOptions opts = base;
+        opts.width = w;
+        std::fprintf(stderr, "[%s] width %u...\n", title.c_str(), w);
+        per_width.push_back(runSuite(suite, opts));
+    }
+
+    for (size_t b = 0; b < suite.size(); ++b) {
+        std::vector<std::string> cells = {suite[b].name};
+        for (size_t w = 0; w < widths.size(); ++w) {
+            const SeedSummary &row = per_width[w].rows[b];
+            cells.push_back(TablePrinter::fmt(
+                best_input ? row.bestSpeedupPct : row.meanSpeedupPct));
+        }
+        table.addRow(std::move(cells));
+    }
+    std::vector<std::string> geo = {"GEOMEAN"};
+    for (size_t w = 0; w < widths.size(); ++w) {
+        geo.push_back(TablePrinter::fmt(
+            best_input ? per_width[w].geomeanBestPct
+                       : per_width[w].geomeanMeanPct));
+    }
+    table.addRow(std::move(geo));
+
+    return title + "\n" + table.render();
+}
+
+} // namespace vanguard

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Top-level Branch Vanguard API: the paper's full methodology for one
+ * benchmark — profile on the TRAIN input, select and decompose
+ * branches, schedule and lay out both configurations, and simulate on
+ * REF inputs — plus the Table-2 metric computations.
+ */
+
+#ifndef VANGUARD_CORE_VANGUARD_HH
+#define VANGUARD_CORE_VANGUARD_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/decompose.hh"
+#include "compiler/select.hh"
+#include "compiler/superblock.hh"
+#include "profile/branch_profile.hh"
+#include "uarch/config.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/kernel.hh"
+
+namespace vanguard {
+
+struct VanguardOptions
+{
+    unsigned width = 4;
+    std::string predictor = "gshare3";
+    bool applySuperblock = true;    ///< biased-branch pass (both configs)
+    bool applyDecomposition = true; ///< experimental config only
+    bool shadowCommit = true;
+    unsigned dbbEntries = 16;
+    unsigned l1iSizeKB = 32;        ///< Sec. 6.1 I$ capacity knob
+    bool icachePrefetch = false;    ///< next-line I$ prefetch ablation
+
+    SelectionOptions selection{};
+    DecomposeOptions decompose{};
+    SuperblockOptions superblock{};
+
+    uint64_t profileMaxInsts = 100'000'000;
+    uint64_t simMaxInsts = 100'000'000;
+
+    MachineConfig machine() const;
+};
+
+/** One compiled configuration of a benchmark. */
+struct CompiledConfig
+{
+    Program prog;
+    std::vector<bool> hoistedMask;  ///< by InstId; empty for baseline
+    size_t staticInsts = 0;         ///< laid-out size
+    bool decomposed = false;
+};
+
+/** Everything measured for one (benchmark, ref-input, width) triple. */
+struct BenchmarkOutcome
+{
+    std::string name;
+    SimStats base;
+    SimStats exp;
+    double speedupPct = 0.0;
+
+    // Compile-side facts (identical across ref inputs).
+    size_t selectedBranches = 0;
+    size_t baseStaticInsts = 0;
+    size_t expStaticInsts = 0;
+
+    // Table 2 metrics.
+    double pbc = 0.0;       ///< % static forward branches converted
+    double pdih = 0.0;      ///< % dynamic insts hoisted above conv. branch
+    double alpbb = 0.0;     ///< avg loads per basic block
+    double aspcb = 0.0;     ///< avg stall cycles per converted branch
+    double phi = 0.0;       ///< % hoistable insts in successor blocks
+    double mppkiBase = 0.0; ///< baseline mispredicts / kinst
+    double piscs = 0.0;     ///< % increase in static code size
+    double issuedIncreasePct = 0.0; ///< Fig. 14 quantity
+};
+
+/**
+ * Profile the benchmark on the TRAIN input with the configured
+ * predictor model and return the profile plus the selected branches.
+ */
+struct TrainArtifacts
+{
+    BranchProfile profile;
+    std::vector<InstId> selected;
+};
+
+TrainArtifacts trainBenchmark(const BenchmarkSpec &spec,
+                              const VanguardOptions &opts);
+
+/**
+ * Compile one configuration of the benchmark (the IR pipeline:
+ * superblock pass, optional decomposition, list scheduling, layout).
+ * The returned program is seed-independent; pair it with any REF
+ * input's memory image.
+ */
+CompiledConfig compileConfig(const BenchmarkSpec &spec,
+                             const TrainArtifacts &train,
+                             bool decomposed,
+                             const VanguardOptions &opts,
+                             DecomposeStats *dstats_out = nullptr);
+
+/** Full evaluation for one REF input: baseline vs experimental. */
+BenchmarkOutcome evaluateBenchmark(const BenchmarkSpec &spec,
+                                   const VanguardOptions &opts,
+                                   uint64_t ref_seed);
+
+/** Averages across REF inputs (paper Figs. 8/10/12/13 vs 9/11). */
+struct SeedSummary
+{
+    std::string name;
+    double meanSpeedupPct = 0.0;   ///< geomean over REF inputs
+    double bestSpeedupPct = 0.0;   ///< best single REF input
+    std::vector<BenchmarkOutcome> perSeed;
+};
+
+SeedSummary evaluateBenchmarkAllRefs(const BenchmarkSpec &spec,
+                                     const VanguardOptions &opts);
+
+/** Simulate a compiled configuration on one REF input. */
+SimStats simulateConfig(const BenchmarkSpec &spec,
+                        const CompiledConfig &config,
+                        const VanguardOptions &opts, uint64_t ref_seed,
+                        bool collect_branch_stalls = false);
+
+} // namespace vanguard
+
+#endif // VANGUARD_CORE_VANGUARD_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional interpreter — the golden model.
+ *
+ * Executes a Function over a Memory with architectural (untimed)
+ * semantics. Three uses:
+ *   1. correctness oracle: transformed code must produce the same final
+ *      registers/memory/store stream as the original, for *any* answer
+ *      the PREDICT oracle gives;
+ *   2. profiling substrate: the profiler hooks branch execution to
+ *      measure bias and (with a software predictor model) predictability;
+ *   3. workload validation in tests.
+ */
+
+#ifndef VANGUARD_EXEC_INTERPRETER_HH
+#define VANGUARD_EXEC_INTERPRETER_HH
+
+#include <functional>
+#include <vector>
+
+#include "exec/memory.hh"
+#include "exec/semantics.hh"
+#include "ir/function.hh"
+
+namespace vanguard {
+
+/** Termination status of a functional run. */
+enum class RunStatus
+{
+    Halted,     ///< reached HALT
+    Fault,      ///< memory fault or integer divide-by-zero
+    InstLimit,  ///< exceeded the dynamic instruction budget
+};
+
+struct RunResult
+{
+    RunStatus status = RunStatus::Halted;
+    uint64_t dynamicInsts = 0;
+    uint64_t dynamicBranches = 0;   ///< dynamic BR executions
+    InstId faultingInst = kNoInst;
+};
+
+class Interpreter
+{
+  public:
+    /** Oracle deciding PREDICT directions; the default predicts
+     *  not-taken. Correctness tests sweep oracles. */
+    using PredictOracle = std::function<bool(const Instruction &)>;
+
+    /** Hook invoked for every executed BR with its outcome. */
+    using BranchHook = std::function<void(const Instruction &, bool)>;
+
+    /** Hook invoked for every executed instruction. */
+    using InstHook = std::function<void(const Instruction &, BlockId)>;
+
+    Interpreter(const Function &fn, Memory &mem);
+
+    void setPredictOracle(PredictOracle oracle);
+    void setBranchHook(BranchHook hook) { branch_hook_ = std::move(hook); }
+    void setInstHook(InstHook hook) { inst_hook_ = std::move(hook); }
+
+    /** Record every committed store (addr, value) for stream compare. */
+    void recordStores(bool enable) { record_stores_ = enable; }
+
+    const std::vector<std::pair<uint64_t, int64_t>> &
+    storeLog() const
+    {
+        return store_log_;
+    }
+
+    int64_t reg(RegId r) const;
+    void setReg(RegId r, int64_t value);
+    const int64_t *regs() const { return regs_; }
+
+    /** Reset control state (registers preserved) to the entry block. */
+    void restart();
+
+    /** Run until HALT, fault, or the dynamic instruction limit. */
+    RunResult run(uint64_t max_insts = 100'000'000);
+
+  private:
+    const Function &fn_;
+    Memory &mem_;
+    int64_t regs_[kNumRegs] = {};
+
+    PredictOracle predict_oracle_;
+    BranchHook branch_hook_;
+    InstHook inst_hook_;
+
+    bool record_stores_ = false;
+    std::vector<std::pair<uint64_t, int64_t>> store_log_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_EXEC_INTERPRETER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Flat byte-addressable data memory shared by the functional
+ * interpreter and the timing simulator. Data addresses are a separate
+ * space from instruction addresses (which the layout pass assigns);
+ * the I-cache indexes code addresses, the D-cache data addresses.
+ */
+
+#ifndef VANGUARD_EXEC_MEMORY_HH
+#define VANGUARD_EXEC_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vanguard {
+
+class Memory
+{
+  public:
+    explicit Memory(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+    size_t size() const { return bytes_.size(); }
+
+    bool
+    inBounds(uint64_t addr, size_t access_size = 8) const
+    {
+        return addr <= bytes_.size() && addr + access_size <= bytes_.size();
+    }
+
+    /** 8-byte load; caller must have bounds-checked. */
+    int64_t
+    read64(uint64_t addr) const
+    {
+        int64_t v;
+        std::memcpy(&v, bytes_.data() + addr, sizeof(v));
+        return v;
+    }
+
+    /** 8-byte store; caller must have bounds-checked. */
+    void
+    write64(uint64_t addr, int64_t value)
+    {
+        std::memcpy(bytes_.data() + addr, &value, sizeof(value));
+    }
+
+    void clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+    const std::vector<uint8_t> &raw() const { return bytes_; }
+
+    bool
+    operator==(const Memory &other) const
+    {
+        return bytes_ == other.bytes_;
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_EXEC_MEMORY_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The single definition of instruction semantics. Both the functional
+ * interpreter (golden model) and the timing simulator's execute stage
+ * call evaluate(), so functional and timed execution can never diverge.
+ */
+
+#ifndef VANGUARD_EXEC_SEMANTICS_HH
+#define VANGUARD_EXEC_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "exec/memory.hh"
+#include "isa/instruction.hh"
+
+namespace vanguard {
+
+/** Outcome of evaluating one instruction (no state is mutated). */
+struct OpResult
+{
+    int64_t value = 0;      ///< dst value when the op writes a register
+    bool taken = false;     ///< BR/RESOLVE: condition was true
+    bool fault = false;     ///< LD/ST out of bounds or DIV by zero
+    bool isStore = false;
+    uint64_t memAddr = 0;   ///< effective address for memory ops
+    int64_t storeValue = 0;
+};
+
+/**
+ * Evaluate an instruction against a register file and memory. Loads
+ * read memory; stores compute (addr, value) but do NOT write — the
+ * caller applies the store so speculative paths can be squashed.
+ *
+ * @param inst instruction to evaluate (PREDICT/JMP/HALT/NOP evaluate
+ *             to a no-op result).
+ * @param regs register file of kNumRegs entries.
+ * @param mem  data memory.
+ */
+OpResult evaluate(const Instruction &inst, const int64_t *regs,
+                  const Memory &mem);
+
+} // namespace vanguard
+
+#endif // VANGUARD_EXEC_SEMANTICS_HH

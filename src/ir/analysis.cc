@@ -1,0 +1,163 @@
+#include "ir/analysis.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+RegSet
+instUses(const Instruction &inst)
+{
+    RegSet uses;
+    for (RegId src : {inst.src1, inst.src2, inst.src3})
+        if (src != kNoReg)
+            uses.set(src);
+    return uses;
+}
+
+RegSet
+instDefs(const Instruction &inst)
+{
+    RegSet defs;
+    if (inst.writesDst() && inst.dst != kNoReg)
+        defs.set(inst.dst);
+    return defs;
+}
+
+std::vector<BlockId>
+reversePostOrder(const Function &fn)
+{
+    std::vector<bool> visited(fn.numBlocks(), false);
+    std::vector<BlockId> post_order;
+    post_order.reserve(fn.numBlocks());
+
+    // Iterative DFS with explicit stack of (block, next-successor).
+    std::vector<std::pair<BlockId, size_t>> stack;
+    stack.emplace_back(0, 0);
+    visited[0] = true;
+    while (!stack.empty()) {
+        auto &[bb, next] = stack.back();
+        auto succs = fn.successors(bb);
+        if (next < succs.size()) {
+            BlockId s = succs[next++];
+            if (!visited[s]) {
+                visited[s] = true;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post_order.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post_order.begin(), post_order.end());
+    return post_order;
+}
+
+DominatorTree::DominatorTree(const Function &fn)
+    : idom_(fn.numBlocks(), kNoBlock)
+{
+    auto rpo = reversePostOrder(fn);
+    std::vector<size_t> rpo_index(fn.numBlocks(), SIZE_MAX);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = i;
+
+    auto preds = fn.predecessors();
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId bb : rpo) {
+            if (bb == 0)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds[bb]) {
+                if (idom_[p] == kNoBlock)
+                    continue; // unreachable or not yet processed
+                new_idom = (new_idom == kNoBlock) ? p
+                                                  : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[bb] != new_idom) {
+                idom_[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    vg_assert(a < idom_.size() && b < idom_.size());
+    if (!reachable(b))
+        return false;
+    BlockId cur = b;
+    for (;;) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return a == 0;
+        cur = idom_[cur];
+    }
+}
+
+Liveness::Liveness(const Function &fn)
+    : live_in_(fn.numBlocks()), live_out_(fn.numBlocks())
+{
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(fn.numBlocks()), kill(fn.numBlocks());
+    for (const auto &bb : fn.blocks()) {
+        RegSet defined;
+        for (const auto &inst : bb.insts) {
+            gen[bb.id] |= instUses(inst) & ~defined;
+            defined |= instDefs(inst);
+        }
+        kill[bb.id] = defined;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Backward problem: iterate in post order for fast convergence.
+        auto rpo = reversePostOrder(fn);
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            BlockId bb = *it;
+            RegSet out;
+            for (BlockId succ : fn.successors(bb))
+                out |= live_in_[succ];
+            RegSet in = gen[bb] | (out & ~kill[bb]);
+            if (out != live_out_[bb] || in != live_in_[bb]) {
+                live_out_[bb] = out;
+                live_in_[bb] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+RegSet
+Liveness::liveBefore(const Function &fn, BlockId b, size_t i) const
+{
+    const BasicBlock &bb = fn.block(b);
+    vg_assert(i <= bb.insts.size());
+    RegSet live = live_out_[b];
+    for (size_t k = bb.insts.size(); k > i; --k) {
+        const Instruction &inst = bb.insts[k - 1];
+        live &= ~instDefs(inst);
+        live |= instUses(inst);
+    }
+    return live;
+}
+
+} // namespace vanguard

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CFG analyses: reverse-post-order, dominator tree, and per-block
+ * register liveness. The Decomposed Branch Transformation uses liveness
+ * to decide which hoisted defs must be renamed into temp registers, and
+ * dominance to sanity-check region shapes.
+ */
+
+#ifndef VANGUARD_IR_ANALYSIS_HH
+#define VANGUARD_IR_ANALYSIS_HH
+
+#include <bitset>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+/** Register set as a bitset over the full (arch + temp) file. */
+using RegSet = std::bitset<kNumRegs>;
+
+/** Registers read by an instruction. */
+RegSet instUses(const Instruction &inst);
+
+/** Registers written by an instruction (empty or singleton). */
+RegSet instDefs(const Instruction &inst);
+
+/** Blocks reachable from entry, in reverse post order. */
+std::vector<BlockId> reversePostOrder(const Function &fn);
+
+/**
+ * Immediate-dominator computation (Cooper-Harvey-Kennedy iterative
+ * algorithm). Unreachable blocks get idom == kNoBlock.
+ */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Function &fn);
+
+    /** Immediate dominator; entry's idom is itself. */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** True if a dominates b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    bool reachable(BlockId b) const { return idom_[b] != kNoBlock; }
+
+  private:
+    std::vector<BlockId> idom_;
+};
+
+/** Classic backward-dataflow liveness over the CFG. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Function &fn);
+
+    const RegSet &liveIn(BlockId b) const { return live_in_[b]; }
+    const RegSet &liveOut(BlockId b) const { return live_out_[b]; }
+
+    /**
+     * Registers live immediately before instruction index i of block b
+     * (i may equal the block size, giving liveOut).
+     */
+    RegSet liveBefore(const Function &fn, BlockId b, size_t i) const;
+
+  private:
+    std::vector<RegSet> live_in_;
+    std::vector<RegSet> live_out_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_IR_ANALYSIS_HH

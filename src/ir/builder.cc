@@ -1,0 +1,178 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+InstId
+IRBuilder::append(Instruction inst)
+{
+    vg_assert(current_ != kNoBlock, "no insert point");
+    inst.id = fn_.nextInstId();
+    fn_.block(current_).insts.push_back(inst);
+    return inst.id;
+}
+
+InstId
+IRBuilder::op2(Opcode op, RegId dst, RegId a, RegId b)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = a;
+    inst.src2 = b;
+    return append(inst);
+}
+
+InstId
+IRBuilder::op2i(Opcode op, RegId dst, RegId a, int64_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = a;
+    inst.imm = imm;
+    return append(inst);
+}
+
+InstId
+IRBuilder::movi(RegId dst, int64_t imm)
+{
+    Instruction inst;
+    inst.op = Opcode::MOVI;
+    inst.dst = dst;
+    inst.imm = imm;
+    return append(inst);
+}
+
+InstId
+IRBuilder::mov(RegId dst, RegId src)
+{
+    Instruction inst;
+    inst.op = Opcode::MOV;
+    inst.dst = dst;
+    inst.src1 = src;
+    return append(inst);
+}
+
+InstId
+IRBuilder::select(RegId dst, RegId cond, RegId if_true, RegId if_false)
+{
+    Instruction inst;
+    inst.op = Opcode::SELECT;
+    inst.dst = dst;
+    inst.src1 = cond;
+    inst.src2 = if_true;
+    inst.src3 = if_false;
+    return append(inst);
+}
+
+InstId
+IRBuilder::cmp(Opcode cc, RegId dst, RegId a, RegId b)
+{
+    vg_assert(cc >= Opcode::CMPEQ && cc <= Opcode::CMPGE);
+    return op2(cc, dst, a, b);
+}
+
+InstId
+IRBuilder::cmpi(Opcode cc, RegId dst, RegId a, int64_t imm)
+{
+    vg_assert(cc >= Opcode::CMPEQ && cc <= Opcode::CMPGE);
+    return op2i(cc, dst, a, imm);
+}
+
+InstId
+IRBuilder::load(RegId dst, RegId base, int64_t offset)
+{
+    Instruction inst;
+    inst.op = Opcode::LD;
+    inst.dst = dst;
+    inst.src1 = base;
+    inst.imm = offset;
+    return append(inst);
+}
+
+InstId
+IRBuilder::loadSpec(RegId dst, RegId base, int64_t offset)
+{
+    Instruction inst;
+    inst.op = Opcode::LD_S;
+    inst.dst = dst;
+    inst.src1 = base;
+    inst.imm = offset;
+    return append(inst);
+}
+
+InstId
+IRBuilder::store(RegId base, int64_t offset, RegId value)
+{
+    Instruction inst;
+    inst.op = Opcode::ST;
+    inst.src1 = base;
+    inst.src2 = value;
+    inst.imm = offset;
+    return append(inst);
+}
+
+InstId
+IRBuilder::br(RegId cond, BlockId taken, BlockId fall)
+{
+    Instruction inst;
+    inst.op = Opcode::BR;
+    inst.src1 = cond;
+    inst.takenTarget = taken;
+    inst.fallTarget = fall;
+    return append(inst);
+}
+
+InstId
+IRBuilder::jmp(BlockId target)
+{
+    Instruction inst;
+    inst.op = Opcode::JMP;
+    inst.takenTarget = target;
+    return append(inst);
+}
+
+InstId
+IRBuilder::predict(BlockId taken, BlockId fall, InstId orig_branch)
+{
+    Instruction inst;
+    inst.op = Opcode::PREDICT;
+    inst.takenTarget = taken;
+    inst.fallTarget = fall;
+    inst.origBranch = orig_branch;
+    return append(inst);
+}
+
+InstId
+IRBuilder::resolve(RegId cond, BlockId correction, BlockId fall,
+                   InstId orig_branch, bool path_taken)
+{
+    Instruction inst;
+    inst.op = Opcode::RESOLVE;
+    inst.src1 = cond;
+    inst.takenTarget = correction;
+    inst.fallTarget = fall;
+    inst.origBranch = orig_branch;
+    inst.resolvePathTaken = path_taken;
+    return append(inst);
+}
+
+InstId
+IRBuilder::halt()
+{
+    Instruction inst;
+    inst.op = Opcode::HALT;
+    return append(inst);
+}
+
+InstId
+IRBuilder::nop()
+{
+    Instruction inst;
+    inst.op = Opcode::NOP;
+    return append(inst);
+}
+
+} // namespace vanguard

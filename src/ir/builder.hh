@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fluent construction helper for Functions, used by workload kernels,
+ * tests, and the compiler passes.
+ */
+
+#ifndef VANGUARD_IR_BUILDER_HH
+#define VANGUARD_IR_BUILDER_HH
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+/**
+ * Appends instructions to a designated block of a Function, assigning
+ * fresh instruction ids. The builder never reorders; the instruction
+ * stream is emitted exactly as written.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &fn) : fn_(fn) {}
+
+    /** Create a block and make it the insert point. */
+    BlockId
+    startBlock(std::string name = "")
+    {
+        current_ = fn_.addBlock(std::move(name));
+        return current_;
+    }
+
+    /** Redirect emission into an existing block. */
+    void setInsertPoint(BlockId bb) { current_ = bb; }
+    BlockId insertPoint() const { return current_; }
+
+    Function &function() { return fn_; }
+
+    /** Append a fully-formed instruction (id assigned here). */
+    InstId append(Instruction inst);
+
+    // --- arithmetic / moves -------------------------------------------
+    InstId op2(Opcode op, RegId dst, RegId a, RegId b);
+    InstId op2i(Opcode op, RegId dst, RegId a, int64_t imm);
+    InstId movi(RegId dst, int64_t imm);
+    InstId mov(RegId dst, RegId src);
+    InstId select(RegId dst, RegId cond, RegId if_true, RegId if_false);
+
+    InstId add(RegId d, RegId a, RegId b) { return op2(Opcode::ADD, d, a, b); }
+    InstId addi(RegId d, RegId a, int64_t i) { return op2i(Opcode::ADD, d, a, i); }
+    InstId sub(RegId d, RegId a, RegId b) { return op2(Opcode::SUB, d, a, b); }
+    InstId mul(RegId d, RegId a, RegId b) { return op2(Opcode::MUL, d, a, b); }
+    InstId andOp(RegId d, RegId a, RegId b) { return op2(Opcode::AND, d, a, b); }
+    InstId andi(RegId d, RegId a, int64_t i) { return op2i(Opcode::AND, d, a, i); }
+    InstId xorOp(RegId d, RegId a, RegId b) { return op2(Opcode::XOR, d, a, b); }
+    InstId shri(RegId d, RegId a, int64_t i) { return op2i(Opcode::SHR, d, a, i); }
+    InstId shli(RegId d, RegId a, int64_t i) { return op2i(Opcode::SHL, d, a, i); }
+
+    InstId cmp(Opcode cc, RegId dst, RegId a, RegId b);
+    InstId cmpi(Opcode cc, RegId dst, RegId a, int64_t imm);
+
+    // --- memory --------------------------------------------------------
+    InstId load(RegId dst, RegId base, int64_t offset = 0);
+    InstId loadSpec(RegId dst, RegId base, int64_t offset = 0);
+    InstId store(RegId base, int64_t offset, RegId value);
+
+    // --- control flow --------------------------------------------------
+    InstId br(RegId cond, BlockId taken, BlockId fall);
+    InstId jmp(BlockId target);
+    InstId predict(BlockId taken, BlockId fall, InstId orig_branch);
+    InstId resolve(RegId cond, BlockId correction, BlockId fall,
+                   InstId orig_branch, bool path_taken);
+    InstId halt();
+    InstId nop();
+
+  private:
+    Function &fn_;
+    BlockId current_ = kNoBlock;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_IR_BUILDER_HH

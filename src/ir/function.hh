@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Control-flow-graph program representation.
+ *
+ * A Function is a list of BasicBlocks, each ending in exactly one
+ * terminator. Block 0 is the entry. Control-flow targets are BlockIds;
+ * the layout pass (compiler/layout.hh) later assigns instruction
+ * addresses for the timing simulator.
+ */
+
+#ifndef VANGUARD_IR_FUNCTION_HH
+#define VANGUARD_IR_FUNCTION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace vanguard {
+
+/** A straight-line sequence of instructions ending in a terminator. */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+    std::string name;
+    std::vector<Instruction> insts;
+
+    bool
+    hasTerminator() const
+    {
+        return !insts.empty() && insts.back().isTerminator();
+    }
+
+    const Instruction &
+    terminator() const
+    {
+        return insts.back();
+    }
+
+    Instruction &
+    terminator()
+    {
+        return insts.back();
+    }
+
+    /** Instructions excluding the terminator. */
+    size_t
+    bodySize() const
+    {
+        return hasTerminator() ? insts.size() - 1 : insts.size();
+    }
+};
+
+/** A whole program: single function, CFG of basic blocks. */
+class Function
+{
+  public:
+    explicit Function(std::string name = "fn") : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Create an empty block and return its id. */
+    BlockId addBlock(std::string block_name = "");
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    size_t numBlocks() const { return blocks_.size(); }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Allocate a fresh instruction id. */
+    InstId nextInstId() { return next_inst_id_++; }
+
+    /** Total static instruction count. */
+    size_t instCount() const;
+
+    /** Successor BlockIds of a block, derived from its terminator. */
+    std::vector<BlockId> successors(BlockId id) const;
+
+    /** Predecessor lists for all blocks (recomputed on call). */
+    std::vector<std::vector<BlockId>> predecessors() const;
+
+    /**
+     * Structural validity check; returns an empty string when valid,
+     * else a description of the first problem found.
+     */
+    std::string verify() const;
+
+    /** Render the whole CFG as text. */
+    std::string toString() const;
+
+    /**
+     * Allocate a temp register not used anywhere in the function yet.
+     * Returns kNoReg if the temp bank is exhausted.
+     */
+    RegId allocUnusedTempReg();
+
+  private:
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+    InstId next_inst_id_ = 0;
+    unsigned next_temp_hint_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_IR_FUNCTION_HH

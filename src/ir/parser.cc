@@ -1,0 +1,408 @@
+#include "ir/parser.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** Cursor over one trimmed line. */
+class LineCursor
+{
+  public:
+    explicit LineCursor(std::string line) : line_(std::move(line)) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < line_.size() &&
+               std::isspace(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= line_.size();
+    }
+
+    /** Consume a literal string (after whitespace); false if absent. */
+    bool
+    eat(const std::string &lit)
+    {
+        skipSpace();
+        if (line_.compare(pos_, lit.size(), lit) == 0) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    /** Identifier: [A-Za-z_][A-Za-z0-9_.']* (allows bb5, ba', f_rest) */
+    bool
+    ident(std::string &out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < line_.size()) {
+            char c = line_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.' || c == '\'' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return false;
+        out = line_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    integer(int64_t &out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (pos_ < line_.size() &&
+            (line_[pos_] == '-' || line_[pos_] == '+'))
+            ++pos_;
+        size_t digits = pos_;
+        while (pos_ < line_.size() &&
+               std::isdigit(static_cast<unsigned char>(line_[pos_])))
+            ++pos_;
+        if (pos_ == digits) {
+            pos_ = start;
+            return false;
+        }
+        out = std::strtoll(line_.substr(start, pos_ - start).c_str(),
+                           nullptr, 10);
+        return true;
+    }
+
+    std::string rest() const { return line_.substr(pos_); }
+
+  private:
+    std::string line_;
+    size_t pos_ = 0;
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t semi = line.find(';');
+    return semi == std::string::npos ? line : line.substr(0, semi);
+}
+
+bool
+isBlank(const std::string &line)
+{
+    for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+const std::map<std::string, Opcode> &
+opcodeTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (unsigned op = 0;
+             op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+            t[std::string(opcodeName(static_cast<Opcode>(op)))] =
+                static_cast<Opcode>(op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Parse "rN" / "tN" / "-". */
+bool
+parseReg(LineCursor &cur, RegId &out)
+{
+    std::string tok;
+    if (!cur.ident(tok))
+        return false;
+    if (tok == "-") {
+        out = kNoReg;
+        return true;
+    }
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 't'))
+        return false;
+    for (size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    unsigned n = static_cast<unsigned>(
+        std::strtoul(tok.c_str() + 1, nullptr, 10));
+    if (tok[0] == 'r') {
+        if (n >= kNumArchRegs)
+            return false;
+        out = static_cast<RegId>(n);
+    } else {
+        if (n >= kNumTempRegs)
+            return false;
+        out = tempReg(n);
+    }
+    return true;
+}
+
+/** Resolve label or bbN; records forward references as indices. */
+class LabelTable
+{
+  public:
+    BlockId
+    resolve(const std::string &name)
+    {
+        // bbN with no explicit label of that name -> numeric id.
+        if (labels_.find(name) == labels_.end() &&
+            name.size() > 2 && name[0] == 'b' && name[1] == 'b') {
+            bool digits = true;
+            for (size_t i = 2; i < name.size(); ++i)
+                digits &= std::isdigit(
+                    static_cast<unsigned char>(name[i])) != 0;
+            if (digits) {
+                return static_cast<BlockId>(
+                    std::strtoul(name.c_str() + 2, nullptr, 10));
+            }
+        }
+        auto it = labels_.find(name);
+        return it == labels_.end() ? kNoBlock : it->second;
+    }
+
+    void define(const std::string &name, BlockId id)
+    {
+        labels_[name] = id;
+    }
+
+    bool defined(const std::string &name) const
+    {
+        return labels_.count(name) > 0;
+    }
+
+  private:
+    std::map<std::string, BlockId> labels_;
+};
+
+} // namespace
+
+ParseResult
+parseFunction(const std::string &text)
+{
+    ParseResult result;
+    std::istringstream in(text);
+    std::string raw;
+    unsigned line_no = 0;
+
+    auto fail = [&](const std::string &msg) {
+        result.ok = false;
+        result.error =
+            "line " + std::to_string(line_no) + ": " + msg;
+        return result;
+    };
+
+    // ---- pass 1: collect labels in order -------------------------------
+    LabelTable labels;
+    {
+        std::istringstream scan(text);
+        std::string line;
+        BlockId next = 0;
+        while (std::getline(scan, line)) {
+            line = stripComment(line);
+            if (isBlank(line))
+                continue;
+            // A label line: "<ident>:" possibly with leading space.
+            LineCursor cur(line);
+            std::string name;
+            if (cur.ident(name) && cur.eat(":") && cur.atEnd()) {
+                // First definition wins; duplicated names (the
+                // decomposer emits several "ba'" blocks) are legal
+                // because printed targets use bbN ids.
+                if (!labels.defined(name))
+                    labels.define(name, next);
+                ++next;
+            }
+        }
+    }
+
+    // ---- pass 2: build -------------------------------------------------
+    IRBuilder b(result.fn);
+    bool in_function = false;
+    bool have_block = false;
+
+    std::string line;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        line = stripComment(raw);
+        if (isBlank(line))
+            continue;
+        LineCursor cur(line);
+
+        if (!in_function) {
+            std::string name;
+            if (!cur.eat("function") || !cur.ident(name) ||
+                !cur.eat("{")) {
+                return fail("expected 'function <name> {'");
+            }
+            // Replace contents in place; the builder's reference to
+            // result.fn stays valid.
+            result.fn = Function(name);
+            in_function = true;
+            continue;
+        }
+        if (cur.eat("}"))
+            break;
+
+        // Label?
+        {
+            LineCursor probe(line);
+            std::string name;
+            if (probe.ident(name) && probe.eat(":") && probe.atEnd()) {
+                b.startBlock(name);
+                have_block = true;
+                continue;
+            }
+        }
+        if (!have_block)
+            return fail("instruction before first label");
+
+        std::string opname;
+        if (!cur.ident(opname))
+            return fail("expected opcode");
+        auto it = opcodeTable().find(opname);
+        if (it == opcodeTable().end())
+            return fail("unknown opcode '" + opname + "'");
+        Opcode op = it->second;
+
+        auto need_reg = [&](RegId &r) { return parseReg(cur, r); };
+        auto target = [&](BlockId &out) {
+            std::string name;
+            if (!cur.ident(name))
+                return false;
+            out = labels.resolve(name);
+            return out != kNoBlock;
+        };
+
+        Instruction inst;
+        inst.op = op;
+        switch (op) {
+          case Opcode::MOVI: {
+            if (!need_reg(inst.dst) || !cur.eat(",") ||
+                !cur.integer(inst.imm))
+                return fail("movi rD, imm");
+            break;
+          }
+          case Opcode::MOV: {
+            if (!need_reg(inst.dst) || !cur.eat(",") ||
+                !need_reg(inst.src1))
+                return fail("mov rD, rS");
+            break;
+          }
+          case Opcode::SELECT: {
+            if (!need_reg(inst.dst) || !cur.eat(",") ||
+                !need_reg(inst.src1) || !cur.eat("?") ||
+                !need_reg(inst.src2) || !cur.eat(":") ||
+                !need_reg(inst.src3))
+                return fail("select rD, rC ? rA : rB");
+            break;
+          }
+          case Opcode::LD:
+          case Opcode::LD_S: {
+            if (!need_reg(inst.dst) || !cur.eat(",") ||
+                !cur.eat("[") || !need_reg(inst.src1) ||
+                !cur.eat("+") || !cur.integer(inst.imm) ||
+                !cur.eat("]"))
+                return fail("ld rD, [rB + imm]");
+            break;
+          }
+          case Opcode::ST: {
+            if (!cur.eat("[") || !need_reg(inst.src1) ||
+                !cur.eat("+") || !cur.integer(inst.imm) ||
+                !cur.eat("]") || !cur.eat(",") ||
+                !need_reg(inst.src2))
+                return fail("st [rB + imm], rS");
+            break;
+          }
+          case Opcode::BR: {
+            if (!need_reg(inst.src1) || !cur.eat(",") ||
+                !target(inst.takenTarget) || !cur.eat("/") ||
+                !target(inst.fallTarget))
+                return fail("br rC, taken / fall");
+            break;
+          }
+          case Opcode::JMP: {
+            if (!target(inst.takenTarget))
+                return fail("jmp target");
+            break;
+          }
+          case Opcode::PREDICT: {
+            int64_t orig = 0;
+            if (!target(inst.takenTarget) || !cur.eat("/") ||
+                !target(inst.fallTarget) || !cur.eat("(") ||
+                !cur.eat("orig") || !cur.eat("#") ||
+                !cur.integer(orig) || !cur.eat(")"))
+                return fail("predict taken / fall (orig #id)");
+            inst.origBranch = static_cast<InstId>(orig);
+            break;
+          }
+          case Opcode::RESOLVE: {
+            int64_t orig = 0;
+            if (!need_reg(inst.src1) || !cur.eat(",") ||
+                !target(inst.takenTarget) || !cur.eat("/") ||
+                !target(inst.fallTarget) || !cur.eat("(") ||
+                !cur.eat("orig") || !cur.eat("#") ||
+                !cur.integer(orig) || !cur.eat(",") ||
+                !cur.eat("path"))
+                return fail(
+                    "resolve rC, taken / fall (orig #id, path T|N)");
+            inst.origBranch = static_cast<InstId>(orig);
+            std::string dir;
+            if (!cur.ident(dir) || (dir != "T" && dir != "N") ||
+                !cur.eat(")"))
+                return fail("resolve path must be T or N");
+            inst.resolvePathTaken = dir == "T";
+            break;
+          }
+          case Opcode::HALT:
+          case Opcode::NOP:
+            break;
+          default: { // generic 3-operand ALU/CMP/FP form
+            if (!need_reg(inst.dst) || !cur.eat(",") ||
+                !need_reg(inst.src1) || !cur.eat(","))
+                return fail("op rD, rA, rB|imm");
+            LineCursor save = cur;
+            if (!parseReg(cur, inst.src2)) {
+                cur = save;
+                inst.src2 = kNoReg;
+                if (!cur.integer(inst.imm))
+                    return fail("op rD, rA, rB|imm");
+            }
+            break;
+          }
+        }
+        if (!cur.atEnd())
+            return fail("trailing junk: '" + cur.rest() + "'");
+        b.append(inst);
+    }
+
+    if (!in_function)
+        return fail("no function found");
+    std::string err = result.fn.verify();
+    if (!err.empty()) {
+        result.ok = false;
+        result.error = "verification: " + err;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace vanguard

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text-format parser for Functions — the inverse of
+ * Function::toString(). Lets tests and tools express programs as
+ * readable assembly instead of builder calls, and enables round-trip
+ * (print -> parse -> print) property checks.
+ *
+ * Grammar (one construct per line; ';' starts a comment):
+ *
+ *   function <name> {
+ *   <label>:
+ *       add r1, r2, r3         ; reg-reg
+ *       add r1, r2, 42         ; reg-imm
+ *       movi r1, -7
+ *       mov r1, r2
+ *       select r1, r2 ? r3 : r4
+ *       ld r1, [r2 + 8]        ; also ld.s
+ *       st [r2 + 8], r3
+ *       br r1, <label> / <label>
+ *       jmp <label>
+ *       predict <label> / <label> (orig #<id>)
+ *       resolve r1, <label> / <label> (orig #<id>, path T|N)
+ *       halt
+ *   }
+ *
+ * Labels may be any identifier; block ids are assigned in order of
+ * first definition. Registers are rN (architectural) or tN (temp).
+ */
+
+#ifndef VANGUARD_IR_PARSER_HH
+#define VANGUARD_IR_PARSER_HH
+
+#include <string>
+
+#include "ir/function.hh"
+
+namespace vanguard {
+
+struct ParseResult
+{
+    Function fn{"parsed"};
+    bool ok = false;
+    std::string error;      ///< first problem, with a line number
+};
+
+/** Parse the textual form; on success fn.verify() holds. */
+ParseResult parseFunction(const std::string &text);
+
+} // namespace vanguard
+
+#endif // VANGUARD_IR_PARSER_HH

@@ -1,0 +1,67 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace vanguard {
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+
+    auto block = [](BlockId b) {
+        return b == kNoBlock ? std::string("?") : "bb" + std::to_string(b);
+    };
+
+    switch (op) {
+      case Opcode::MOVI:
+        os << " " << regName(dst) << ", " << imm;
+        break;
+      case Opcode::MOV:
+        os << " " << regName(dst) << ", " << regName(src1);
+        break;
+      case Opcode::SELECT:
+        os << " " << regName(dst) << ", " << regName(src1) << " ? "
+           << regName(src2) << " : " << regName(src3);
+        break;
+      case Opcode::LD:
+      case Opcode::LD_S:
+        os << " " << regName(dst) << ", [" << regName(src1) << " + "
+           << imm << "]";
+        break;
+      case Opcode::ST:
+        os << " [" << regName(src1) << " + " << imm << "], "
+           << regName(src2);
+        break;
+      case Opcode::BR:
+        os << " " << regName(src1) << ", " << block(takenTarget)
+           << " / " << block(fallTarget);
+        break;
+      case Opcode::JMP:
+        os << " " << block(takenTarget);
+        break;
+      case Opcode::PREDICT:
+        os << " " << block(takenTarget) << " / " << block(fallTarget)
+           << " (orig #" << origBranch << ")";
+        break;
+      case Opcode::RESOLVE:
+        os << " " << regName(src1) << ", " << block(takenTarget)
+           << " / " << block(fallTarget) << " (orig #" << origBranch
+           << ", path " << (resolvePathTaken ? "T" : "N") << ")";
+        break;
+      case Opcode::HALT:
+      case Opcode::NOP:
+        break;
+      default:
+        os << " " << regName(dst) << ", " << regName(src1) << ", ";
+        if (hasImmSrc2())
+            os << imm;
+        else
+            os << regName(src2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace vanguard

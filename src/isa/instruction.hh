@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Instruction record shared by the IR, the functional interpreter,
+ * and the timing simulator.
+ */
+
+#ifndef VANGUARD_ISA_INSTRUCTION_HH
+#define VANGUARD_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace vanguard {
+
+using InstId = uint32_t;
+using BlockId = uint32_t;
+
+inline constexpr InstId kNoInst = 0xffffffff;
+inline constexpr BlockId kNoBlock = 0xffffffff;
+
+/**
+ * A single IR instruction. Operand roles by opcode:
+ *
+ *   ALU/CMP     dst = src1 OP src2        (src2 == kNoReg => use imm)
+ *   MOVI        dst = imm
+ *   MOV         dst = src1
+ *   SELECT      dst = src1 ? src2 : src3
+ *   LD/LD_S     dst = mem[src1 + imm]
+ *   ST          mem[src1 + imm] = src2
+ *   BR          if (src1 != 0) goto takenTarget; else goto fallTarget
+ *   JMP         goto takenTarget
+ *   PREDICT     front-end predicted branch; taken => takenTarget block
+ *   RESOLVE     if (src1 != 0) goto takenTarget (correction code);
+ *               trains predictor of the associated PREDICT
+ *   HALT        stop
+ *
+ * Branch decomposition metadata: PREDICT/RESOLVE carry origBranch, the
+ * InstId of the source-program branch they were split from, which is
+ * the profile/training key. RESOLVE additionally records which
+ * predicted path it lies on (resolvePathTaken) so the original branch
+ * outcome can be reconstructed: outcome = taken(resolve) ? !pathDir
+ * : pathDir.
+ */
+struct Instruction
+{
+    InstId id = kNoInst;
+    Opcode op = Opcode::NOP;
+
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    RegId src3 = kNoReg;
+    int64_t imm = 0;
+
+    /** Control-flow targets (BlockIds until layout assigns addresses). */
+    BlockId takenTarget = kNoBlock;
+    BlockId fallTarget = kNoBlock;
+
+    /** Decomposition metadata (PREDICT / RESOLVE only). */
+    InstId origBranch = kNoInst;
+    bool resolvePathTaken = false;
+
+    bool isTerminator() const { return opcodeIsTerminator(op); }
+    bool isBranch() const { return opcodeIsBranch(op); }
+    bool isCondBranch() const { return opcodeIsCondBranch(op); }
+    bool isLoad() const { return opcodeIsLoad(op); }
+    bool isStore() const { return opcodeIsStore(op); }
+    bool isMemRef() const { return opcodeIsMemRef(op); }
+    bool writesDst() const { return opcodeWritesDst(op); }
+    bool hasImmSrc2() const { return src2 == kNoReg; }
+
+    unsigned latency() const { return opcodeLatency(op); }
+    FuClass fuClass() const { return opcodeFuClass(op); }
+
+    /** Render as assembly-ish text (for dumps and golden tests). */
+    std::string toString() const;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_ISA_INSTRUCTION_HH

@@ -1,0 +1,168 @@
+#include "isa/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+unsigned
+opcodeLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL:
+        return 3;
+      case Opcode::DIV:
+        return 12;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+        return 3;
+      case Opcode::FMUL:
+        return 4;
+      case Opcode::FDIV:
+        return 12;
+      case Opcode::LD:
+      case Opcode::LD_S:
+        return 4; // L1 hit latency; the cache model adds miss cycles
+      default:
+        return 1;
+    }
+}
+
+FuClass
+opcodeFuClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD:
+      case Opcode::LD_S:
+      case Opcode::ST:
+        return FuClass::Mem;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+        return FuClass::Fp;
+      case Opcode::PREDICT:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return FuClass::None;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SHL: return "shl";
+      case Opcode::SHR: return "shr";
+      case Opcode::MOVI: return "movi";
+      case Opcode::MOV: return "mov";
+      case Opcode::SELECT: return "select";
+      case Opcode::CMPEQ: return "cmpeq";
+      case Opcode::CMPNE: return "cmpne";
+      case Opcode::CMPLT: return "cmplt";
+      case Opcode::CMPLE: return "cmple";
+      case Opcode::CMPGT: return "cmpgt";
+      case Opcode::CMPGE: return "cmpge";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::LD: return "ld";
+      case Opcode::LD_S: return "ld.s";
+      case Opcode::ST: return "st";
+      case Opcode::BR: return "br";
+      case Opcode::JMP: return "jmp";
+      case Opcode::PREDICT: return "predict";
+      case Opcode::RESOLVE: return "resolve";
+      case Opcode::HALT: return "halt";
+      case Opcode::NOP: return "nop";
+      default:
+        vg_panic("bad opcode %d", static_cast<int>(op));
+    }
+}
+
+bool
+opcodeIsTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::BR:
+      case Opcode::JMP:
+      case Opcode::PREDICT:
+      case Opcode::RESOLVE:
+      case Opcode::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opcodeIsBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BR:
+      case Opcode::JMP:
+      case Opcode::PREDICT:
+      case Opcode::RESOLVE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opcodeIsCondBranch(Opcode op)
+{
+    return op == Opcode::BR || op == Opcode::RESOLVE;
+}
+
+bool
+opcodeIsLoad(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::LD_S;
+}
+
+bool
+opcodeIsStore(Opcode op)
+{
+    return op == Opcode::ST;
+}
+
+bool
+opcodeIsMemRef(Opcode op)
+{
+    return opcodeIsLoad(op) || opcodeIsStore(op);
+}
+
+bool
+opcodeWritesDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::ST:
+      case Opcode::BR:
+      case Opcode::JMP:
+      case Opcode::PREDICT:
+      case Opcode::RESOLVE:
+      case Opcode::HALT:
+      case Opcode::NOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+opcodeCanFault(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::ST || op == Opcode::DIV;
+}
+
+} // namespace vanguard

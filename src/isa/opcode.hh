@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Opcode definitions for the Vanguard IR/ISA.
+ *
+ * The ISA is a RISC-like register machine extended with the paper's two
+ * decomposed-branch operations:
+ *
+ *  - PREDICT: carries only a target; the front end consults the branch
+ *    predictor when it is fetched and redirects fetch if predicted
+ *    taken. Dropped after decode (consumes no back-end resources).
+ *  - RESOLVE: looks like a conditional branch but is statically
+ *    predicted not-taken; when its condition is true (the original
+ *    branch was mispredicted) it redirects to correction code. Either
+ *    way it trains the predictor entry of its associated PREDICT via
+ *    the Decomposed Branch Buffer.
+ *
+ * It also has the DBT-style support the paper assumes (Sec. 2.2):
+ * LD_S, a non-faulting speculative load, and a large temp-register file
+ * (see reg.hh) for speculative renaming.
+ */
+
+#ifndef VANGUARD_ISA_OPCODE_HH
+#define VANGUARD_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace vanguard {
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU (1-cycle)
+    ADD, SUB, AND, OR, XOR, SHL, SHR,
+    MOVI,       ///< dst = imm
+    MOV,        ///< dst = src1
+    SELECT,     ///< dst = src1 ? src2 : imm-selected alt reg (see inst)
+
+    // Comparisons producing 0/1 (1-cycle integer)
+    CMPEQ, CMPNE, CMPLT, CMPLE, CMPGT, CMPGE,
+
+    // Long-latency integer
+    MUL,        ///< 3-cycle
+    DIV,        ///< 12-cycle; faults on divide-by-zero
+
+    // "Floating point" lane ops: integer semantics, FP latencies/ports.
+    FADD, FSUB, FMUL, FDIV,
+
+    // Memory (8-byte accesses, address = [src1 + imm])
+    LD,         ///< faulting load
+    LD_S,       ///< speculative non-faulting load: bad address yields 0
+    ST,         ///< store src2 to [src1 + imm]
+
+    // Control flow (block terminators)
+    BR,         ///< if (src1 != 0) goto takenTarget else fall through
+    JMP,        ///< unconditional
+    PREDICT,    ///< decomposed-branch prediction point
+    RESOLVE,    ///< decomposed-branch resolution point
+    HALT,       ///< end of program
+
+    NOP,
+
+    NumOpcodes
+};
+
+/** Functional-unit class an opcode issues to (paper Table 1 FU mix). */
+enum class FuClass : uint8_t
+{
+    IntAlu,     ///< 2 ports: INT/SIMD-permute
+    Mem,        ///< 2 ports: LD/ST
+    Fp,         ///< 4 ports: 64-bit SIMD/FP
+    None,       ///< consumes no execution port (PREDICT, NOP, HALT)
+};
+
+/** Execution latency in cycles (loads: L1-hit latency; see caches). */
+unsigned opcodeLatency(Opcode op);
+
+FuClass opcodeFuClass(Opcode op);
+
+std::string_view opcodeName(Opcode op);
+
+bool opcodeIsTerminator(Opcode op);
+bool opcodeIsBranch(Opcode op);     ///< BR, PREDICT, RESOLVE, JMP
+bool opcodeIsCondBranch(Opcode op); ///< BR, RESOLVE
+bool opcodeIsLoad(Opcode op);
+bool opcodeIsStore(Opcode op);
+bool opcodeIsMemRef(Opcode op);
+bool opcodeWritesDst(Opcode op);
+bool opcodeCanFault(Opcode op);     ///< LD, ST, DIV
+
+} // namespace vanguard
+
+#endif // VANGUARD_ISA_OPCODE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-branch profile data: execution count, bias, and predictability.
+ *
+ * These are the two axes of the paper's Figure 1 taxonomy. Bias is a
+ * property of the outcome stream alone; predictability is measured
+ * against a concrete software-modeled predictor run over the TRAIN
+ * input (the paper's PGO methodology with PTLSim).
+ */
+
+#ifndef VANGUARD_PROFILE_BRANCH_PROFILE_HH
+#define VANGUARD_PROFILE_BRANCH_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace vanguard {
+
+struct BranchStats
+{
+    InstId branch = kNoInst;
+    BlockId block = kNoBlock;
+    bool forward = false;       ///< taken target is later in layout order
+
+    uint64_t execs = 0;
+    uint64_t taken = 0;
+    uint64_t correct = 0;       ///< correct predictions by the SW model
+
+    /** Fraction of executions in the dominant direction, in [0.5, 1]. */
+    double
+    bias() const
+    {
+        if (execs == 0)
+            return 0.0;
+        uint64_t dominant = taken > execs - taken ? taken : execs - taken;
+        return static_cast<double>(dominant) /
+               static_cast<double>(execs);
+    }
+
+    /** Fraction of executions the SW predictor model got right. */
+    double
+    predictability() const
+    {
+        return execs == 0
+            ? 0.0
+            : static_cast<double>(correct) / static_cast<double>(execs);
+    }
+
+    /** The paper's selection signal: predictability minus bias. */
+    double exposedPredictability() const { return predictability() - bias(); }
+};
+
+/** Profile for one (function, input) pair. */
+class BranchProfile
+{
+  public:
+    BranchStats &statsFor(InstId branch) { return stats_[branch]; }
+
+    const BranchStats *
+    find(InstId branch) const
+    {
+        auto it = stats_.find(branch);
+        return it == stats_.end() ? nullptr : &it->second;
+    }
+
+    const std::map<InstId, BranchStats> &all() const { return stats_; }
+
+    uint64_t totalDynamicInsts = 0;
+    uint64_t totalDynamicBranches = 0;
+    uint64_t totalMispredicts = 0;
+
+    /** Mispredicts per thousand instructions over the profiled run. */
+    double
+    mppki() const
+    {
+        return totalDynamicInsts == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(totalMispredicts) /
+                  static_cast<double>(totalDynamicInsts);
+    }
+
+    /** Branches sorted by execution count, most-executed first. */
+    std::vector<const BranchStats *> byExecutionCount() const;
+
+    /**
+     * The top-n most-executed *forward* branches sorted by descending
+     * bias — the exact population of the paper's Figures 2 and 3.
+     */
+    std::vector<const BranchStats *> topForwardByBias(size_t n) const;
+
+  private:
+    std::map<InstId, BranchStats> stats_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_PROFILE_BRANCH_PROFILE_HH

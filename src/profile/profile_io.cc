@@ -1,0 +1,103 @@
+#include "profile/profile_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace vanguard {
+
+std::string
+serializeProfile(const BranchProfile &profile)
+{
+    std::ostringstream os;
+    os << "vanguard-profile v1\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "meta insts=%" PRIu64 " branches=%" PRIu64
+                  " mispredicts=%" PRIu64 "\n",
+                  profile.totalDynamicInsts,
+                  profile.totalDynamicBranches,
+                  profile.totalMispredicts);
+    os << buf;
+    for (const auto &[id, bs] : profile.all()) {
+        std::snprintf(buf, sizeof(buf),
+                      "branch id=%u block=%u fwd=%d execs=%" PRIu64
+                      " taken=%" PRIu64 " correct=%" PRIu64 "\n",
+                      bs.branch, bs.block, bs.forward ? 1 : 0,
+                      bs.execs, bs.taken, bs.correct);
+        os << buf;
+    }
+    return os.str();
+}
+
+ProfileParseResult
+deserializeProfile(const std::string &text)
+{
+    ProfileParseResult result;
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+
+    auto fail = [&](const std::string &msg) {
+        result.ok = false;
+        result.error =
+            "line " + std::to_string(line_no) + ": " + msg;
+        return result;
+    };
+
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!have_header) {
+            if (line != "vanguard-profile v1")
+                return fail("bad header");
+            have_header = true;
+            continue;
+        }
+        if (line.rfind("meta ", 0) == 0) {
+            uint64_t insts = 0, branches = 0, mispredicts = 0;
+            if (std::sscanf(line.c_str(),
+                            "meta insts=%" SCNu64 " branches=%" SCNu64
+                            " mispredicts=%" SCNu64,
+                            &insts, &branches, &mispredicts) != 3) {
+                return fail("bad meta record");
+            }
+            result.profile.totalDynamicInsts = insts;
+            result.profile.totalDynamicBranches = branches;
+            result.profile.totalMispredicts = mispredicts;
+            continue;
+        }
+        if (line.rfind("branch ", 0) == 0) {
+            unsigned id = 0, block = 0;
+            int fwd = 0;
+            uint64_t execs = 0, taken = 0, correct = 0;
+            if (std::sscanf(line.c_str(),
+                            "branch id=%u block=%u fwd=%d"
+                            " execs=%" SCNu64 " taken=%" SCNu64
+                            " correct=%" SCNu64,
+                            &id, &block, &fwd, &execs, &taken,
+                            &correct) != 6) {
+                return fail("bad branch record");
+            }
+            if (taken > execs || correct > execs)
+                return fail("inconsistent branch counts");
+            BranchStats &bs = result.profile.statsFor(id);
+            bs.branch = id;
+            bs.block = block;
+            bs.forward = fwd != 0;
+            bs.execs = execs;
+            bs.taken = taken;
+            bs.correct = correct;
+            continue;
+        }
+        return fail("unknown record '" + line + "'");
+    }
+    if (!have_header)
+        return fail("empty profile");
+    result.ok = true;
+    return result;
+}
+
+} // namespace vanguard

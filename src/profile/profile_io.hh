@@ -1,0 +1,39 @@
+/**
+ * @file
+ * BranchProfile serialization — the PGO workflow artifact. Profiling
+ * a TRAIN input can be done once and the profile shipped alongside
+ * the binary (exactly how the paper's LLVM+PGO flow works); these
+ * helpers give the profile a stable, diff-able text format.
+ *
+ * Format (one record per line, '#' comments):
+ *
+ *   vanguard-profile v1
+ *   meta insts=<N> branches=<N> mispredicts=<N>
+ *   branch id=<id> block=<id> fwd=<0|1> execs=<N> taken=<N> correct=<N>
+ */
+
+#ifndef VANGUARD_PROFILE_PROFILE_IO_HH
+#define VANGUARD_PROFILE_PROFILE_IO_HH
+
+#include <string>
+
+#include "profile/branch_profile.hh"
+
+namespace vanguard {
+
+/** Render a profile in the v1 text format. */
+std::string serializeProfile(const BranchProfile &profile);
+
+struct ProfileParseResult
+{
+    BranchProfile profile;
+    bool ok = false;
+    std::string error;
+};
+
+/** Parse the v1 text format back. */
+ProfileParseResult deserializeProfile(const std::string &text);
+
+} // namespace vanguard
+
+#endif // VANGUARD_PROFILE_PROFILE_IO_HH

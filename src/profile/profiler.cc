@@ -1,0 +1,88 @@
+#include "profile/profiler.hh"
+
+#include <algorithm>
+
+#include "exec/interpreter.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+std::vector<const BranchStats *>
+BranchProfile::byExecutionCount() const
+{
+    std::vector<const BranchStats *> out;
+    out.reserve(stats_.size());
+    for (const auto &[id, bs] : stats_)
+        out.push_back(&bs);
+    std::sort(out.begin(), out.end(),
+              [](const BranchStats *a, const BranchStats *b) {
+                  return a->execs > b->execs;
+              });
+    return out;
+}
+
+std::vector<const BranchStats *>
+BranchProfile::topForwardByBias(size_t n) const
+{
+    auto by_exec = byExecutionCount();
+    std::vector<const BranchStats *> fwd;
+    for (const BranchStats *bs : by_exec) {
+        if (bs->forward && bs->execs > 0) {
+            fwd.push_back(bs);
+            if (fwd.size() == n)
+                break;
+        }
+    }
+    std::sort(fwd.begin(), fwd.end(),
+              [](const BranchStats *a, const BranchStats *b) {
+                  return a->bias() > b->bias();
+              });
+    return fwd;
+}
+
+BranchProfile
+profileFunction(const Function &fn, Memory &mem,
+                DirectionPredictor &predictor, const ProfileOptions &opts)
+{
+    BranchProfile profile;
+
+    Interpreter interp(fn, mem);
+    interp.setBranchHook([&](const Instruction &inst, bool taken) {
+        BranchStats &bs = profile.statsFor(inst.id);
+        if (bs.execs == 0) {
+            bs.branch = inst.id;
+            // Locate the branch's block and direction sense once.
+            for (const auto &bb : fn.blocks()) {
+                if (!bb.insts.empty() &&
+                    bb.insts.back().id == inst.id) {
+                    bs.block = bb.id;
+                    bs.forward = inst.takenTarget > bb.id;
+                    break;
+                }
+            }
+        }
+        ++bs.execs;
+        if (taken)
+            ++bs.taken;
+
+        uint64_t pc = static_cast<uint64_t>(inst.id) * 4;
+        PredMeta meta;
+        bool predicted = predictor.predictWithOracle(pc, taken, meta);
+        if (predicted == taken)
+            ++bs.correct;
+        else
+            ++profile.totalMispredicts;
+        predictor.updateHistory(taken);
+        predictor.update(pc, taken, meta);
+    });
+
+    RunResult result = interp.run(opts.maxInsts);
+    vg_assert(result.status != RunStatus::Fault,
+              "profiled program faulted at inst %u", result.faultingInst);
+
+    profile.totalDynamicInsts = result.dynamicInsts;
+    profile.totalDynamicBranches = result.dynamicBranches;
+    return profile;
+}
+
+} // namespace vanguard

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Profile-guided data collection (the paper's TRAIN-input pass).
+ *
+ * Runs a Function in the functional interpreter while a software model
+ * of the hardware direction predictor predicts every conditional
+ * branch, yielding per-branch bias and predictability plus whole-run
+ * MPPKI. Branch "PCs" for predictor indexing are synthesized from
+ * instruction ids (stable across runs; layout has not happened yet).
+ */
+
+#ifndef VANGUARD_PROFILE_PROFILER_HH
+#define VANGUARD_PROFILE_PROFILER_HH
+
+#include "bpred/predictor.hh"
+#include "exec/memory.hh"
+#include "ir/function.hh"
+#include "profile/branch_profile.hh"
+
+namespace vanguard {
+
+struct ProfileOptions
+{
+    uint64_t maxInsts = 200'000'000;
+};
+
+/**
+ * Profile fn over the given initialized memory image.
+ *
+ * @param fn        program to profile (pre-transformation IR).
+ * @param mem       initialized data memory (mutated by the run).
+ * @param predictor SW model of the HW predictor; trained in place.
+ */
+BranchProfile profileFunction(const Function &fn, Memory &mem,
+                              DirectionPredictor &predictor,
+                              const ProfileOptions &opts = {});
+
+} // namespace vanguard
+
+#endif // VANGUARD_PROFILE_PROFILER_HH

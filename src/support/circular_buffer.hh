@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO, the structure underlying the Decomposed
+ * Branch Buffer (DBB) and the fetch buffer.
+ */
+
+#ifndef VANGUARD_SUPPORT_CIRCULAR_BUFFER_HH
+#define VANGUARD_SUPPORT_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+/**
+ * A bounded FIFO over contiguous storage. Indices returned by pushIndex()
+ * are stable physical slot numbers (what the hardware would store in a
+ * downstream instruction), so consumers can read a slot directly even
+ * after later pushes, as the DBB requires.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(size_t capacity)
+        : slots_(capacity), capacity_(capacity)
+    {
+        vg_assert(capacity > 0);
+    }
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Push a value; returns the physical slot index it landed in. */
+    size_t
+    push(const T &value)
+    {
+        vg_assert(!full(), "circular buffer overflow");
+        size_t slot = tail_;
+        slots_[slot] = value;
+        tail_ = (tail_ + 1) % capacity_;
+        ++size_;
+        return slot;
+    }
+
+    /** Slot index of the most recently pushed entry. */
+    size_t
+    lastIndex() const
+    {
+        vg_assert(!empty());
+        return (tail_ + capacity_ - 1) % capacity_;
+    }
+
+    /** Pop the oldest entry. */
+    T
+    pop()
+    {
+        vg_assert(!empty(), "circular buffer underflow");
+        T v = slots_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return v;
+    }
+
+    const T &front() const { vg_assert(!empty()); return slots_[head_]; }
+
+    /** Direct access to a physical slot (hardware-style indexed read). */
+    T &at(size_t slot) { vg_assert(slot < capacity_); return slots_[slot]; }
+
+    const T &
+    at(size_t slot) const
+    {
+        vg_assert(slot < capacity_);
+        return slots_[slot];
+    }
+
+    /**
+     * Discard the youngest n entries (squash on pipeline flush), moving
+     * the tail pointer back — the DBB tail-recovery operation.
+     */
+    void
+    squashYoungest(size_t n)
+    {
+        vg_assert(n <= size_);
+        tail_ = (tail_ + capacity_ - n) % capacity_;
+        size_ -= n;
+    }
+
+    void
+    clear()
+    {
+        head_ = tail_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    size_t capacity_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_CIRCULAR_BUFFER_HH

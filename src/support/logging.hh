@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error/status reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  — the *user's* configuration or input is unusable; exits with
+ *            an error code.
+ * warn()/inform() — non-fatal status messages.
+ */
+
+#ifndef VANGUARD_SUPPORT_LOGGING_HH
+#define VANGUARD_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace vanguard {
+
+namespace detail {
+
+[[noreturn]] inline void
+logAndAbort(const char *kind, const char *file, int line,
+            const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+logAndExit(const char *kind, const char *file, int line,
+           const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::exit(1);
+}
+
+/** Minimal printf-style formatter returning a std::string. */
+template <typename... Args>
+std::string
+csprintf(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n <= 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(n), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+} // namespace vanguard
+
+#define vg_panic(...)                                                       \
+    ::vanguard::detail::logAndAbort(                                        \
+        "panic", __FILE__, __LINE__,                                        \
+        ::vanguard::detail::csprintf(__VA_ARGS__))
+
+#define vg_fatal(...)                                                       \
+    ::vanguard::detail::logAndExit(                                         \
+        "fatal", __FILE__, __LINE__,                                        \
+        ::vanguard::detail::csprintf(__VA_ARGS__))
+
+#define vg_warn(...)                                                        \
+    std::fprintf(stderr, "warn: %s\n",                                      \
+                 ::vanguard::detail::csprintf(__VA_ARGS__).c_str())
+
+#define vg_inform(...)                                                      \
+    std::fprintf(stderr, "info: %s\n",                                      \
+                 ::vanguard::detail::csprintf(__VA_ARGS__).c_str())
+
+#define vg_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::vanguard::detail::logAndAbort(                                \
+                "panic(assert: " #cond ")", __FILE__, __LINE__,             \
+                ::vanguard::detail::csprintf("" __VA_ARGS__));              \
+        }                                                                   \
+    } while (0)
+
+#endif // VANGUARD_SUPPORT_LOGGING_HH

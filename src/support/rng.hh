@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every stochastic component (workload generators, outcome streams,
+ * property tests) draws from an Rng seeded explicitly, so a given
+ * (benchmark, input-seed) pair always produces the same program and the
+ * same dynamic behaviour, mirroring SPEC's fixed TRAIN/REF inputs.
+ */
+
+#ifndef VANGUARD_SUPPORT_RNG_HH
+#define VANGUARD_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+/**
+ * xoshiro256** generator: fast, high-quality, and stable across
+ * platforms (unlike std::mt19937 distributions, which are not
+ * implementation-defined but whose std::uniform_* wrappers are).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t *s = state_;
+        const uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        vg_assert(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        vg_assert(lo <= hi);
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_RNG_HH

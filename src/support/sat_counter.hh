@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Saturating counters, the workhorse state element of branch predictors.
+ */
+
+#ifndef VANGUARD_SUPPORT_SAT_COUNTER_HH
+#define VANGUARD_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+/**
+ * An n-bit unsigned saturating counter. For direction prediction the MSB
+ * is the predicted direction (>= midpoint means taken).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param bits counter width in bits (1..16).
+     *  @param initial initial value (clamped to range). */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : max_(static_cast<uint16_t>((1u << bits) - 1)),
+          value_(static_cast<uint16_t>(initial > max_ ? max_ : initial))
+    {
+        vg_assert(bits >= 1 && bits <= 16);
+    }
+
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** Predicted direction: true (taken) iff in the upper half. */
+    bool predictTaken() const { return value_ > max_ / 2; }
+
+    /** Weakly/strongly saturated at either rail. */
+    bool isSaturated() const { return value_ == 0 || value_ == max_; }
+
+    uint16_t value() const { return value_; }
+    uint16_t maxValue() const { return max_; }
+
+    void
+    set(unsigned v)
+    {
+        value_ = static_cast<uint16_t>(v > max_ ? max_ : v);
+    }
+
+    /** Reset to the weakest state biased toward the given direction. */
+    void
+    resetWeak(bool taken)
+    {
+        value_ = static_cast<uint16_t>(taken ? max_ / 2 + 1 : max_ / 2);
+    }
+
+  private:
+    uint16_t max_ = 3;
+    uint16_t value_ = 0;
+};
+
+/**
+ * Signed saturating counter in [-2^(bits-1), 2^(bits-1)-1], as used by
+ * TAGE usefulness counters and statistical correctors.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned bits, int initial = 0)
+        : min_(-(1 << (bits - 1))), max_((1 << (bits - 1)) - 1)
+    {
+        vg_assert(bits >= 2 && bits <= 16);
+        value_ = clamp(initial);
+    }
+
+    void
+    update(bool up)
+    {
+        value_ = clamp(value_ + (up ? 1 : -1));
+    }
+
+    int value() const { return value_; }
+    int minValue() const { return min_; }
+    int maxValue() const { return max_; }
+    bool positive() const { return value_ >= 0; }
+    void set(int v) { value_ = clamp(v); }
+
+  private:
+    int
+    clamp(int v) const
+    {
+        return v < min_ ? min_ : (v > max_ ? max_ : v);
+    }
+
+    int min_ = -2;
+    int max_ = 1;
+    int value_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,151 @@
+#include "support/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        vg_assert(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+speedupRatio(uint64_t baseline_cycles, uint64_t exp_cycles)
+{
+    vg_assert(exp_cycles > 0);
+    return static_cast<double>(baseline_cycles) /
+           static_cast<double>(exp_cycles);
+}
+
+double
+speedupPercent(double ratio)
+{
+    return (ratio - 1.0) * 100.0;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    stats_[name] = value;
+}
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    stats_[name] += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) > 0;
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : stats_) {
+        char buf[64];
+        if (value == std::floor(value) && std::fabs(value) < 1e15)
+            std::snprintf(buf, sizeof(buf), "%.0f", value);
+        else
+            std::snprintf(buf, sizeof(buf), "%.4f", value);
+        os << prefix << name << " = " << buf << "\n";
+    }
+    return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    vg_assert(cells.size() == headers_.size(),
+              "row width %zu != header width %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtInt(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells,
+                        std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row, os);
+    return os.str();
+}
+
+} // namespace vanguard

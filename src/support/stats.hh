@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight statistics helpers: named scalar stats, ratio/geomean
+ * math, and fixed-width table printing for the benchmark harnesses.
+ */
+
+#ifndef VANGUARD_SUPPORT_STATS_HH
+#define VANGUARD_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vanguard {
+
+/** Compute the geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Compute the arithmetic mean; returns 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** speedup = baseline_cycles / experimental_cycles, as a ratio. */
+double speedupRatio(uint64_t baseline_cycles, uint64_t exp_cycles);
+
+/** Convert a speedup ratio to a percent improvement (1.11 -> 11.0). */
+double speedupPercent(double ratio);
+
+/**
+ * An ordered collection of named scalar statistics with dump support.
+ * Simulator components register counters here so harnesses can print a
+ * full machine-state report.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value);
+    void add(const std::string &name, double delta);
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, double> &all() const { return stats_; }
+
+    /** Render "name = value" lines, sorted by name. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+/**
+ * Fixed-width ASCII table builder used by every bench binary so the
+ * regenerated paper tables/figures share one format.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Helpers to format numeric cells consistently. */
+    static std::string fmt(double v, int precision = 1);
+    static std::string fmtInt(uint64_t v);
+
+    /** Render the table with column separators and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_STATS_HH

@@ -1,0 +1,143 @@
+#include "uarch/cache.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    uint64_t total_lines = uint64_t{cfg.sizeKB} * 1024 / cfg.lineBytes;
+    vg_assert(total_lines % cfg.ways == 0, "cache geometry");
+    num_sets_ = static_cast<unsigned>(total_lines / cfg.ways);
+    lines_.resize(total_lines);
+}
+
+uint64_t
+Cache::setIndex(uint64_t addr) const
+{
+    // Modulo (not mask) so non-power-of-two geometries like the
+    // Sec. 6.1 24KB I$ are expressible.
+    return (addr / cfg_.lineBytes) % num_sets_;
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return (addr / cfg_.lineBytes) / num_sets_;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.ways];
+    ++tick_;
+
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+
+    // Allocate: evict the LRU way.
+    Line *victim = base;
+    for (unsigned w = 1; w < cfg_.ways; ++w)
+        if (!base[w].valid ||
+            (victim->valid && base[w].lru < victim->lru)) {
+            victim = &base[w];
+            if (!victim->valid)
+                break;
+        }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    hits_ = misses_ = 0;
+    tick_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig &cfg)
+    : l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2), l3_(cfg.l3),
+      mem_latency_(cfg.memLatency),
+      next_line_prefetch_(cfg.icacheNextLinePrefetch)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::dataAccess(uint64_t addr)
+{
+    MemAccessResult r;
+    if (l1d_.access(addr)) {
+        r.latency = l1d_.latency();
+        r.level = 1;
+        return r;
+    }
+    if (l2_.access(addr)) {
+        r.latency = l2_.latency();
+        r.level = 2;
+        return r;
+    }
+    if (l3_.access(addr)) {
+        r.latency = l3_.latency();
+        r.level = 3;
+        return r;
+    }
+    r.latency = mem_latency_;
+    r.level = 4;
+    return r;
+}
+
+unsigned
+MemoryHierarchy::instAccess(uint64_t line_addr)
+{
+    unsigned penalty;
+    if (l1i_.access(line_addr)) {
+        penalty = 0;
+    } else if (l2_.access(line_addr)) {
+        penalty = l2_.latency();
+    } else if (l3_.access(line_addr)) {
+        penalty = l3_.latency();
+    } else {
+        penalty = mem_latency_;
+    }
+
+    // Optimistic next-line prefetch: bring the sequentially next line
+    // into the I$ (and the levels below) off the critical path.
+    if (next_line_prefetch_) {
+        uint64_t next = line_addr + l1i_.lineBytes();
+        if (!l1i_.contains(next)) {
+            ++inst_prefetches_;
+            l1i_.access(next);
+            if (!l2_.contains(next)) {
+                l2_.access(next);
+                l3_.access(next);
+            }
+        }
+    }
+    return penalty;
+}
+
+} // namespace vanguard

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, and the three-level
+ * hierarchy + main memory of the paper's Table 1.
+ */
+
+#ifndef VANGUARD_UARCH_CACHE_HH
+#define VANGUARD_UARCH_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.hh"
+
+namespace vanguard {
+
+/** One cache level: LRU, write-allocate, tag-only (no data stored). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** True on hit. Misses allocate the line (caller recurses down). */
+    bool access(uint64_t addr);
+
+    /** Probe without allocation or LRU update. */
+    bool contains(uint64_t addr) const;
+
+    void invalidateAll();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+    double
+    missRate() const
+    {
+        return accesses() == 0
+            ? 0.0
+            : static_cast<double>(misses_) /
+                  static_cast<double>(accesses());
+    }
+
+    unsigned latency() const { return cfg_.latency; }
+    unsigned lineBytes() const { return cfg_.lineBytes; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig cfg_;
+    unsigned num_sets_;
+    std::vector<Line> lines_;   ///< num_sets_ x ways, row-major
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Result of one hierarchy access. */
+struct MemAccessResult
+{
+    unsigned latency = 0;   ///< total load-to-use latency in cycles
+    unsigned level = 1;     ///< 1=L1, 2=L2, 3=L3, 4=memory
+};
+
+/**
+ * L1I + L1D backed by a unified L2, L3, and main memory. Instruction
+ * and data accesses share L2/L3 state (unified, as in Table 1).
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MachineConfig &cfg);
+
+    /** Data-side access (loads and stores; write-allocate). */
+    MemAccessResult dataAccess(uint64_t addr);
+
+    /**
+     * Instruction-side access for one cache line. Returns the *extra*
+     * fetch stall beyond the pipelined L1I hit path (0 on hit).
+     */
+    unsigned instAccess(uint64_t line_addr);
+
+    /** Enable next-line instruction prefetching. */
+    void setNextLinePrefetch(bool enable)
+    {
+        next_line_prefetch_ = enable;
+    }
+
+    uint64_t instPrefetches() const { return inst_prefetches_; }
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+
+  private:
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_;
+    unsigned mem_latency_;
+    bool next_line_prefetch_ = false;
+    uint64_t inst_prefetches_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_UARCH_CACHE_HH

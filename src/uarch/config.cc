@@ -1,0 +1,36 @@
+#include "uarch/config.hh"
+
+#include <sstream>
+
+namespace vanguard {
+
+std::string
+MachineConfig::toString() const
+{
+    std::ostringstream os;
+    os << "Bpred            | " << predictor << ", "
+       << (1u << btbIndexBits) << "-entry BTB, " << rasEntries
+       << "-entry RAS\n";
+    os << "Front-End        | " << frontendStages << " stages, "
+       << width << "-wide fetch/decode/dispatch, "
+       << fetchBufferEntries << "-entry FetchBuffer\n";
+    os << "Execution Ports  | " << (memPorts + intPorts + fpPorts)
+       << " (" << memPorts << " LD/ST, " << intPorts << " INT, "
+       << fpPorts << " FP), issue width " << width << "\n";
+    os << "DBB              | " << dbbEntries << " entries, shadow"
+       << " commit " << (shadowCommit ? "on" : "off") << "\n";
+    os << "L1 Caches        | " << l1d.ways << "-way " << l1d.sizeKB
+       << "KB L1-D$, " << l1i.ways << "-way " << l1i.sizeKB
+       << "KB L1-I$, " << l1d.lineBytes << "B lines, " << l1d.latency
+       << "-cycle latency\n";
+    os << "L2 Cache         | " << l2.ways << "-way " << l2.sizeKB
+       << "KB unified, " << l2.latency << "-cycle latency\n";
+    os << "L3 Cache         | " << l3.ways << "-way "
+       << l3.sizeKB / 1024 << "MB LLC, " << l3.latency
+       << "-cycle latency\n";
+    os << "Miss Handling    | " << mshrEntries << "-entry Miss Buffer\n";
+    os << "Main Memory      | " << memLatency << "-cycle latency\n";
+    return os.str();
+}
+
+} // namespace vanguard

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Decomposed Branch Buffer (paper Sec. 4).
+ *
+ * A small front-end FIFO that re-associates a branch's outcome
+ * (observed at the RESOLVE instruction) with its prediction (made at
+ * the PREDICT instruction, at a different PC and time). Each entry
+ * holds the PREDICT's PC, the predicted direction, and "the indices
+ * into the branch prediction table hierarchy and the prediction
+ * metadata" (our PredMeta) needed to train the predictor later.
+ *
+ * Operations (paper Fig. 7):
+ *  - insert: at PREDICT decode, write the entry at the tail; the
+ *    PREDICT is then dropped from the fetch buffer.
+ *  - associate: a RESOLVE at decode reads the tail pointer and carries
+ *    that index down the pipeline (always its immediately preceding
+ *    PREDICT, since the compiler never reorders/interleaves pairs).
+ *  - resolve: at RESOLVE execute, the carried index reads the entry
+ *    out and the predictor is trained; the entry is freed in FIFO
+ *    order.
+ *  - recover: on a *non-decomposed* branch mispredict, the tail
+ *    pointer is rewound alongside branch-history recovery.
+ *  - invalidate-all: optional handling for exceptional control flow
+ *    (interrupts/context switches), suppressing stale updates.
+ */
+
+#ifndef VANGUARD_UARCH_DBB_HH
+#define VANGUARD_UARCH_DBB_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bpred/predictor.hh"
+#include "support/circular_buffer.hh"
+
+namespace vanguard {
+
+struct DbbEntry
+{
+    uint64_t predictPc = 0;
+    PredMeta meta;
+    bool predictedTaken = false;
+    bool valid = true;
+};
+
+class DecomposedBranchBuffer
+{
+  public:
+    explicit DecomposedBranchBuffer(size_t entries = 16)
+        : buf_(entries)
+    {
+    }
+
+    size_t capacity() const { return buf_.capacity(); }
+    size_t occupancy() const { return buf_.size(); }
+    bool full() const { return buf_.full(); }
+    bool empty() const { return buf_.empty(); }
+
+    /** PREDICT decode: insert at the tail; returns the slot index. */
+    size_t
+    insert(uint64_t predict_pc, const PredMeta &meta, bool taken)
+    {
+        size_t slot = buf_.push({predict_pc, meta, taken, true});
+        max_occupancy_ = std::max(max_occupancy_, buf_.size());
+        return slot;
+    }
+
+    /** RESOLVE decode: the index the resolve will carry (the tail). */
+    size_t associateIndex() const { return buf_.lastIndex(); }
+
+    /** RESOLVE execute: free the oldest entry and return it. */
+    DbbEntry resolveOldest() { return buf_.pop(); }
+
+    /** Direct slot read (what the update datapath does). */
+    const DbbEntry &at(size_t slot) const { return buf_.at(slot); }
+
+    /** Non-decomposed mispredict recovery: squash the n youngest. */
+    void recoverTail(size_t n) { buf_.squashYoungest(n); }
+
+    /** Exceptional-control-flow handling: poison all live entries. */
+    void
+    invalidateAll()
+    {
+        for (size_t i = 0; i < buf_.capacity(); ++i)
+            buf_.at(i).valid = false;
+    }
+
+    size_t maxOccupancy() const { return max_occupancy_; }
+
+  private:
+    CircularBuffer<DbbEntry> buf_;
+    size_t max_occupancy_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_UARCH_DBB_HH

@@ -1,0 +1,513 @@
+#include "uarch/pipeline.hh"
+
+#include <cstring>
+#include <deque>
+#include <set>
+
+#include "bpred/btb.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** Online cycle-accounting state for the in-order pipeline. */
+class TimingModel
+{
+  public:
+    TimingModel(const Program &prog, Memory &mem,
+                DirectionPredictor &predictor, const MachineConfig &cfg,
+                const SimOptions &opts)
+        : prog_(prog), predictor_(predictor), cfg_(cfg), opts_(opts),
+          hier_(cfg), btb_(cfg.btbIndexBits), dbb_(cfg.dbbEntries),
+          exec_(prog, mem),
+          fetch_ring_(cfg.fetchBufferEntries, 0)
+    {
+        exec_.setPredictHook([this](const LaidInst &li) {
+            return onPredictFetch(li);
+        });
+    }
+
+    SimStats run();
+
+  private:
+    // --- fetch-side helpers -------------------------------------------
+
+    /** Fetch one instruction; returns its fetch cycle. */
+    uint64_t
+    fetchInst(const LaidInst &li, uint64_t inst_seq)
+    {
+        uint64_t f = next_fetch_cycle_;
+
+        // Fetch buffer back-pressure: slot of inst (seq - N) must have
+        // drained.
+        size_t n = cfg_.fetchBufferEntries;
+        if (inst_seq >= n) {
+            uint64_t freed = fetch_ring_[inst_seq % n];
+            if (freed > f) {
+                f = freed;
+                ++stats_.fetchBufferStalls;
+            }
+        }
+
+        // I-cache: access on each new line.
+        uint64_t line = li.pc & ~uint64_t{cfg_.l1i.lineBytes - 1};
+        if (line != cur_fetch_line_) {
+            ++stats_.icacheLineAccesses;
+            unsigned extra = hier_.instAccess(line);
+            if (extra > 0) {
+                ++stats_.icacheMisses;
+                f += extra;
+            }
+            cur_fetch_line_ = line;
+        }
+
+        // Bandwidth: width insts per cycle.
+        if (f > cur_fetch_cycle_) {
+            cur_fetch_cycle_ = f;
+            fetched_in_cycle_ = 0;
+        }
+        if (fetched_in_cycle_ >= cfg_.width) {
+            ++cur_fetch_cycle_;
+            fetched_in_cycle_ = 0;
+        }
+        f = cur_fetch_cycle_;
+        ++fetched_in_cycle_;
+        ++stats_.fetched;
+        next_fetch_cycle_ = cur_fetch_cycle_;
+        return f;
+    }
+
+    /** Record when an instruction leaves the fetch buffer. */
+    void
+    recordDrain(uint64_t inst_seq, uint64_t leave_cycle)
+    {
+        fetch_ring_[inst_seq % cfg_.fetchBufferEntries] = leave_cycle;
+    }
+
+    /** Steer fetch for a taken (correctly-predicted) control transfer. */
+    void
+    takenRedirect(uint64_t pc, uint64_t target, uint64_t fetch_cycle,
+                  uint64_t decode_cycle)
+    {
+        uint64_t btb_target = 0;
+        bool hit = btb_.lookup(pc, btb_target) && btb_target == target;
+        next_fetch_cycle_ =
+            std::max(next_fetch_cycle_,
+                     hit ? fetch_cycle + 1 : decode_cycle + 1);
+        btb_.insert(pc, target);
+        cur_fetch_line_ = ~uint64_t{0};
+    }
+
+    /** Squash-and-redirect after a mispredict resolves at `done`. */
+    void
+    mispredictRedirect(uint64_t done)
+    {
+        next_fetch_cycle_ = std::max(next_fetch_cycle_, done);
+        cur_fetch_line_ = ~uint64_t{0};
+    }
+
+    // --- issue-side helpers -------------------------------------------
+
+    unsigned
+    portCap(FuClass cls) const
+    {
+        switch (cls) {
+          case FuClass::Mem:
+            return cfg_.memPorts;
+          case FuClass::IntAlu:
+            return cfg_.intPorts;
+          case FuClass::Fp:
+            return cfg_.fpPorts;
+          case FuClass::None:
+            return cfg_.width;
+        }
+        return cfg_.width;
+    }
+
+    /** In-order issue: find the first cycle >= earliest with a free
+     *  slot and FU port, and claim them. */
+    uint64_t
+    computeIssue(uint64_t earliest, FuClass cls)
+    {
+        uint64_t c = std::max(earliest, prev_issue_cycle_);
+        for (;;) {
+            if (c > cur_issue_cycle_) {
+                cur_issue_cycle_ = c;
+                slots_used_ = 0;
+                std::memset(ports_used_, 0, sizeof(ports_used_));
+            }
+            unsigned cls_idx = static_cast<unsigned>(cls);
+            if (slots_used_ < cfg_.width &&
+                ports_used_[cls_idx] < portCap(cls)) {
+                ++slots_used_;
+                ++ports_used_[cls_idx];
+                prev_issue_cycle_ = c;
+                return c;
+            }
+            ++c;
+        }
+    }
+
+    uint64_t
+    srcReady(const Instruction &inst) const
+    {
+        uint64_t ready = 0;
+        for (RegId src : {inst.src1, inst.src2, inst.src3})
+            if (src != kNoReg)
+                ready = std::max(ready, reg_ready_[src]);
+        return ready;
+    }
+
+    /**
+     * Branch-resolution stall accounting (the paper's ASPCB): cycles
+     * between the branch reaching the issue stage and actually
+     * issuing — queueing behind older in-flight work plus waiting for
+     * its own condition operands.
+     */
+    void
+    noteBranchStall(const Instruction &inst, uint64_t issue,
+                    uint64_t enter_issue)
+    {
+        uint64_t stall = issue - enter_issue;
+        stats_.branchStallCycles += stall;
+        ++stats_.branchStallEvents;
+        if (opts_.collectBranchStalls) {
+            InstId key = inst.op == Opcode::RESOLVE ? inst.origBranch
+                                                    : inst.id;
+            auto &entry = stats_.branchStalls[key];
+            entry.first += stall;
+            entry.second += 1;
+        }
+    }
+
+    void
+    traceRecord(const LaidInst &li, uint64_t fetch, uint64_t issue,
+                uint64_t done, bool issued, bool redirected)
+    {
+        if (opts_.trace != nullptr && opts_.trace->wants()) {
+            opts_.trace->record({li.pc, li.inst.op, fetch, issue, done,
+                                 issued, redirected});
+        }
+    }
+
+    // --- decomposed-branch front end ----------------------------------
+
+    /** Predict hook: called by the executor when a PREDICT is reached;
+     *  the returned direction is the architectural path. */
+    bool
+    onPredictFetch(const LaidInst &li)
+    {
+        PredMeta meta;
+        bool dir;
+        if (opts_.predictOutcomes != nullptr) {
+            vg_assert(predict_seq_ < opts_.predictOutcomes->size(),
+                      "prerecorded predict outcomes exhausted");
+            dir = predictor_.predictWithOracle(
+                li.pc, (*opts_.predictOutcomes)[predict_seq_], meta);
+        } else {
+            dir = predictor_.predict(li.pc, meta);
+        }
+        ++predict_seq_;
+        pending_predict_ = {li.pc, meta, dir, true};
+        return dir;
+    }
+
+    // --- per-opcode timing --------------------------------------------
+
+    void timeInst(const ProgramExecutor::StepInfo &info,
+                  uint64_t inst_seq);
+
+    const Program &prog_;
+    DirectionPredictor &predictor_;
+    const MachineConfig &cfg_;
+    const SimOptions &opts_;
+
+    MemoryHierarchy hier_;
+    BranchTargetBuffer btb_;
+    DecomposedBranchBuffer dbb_;
+    ProgramExecutor exec_;
+    SimStats stats_;
+
+    // fetch state
+    uint64_t next_fetch_cycle_ = 0;
+    uint64_t cur_fetch_cycle_ = 0;
+    unsigned fetched_in_cycle_ = 0;
+    uint64_t cur_fetch_line_ = ~uint64_t{0};
+    std::vector<uint64_t> fetch_ring_;
+
+    // issue state
+    uint64_t prev_issue_cycle_ = 0;
+    uint64_t cur_issue_cycle_ = 0;
+    unsigned slots_used_ = 0;
+    unsigned ports_used_[4] = {};
+    uint64_t reg_ready_[kNumRegs] = {};
+
+    // memory-system state
+    std::multiset<uint64_t> outstanding_misses_;
+
+    // DBB timing state: free cycles of inserted entries, FIFO order.
+    std::deque<uint64_t> dbb_free_cycles_;
+
+    uint64_t predict_seq_ = 0;
+    DbbEntry pending_predict_;
+    uint64_t max_done_ = 0;
+};
+
+void
+TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
+                      uint64_t inst_seq)
+{
+    const LaidInst &li = *info.inst;
+    const Instruction &inst = li.inst;
+
+    uint64_t f = fetchInst(li, inst_seq);
+    uint64_t decode = f + 1;
+    uint64_t enter_issue = f + cfg_.frontendStages - 1;
+    max_done_ = std::max(max_done_, enter_issue);
+
+    switch (inst.op) {
+      case Opcode::HALT:
+        recordDrain(inst_seq, decode);
+        traceRecord(li, f, decode, decode, false, false);
+        stats_.halted = true;
+        return;
+
+      case Opcode::JMP:
+        // Direct jumps are handled in the front end; no issue slot.
+        recordDrain(inst_seq, decode);
+        takenRedirect(li.pc, li.takenPc, f, decode);
+        traceRecord(li, f, decode, decode, false, false);
+        return;
+
+      case Opcode::PREDICT: {
+        ++stats_.predictsExecuted;
+        // DBB insert at decode; stall the front end when full.
+        while (!dbb_free_cycles_.empty() &&
+               dbb_free_cycles_.front() <= decode) {
+            dbb_free_cycles_.pop_front();
+        }
+        while (dbb_free_cycles_.size() >= cfg_.dbbEntries) {
+            ++stats_.dbbFullStalls;
+            decode = std::max(decode, dbb_free_cycles_.front() + 1);
+            dbb_free_cycles_.pop_front();
+            next_fetch_cycle_ =
+                std::max(next_fetch_cycle_, decode - 1);
+        }
+        stats_.dbbMaxOccupancy =
+            std::max<uint64_t>(stats_.dbbMaxOccupancy,
+                               dbb_free_cycles_.size() + 1);
+        dbb_.insert(pending_predict_.predictPc, pending_predict_.meta,
+                    pending_predict_.predictedTaken);
+        recordDrain(inst_seq, decode); // dropped after decode
+        if (info.taken)
+            takenRedirect(li.pc, li.takenPc, f, decode);
+        traceRecord(li, f, decode, decode, false, false);
+        return;
+      }
+
+      case Opcode::BR: {
+        ++stats_.condBranches;
+        PredMeta meta;
+        bool pred =
+            predictor_.predictWithOracle(li.pc, info.taken, meta);
+        predictor_.updateHistory(info.taken);
+        predictor_.update(li.pc, info.taken, meta);
+
+        uint64_t earliest = std::max(enter_issue, srcReady(inst));
+        uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
+        uint64_t done = issue + 1;
+        max_done_ = std::max(max_done_, done);
+        ++stats_.issued;
+        recordDrain(inst_seq, issue);
+        noteBranchStall(inst, issue, enter_issue);
+
+        bool mispredicted = pred != info.taken;
+        if (mispredicted) {
+            ++stats_.brMispredicts;
+            mispredictRedirect(done);
+            if (info.taken)
+                btb_.insert(li.pc, li.takenPc);
+        } else if (info.taken) {
+            takenRedirect(li.pc, li.takenPc, f, decode);
+        }
+        traceRecord(li, f, issue, done, true, mispredicted);
+        return;
+      }
+
+      case Opcode::RESOLVE: {
+        ++stats_.resolvesExecuted;
+        // Associate with the oldest outstanding PREDICT (paper: the
+        // tail-pointer index captured at decode) and train through it.
+        DbbEntry entry = dbb_.resolveOldest();
+        bool outcome = info.taken ? !inst.resolvePathTaken
+                                  : inst.resolvePathTaken;
+        if (entry.valid) {
+            predictor_.updateHistory(outcome);
+            predictor_.update(entry.predictPc, outcome, entry.meta);
+        }
+
+        uint64_t earliest = std::max(enter_issue, srcReady(inst));
+        uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
+        uint64_t done = issue + 1;
+        max_done_ = std::max(max_done_, done);
+        ++stats_.issued;
+        recordDrain(inst_seq, issue);
+        noteBranchStall(inst, issue, enter_issue);
+        dbb_free_cycles_.push_back(done);
+
+        if (info.taken) {
+            // The PREDICT was wrong: redirect to correction code.
+            ++stats_.resolveRedirects;
+            mispredictRedirect(done);
+        }
+        traceRecord(li, f, issue, done, true, info.taken);
+        return;
+      }
+
+      default:
+        break;
+    }
+
+    // Shadow-commit folding: temp->arch MOVs become rename updates.
+    if (cfg_.shadowCommit && inst.op == Opcode::MOV &&
+        isTempReg(inst.src1) && isArchReg(inst.dst)) {
+        reg_ready_[inst.dst] = reg_ready_[inst.src1];
+        ++stats_.foldedCommitMovs;
+        recordDrain(inst_seq, decode);
+        traceRecord(li, f, decode, decode, false, false);
+        return;
+    }
+
+    if (opts_.hoistedMask != nullptr && inst.id != kNoInst &&
+        inst.id < opts_.hoistedMask->size() &&
+        (*opts_.hoistedMask)[inst.id]) {
+        ++stats_.speculativeExecs;
+    }
+
+    uint64_t earliest = std::max(enter_issue, srcReady(inst));
+    FuClass cls = inst.fuClass();
+    uint64_t done;
+
+    if (inst.isLoad()) {
+        // Miss-buffer occupancy gating.
+        while (!outstanding_misses_.empty() &&
+               *outstanding_misses_.begin() <= earliest) {
+            outstanding_misses_.erase(outstanding_misses_.begin());
+        }
+        while (outstanding_misses_.size() >= cfg_.mshrEntries) {
+            ++stats_.mshrStalls;
+            earliest = std::max(earliest,
+                                *outstanding_misses_.begin());
+            outstanding_misses_.erase(outstanding_misses_.begin());
+        }
+        uint64_t issue = computeIssue(earliest, cls);
+        MemAccessResult res = hier_.dataAccess(info.memAddr);
+        ++stats_.l1dAccesses;
+        if (res.level >= 2)
+            ++stats_.l1dMisses;
+        if (res.level >= 3)
+            ++stats_.l2Misses;
+        if (res.level >= 4)
+            ++stats_.l3Misses;
+        done = issue + res.latency;
+        if (res.level >= 2)
+            outstanding_misses_.insert(done);
+        reg_ready_[inst.dst] = done;
+        recordDrain(inst_seq, issue);
+    } else if (inst.isStore()) {
+        uint64_t issue = computeIssue(earliest, cls);
+        MemAccessResult res = hier_.dataAccess(info.memAddr);
+        ++stats_.l1dAccesses;
+        if (res.level >= 2)
+            ++stats_.l1dMisses;
+        if (res.level >= 3)
+            ++stats_.l2Misses;
+        if (res.level >= 4)
+            ++stats_.l3Misses;
+        // Stores retire through the store buffer; 1 cycle to the
+        // pipeline.
+        done = issue + 1;
+        recordDrain(inst_seq, issue);
+    } else {
+        uint64_t issue = computeIssue(earliest, cls);
+        done = issue + inst.latency();
+        if (inst.writesDst())
+            reg_ready_[inst.dst] = done;
+        recordDrain(inst_seq, issue);
+    }
+    ++stats_.issued;
+    max_done_ = std::max(max_done_, done);
+    traceRecord(li, f, prev_issue_cycle_, done, true, false);
+}
+
+SimStats
+TimingModel::run()
+{
+    uint64_t inst_seq = 0;
+    while (!exec_.halted() && stats_.dynamicInsts < opts_.maxInsts) {
+        auto info = exec_.step();
+        if (info.inst == nullptr)
+            break;
+        ++stats_.dynamicInsts;
+        if (info.fault) {
+            stats_.faulted = true;
+            break;
+        }
+        timeInst(info, inst_seq);
+        ++inst_seq;
+        if (stats_.halted)
+            break;
+    }
+    stats_.cycles = max_done_ + 1;
+    return stats_;
+}
+
+} // namespace
+
+SimStats
+simulate(const Program &prog, Memory &mem,
+         DirectionPredictor &predictor, const MachineConfig &cfg,
+         const SimOptions &opts)
+{
+    TimingModel model(prog, mem, predictor, cfg, opts);
+    return model.run();
+}
+
+std::vector<bool>
+prerecordPredictOutcomes(const Program &prog, const Memory &mem,
+                         uint64_t max_insts)
+{
+    Memory scratch = mem; // functional pre-pass must not disturb state
+    ProgramExecutor exec(prog, scratch);
+    std::vector<bool> outcomes;
+
+    exec.setPredictHook([&](const LaidInst &) {
+        outcomes.push_back(false); // placeholder; filled at RESOLVE
+        return false;
+    });
+
+    std::deque<size_t> pending;
+    uint64_t steps = 0;
+    size_t predict_count = 0;
+    while (!exec.halted() && steps < max_insts) {
+        auto info = exec.step();
+        if (info.inst == nullptr)
+            break;
+        ++steps;
+        if (info.inst->inst.op == Opcode::PREDICT) {
+            pending.push_back(predict_count++);
+        } else if (info.inst->inst.op == Opcode::RESOLVE) {
+            vg_assert(!pending.empty(),
+                      "RESOLVE without outstanding PREDICT");
+            bool outcome = info.taken
+                ? !info.inst->inst.resolvePathTaken
+                : info.inst->inst.resolvePathTaken;
+            outcomes[pending.front()] = outcome;
+            pending.pop_front();
+        }
+    }
+    return outcomes;
+}
+
+} // namespace vanguard

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-level in-order superscalar timing model.
+ *
+ * Execution-driven: a ProgramExecutor supplies the committed
+ * instruction stream in program order (branch predictions steer
+ * PREDICT instructions architecturally — in decomposed code the
+ * predicted path is the architectural path), and the model assigns
+ * fetch/issue/complete cycles online honoring:
+ *
+ *  - fetch: width insts/cycle, I$ line misses, 32-entry fetch buffer
+ *    back-pressure, taken-branch redirect (1 cycle with BTB hit,
+ *    decode re-steer on BTB miss), mispredict redirect (fetch resumes
+ *    after the branch executes),
+ *  - issue: strictly in order (head-of-line blocking), scoreboarded
+ *    operand readiness with single-cycle full bypass, per-class FU
+ *    ports, 64-entry miss buffer (MSHR) occupancy,
+ *  - decomposed-branch hardware: PREDICTs are dropped at decode after
+ *    inserting into the DBB (stalling when it is full); RESOLVEs are
+ *    statically predicted not-taken, train the predictor through the
+ *    DBB entry of their PREDICT, and redirect (mispredict-style) when
+ *    taken; commit MOVs (temp->arch) are folded free at decode when
+ *    the shadow-commit feature is on.
+ *
+ * Wrong-path instructions are not fetched/issued (their cycle cost is
+ * charged as redirect delay); see DESIGN.md for the fidelity
+ * discussion.
+ */
+
+#ifndef VANGUARD_UARCH_PIPELINE_HH
+#define VANGUARD_UARCH_PIPELINE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "compiler/layout.hh"
+#include "uarch/cache.hh"
+#include "uarch/config.hh"
+#include "uarch/dbb.hh"
+#include "uarch/trace.hh"
+
+namespace vanguard {
+
+struct SimOptions
+{
+    uint64_t maxInsts = 50'000'000;
+
+    /**
+     * Pre-recorded original-branch outcomes for each dynamic PREDICT,
+     * in execution order (needed only by oracle predictors, whose
+     * prediction is a function of the actual outcome). Produced by
+     * prerecordPredictOutcomes().
+     */
+    const std::vector<bool> *predictOutcomes = nullptr;
+
+    /**
+     * Optional mask over InstIds marking speculatively hoisted clones;
+     * their dynamic executions are counted in SimStats::speculativeExecs
+     * (the PDIH numerator).
+     */
+    const std::vector<bool> *hoistedMask = nullptr;
+
+    /** Collect per-branch issue-stall cycles (ASPCB ingredient). */
+    bool collectBranchStalls = false;
+
+    /** Optional pipeline timeline collector (see uarch/trace.hh). */
+    PipelineTrace *trace = nullptr;
+};
+
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t dynamicInsts = 0;  ///< committed program-order instructions
+    uint64_t fetched = 0;
+    uint64_t issued = 0;        ///< consumed an issue slot
+
+    uint64_t condBranches = 0;      ///< dynamic BRs
+    uint64_t brMispredicts = 0;     ///< BR direction mispredicts
+    uint64_t predictsExecuted = 0;
+    uint64_t resolvesExecuted = 0;
+    uint64_t resolveRedirects = 0;  ///< RESOLVE taken (mispredict fixups)
+
+    uint64_t icacheLineAccesses = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Misses = 0;
+
+    uint64_t branchStallCycles = 0;   ///< operand-wait at issue (BR+RESOLVE)
+    uint64_t branchStallEvents = 0;
+    uint64_t dbbFullStalls = 0;
+    uint64_t dbbMaxOccupancy = 0;
+    uint64_t fetchBufferStalls = 0;
+    uint64_t mshrStalls = 0;
+    uint64_t speculativeExecs = 0;
+    uint64_t foldedCommitMovs = 0;
+
+    bool halted = false;
+    bool faulted = false;
+
+    /** Per-branch-id (stall cycles, events); filled when requested. */
+    std::unordered_map<InstId, std::pair<uint64_t, uint64_t>>
+        branchStalls;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(dynamicInsts) /
+                  static_cast<double>(cycles);
+    }
+
+    double
+    mppki() const
+    {
+        return dynamicInsts == 0
+            ? 0.0
+            : 1000.0 *
+                  static_cast<double>(brMispredicts + resolveRedirects) /
+                  static_cast<double>(dynamicInsts);
+    }
+};
+
+/**
+ * Run prog to completion on the modeled machine.
+ *
+ * @param prog      laid-out program.
+ * @param mem       initialized data memory (mutated).
+ * @param predictor direction predictor (trained during the run).
+ */
+SimStats simulate(const Program &prog, Memory &mem,
+                  DirectionPredictor &predictor,
+                  const MachineConfig &cfg, const SimOptions &opts = {});
+
+/**
+ * Functionally pre-execute prog and record, for every dynamic PREDICT,
+ * the outcome of the original branch it stands for (reconstructed from
+ * its RESOLVE). The outcome sequence is prediction-independent by
+ * construction of the transformation.
+ */
+std::vector<bool> prerecordPredictOutcomes(const Program &prog,
+                                           const Memory &mem,
+                                           uint64_t max_insts);
+
+} // namespace vanguard
+
+#endif // VANGUARD_UARCH_PIPELINE_HH

@@ -1,0 +1,59 @@
+#include "uarch/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vanguard {
+
+std::string
+PipelineTrace::render(size_t max_cycles) const
+{
+    if (entries_.empty())
+        return "(empty trace)\n";
+
+    uint64_t base = entries_.front().fetchCycle;
+    std::ostringstream os;
+    os << "cycle offset from " << base << "; F fetch, I issue, = exec,"
+       << " D done, . in-flight, ! redirect\n";
+
+    for (const TraceEntry &e : entries_) {
+        uint64_t f = e.fetchCycle - base;
+        if (f >= max_cycles)
+            break;
+        uint64_t i = e.issueCycle - base;
+        uint64_t d = e.doneCycle - base;
+
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%08llx %-8s |",
+                      static_cast<unsigned long long>(e.pc),
+                      std::string(opcodeName(e.op)).c_str());
+        os << buf;
+
+        uint64_t end = std::min<uint64_t>(d, max_cycles - 1);
+        for (uint64_t c = 0; c <= end; ++c) {
+            char mark = ' ';
+            if (c == f) {
+                mark = 'F';
+            } else if (!e.issued) {
+                if (c > f && c <= i)
+                    mark = '.';
+            } else if (c == i) {
+                mark = 'I';
+            } else if (c == d) {
+                mark = e.redirected ? '!' : 'D';
+            } else if (c > f && c < i) {
+                mark = '.';
+            } else if (c > i && c < d) {
+                mark = '=';
+            }
+            os << mark;
+        }
+        if (d >= max_cycles)
+            os << "...";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vanguard

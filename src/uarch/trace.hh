@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pipeline tracing: per-instruction fetch/issue/complete cycles for a
+ * window of the simulation, plus a text Gantt renderer. The debugging
+ * view that makes in-order stalls visible: a branch whose condition
+ * waits on a missing load shows as a long F......I gap that the
+ * decomposed version fills with hoisted loads.
+ */
+
+#ifndef VANGUARD_UARCH_TRACE_HH
+#define VANGUARD_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace vanguard {
+
+struct TraceEntry
+{
+    uint64_t pc = 0;
+    Opcode op = Opcode::NOP;
+    uint64_t fetchCycle = 0;
+    uint64_t issueCycle = 0;    ///< == decode for non-issuing ops
+    uint64_t doneCycle = 0;
+    bool issued = false;        ///< false: dropped at decode
+    bool redirected = false;    ///< caused a fetch redirect
+};
+
+/** Collects the first `limit` instructions' timing. */
+class PipelineTrace
+{
+  public:
+    explicit PipelineTrace(size_t limit = 256) : limit_(limit) {}
+
+    bool
+    wants() const
+    {
+        return entries_.size() < limit_;
+    }
+
+    void
+    record(const TraceEntry &entry)
+    {
+        if (wants())
+            entries_.push_back(entry);
+    }
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+    void clear() { entries_.clear(); }
+
+    /**
+     * Render a text timeline: one row per instruction, one column per
+     * cycle. 'F' fetch, '-' in flight, 'I' issue, '=' executing,
+     * 'D' done, '!' redirect. Rows are clipped to `max_cycles`
+     * columns from the window's first fetch.
+     */
+    std::string render(size_t max_cycles = 100) const;
+
+  private:
+    size_t limit_;
+    std::vector<TraceEntry> entries_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_UARCH_TRACE_HH

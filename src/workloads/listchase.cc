@@ -1,0 +1,118 @@
+#include "workloads/listchase.hh"
+
+#include <numeric>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+constexpr uint64_t kNodeBase = 4096;
+constexpr uint64_t kNodeBytes = 64;
+constexpr int64_t kOffNext = 0;
+constexpr int64_t kOffFlag = 8;
+constexpr int64_t kOffPayloadA = 16;
+constexpr int64_t kOffPayloadB = 24;
+
+} // namespace
+
+BuiltKernel
+buildListChaseKernel(const ListChaseSpec &spec, uint64_t input_seed)
+{
+    vg_assert(spec.nodes >= 2);
+    Rng rng(input_seed ^ 0x11cc11ccULL);
+
+    uint64_t total = kNodeBase + spec.nodes * kNodeBytes + 4096;
+    BuiltKernel out{Function(spec.name),
+                    std::make_unique<Memory>(total)};
+    Memory &mem = *out.mem;
+
+    // --- build the traversal cycle --------------------------------------
+    std::vector<uint64_t> order(spec.nodes);
+    std::iota(order.begin(), order.end(), 0);
+    if (spec.randomOrder) {
+        for (size_t i = spec.nodes - 1; i > 0; --i) {
+            size_t j = rng.below(i + 1);
+            std::swap(order[i], order[j]);
+        }
+    }
+    auto node_addr = [](uint64_t n) {
+        return kNodeBase + n * kNodeBytes;
+    };
+    auto flags = synthesizeOutcomes(spec.stream, spec.nodes, rng);
+    for (uint64_t k = 0; k < spec.nodes; ++k) {
+        uint64_t node = order[k];
+        uint64_t next = order[(k + 1) % spec.nodes];
+        mem.write64(node_addr(node) + kOffNext,
+                    static_cast<int64_t>(node_addr(next)));
+        mem.write64(node_addr(node) + kOffFlag, flags[k]);
+        mem.write64(node_addr(node) + kOffPayloadA,
+                    static_cast<int64_t>(rng.below(256)));
+        mem.write64(node_addr(node) + kOffPayloadB,
+                    static_cast<int64_t>(rng.below(256)));
+    }
+
+    // --- code ------------------------------------------------------------
+    Function &fn = out.fn;
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId head = fn.addBlock("head");
+    BlockId t = fn.addBlock("T");
+    BlockId f = fn.addBlock("F");
+    BlockId latch = fn.addBlock("latch");
+    BlockId exit = fn.addBlock("exit");
+
+    b.movi(0, 0);
+    b.movi(1, static_cast<int64_t>(spec.iterations));
+    b.movi(2, static_cast<int64_t>(node_addr(order[0])));
+    b.movi(3, 0);
+    b.jmp(head);
+
+    // head: the chase hop and the flag branch — both loads off `cur`.
+    b.setInsertPoint(head);
+    b.load(16, 2, kOffNext);
+    b.load(17, 2, kOffFlag);
+    b.cmpi(Opcode::CMPNE, 18, 17, 0);
+    b.br(18, t, f);
+
+    auto emit_side = [&](BlockId side, int64_t first_off,
+                         Opcode mix_op) {
+        b.setInsertPoint(side);
+        for (unsigned l = 0; l < spec.payloadLoads; ++l) {
+            b.load(static_cast<RegId>(19 + (l % 4)), 2,
+                   first_off + static_cast<int64_t>(l % 2) * 8);
+        }
+        for (unsigned k = 0; k < spec.aluPerSide; ++k) {
+            RegId v = static_cast<RegId>(
+                19 + (spec.payloadLoads ? k % spec.payloadLoads % 4
+                                        : 0));
+            if (k % 2 == 0)
+                b.add(3, 3, v);
+            else
+                b.op2(mix_op, 3, 3, v);
+        }
+        b.jmp(latch);
+    };
+    emit_side(t, kOffPayloadA, Opcode::XOR);
+    emit_side(f, kOffPayloadB, Opcode::SUB);
+
+    b.setInsertPoint(latch);
+    b.mov(2, 16); // cur = next: the serializing hop
+    b.addi(0, 0, 1);
+    b.cmp(Opcode::CMPLT, 20, 0, 1);
+    b.br(20, head, exit);
+
+    b.setInsertPoint(exit);
+    b.movi(21, 8);
+    b.store(21, 0, 3); // publish the accumulator at address 8
+    b.halt();
+
+    std::string err = fn.verify();
+    vg_assert(err.empty(), "listchase kernel invalid: %s",
+              err.c_str());
+    return out;
+}
+
+} // namespace vanguard

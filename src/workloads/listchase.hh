@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Pointer-chase kernel family: a linked-list traversal whose per-node
+ * branch outcomes follow a Markov run stream baked into the nodes.
+ *
+ * This is the paper's mcf-class scenario taken to the extreme: the
+ * *next* condition load depends on the current node's `next` pointer,
+ * so consecutive hammocks cannot overlap via induction-variable
+ * addressing at all — the traversal is one long dependent-load chain.
+ * Decomposition can still hoist the per-node payload loads into the
+ * resolution shadow, but it cannot shorten the chase itself ("a large
+ * number of long latency misses which is difficult for the code
+ * generator to cover", Sec. 5.1).
+ *
+ * Node layout (64 bytes, one cache line):
+ *   +0  next pointer
+ *   +8  flag (the branch outcome for this visit)
+ *   +16 payloadA
+ *   +24 payloadB
+ */
+
+#ifndef VANGUARD_WORKLOADS_LISTCHASE_HH
+#define VANGUARD_WORKLOADS_LISTCHASE_HH
+
+#include "workloads/kernel.hh"
+#include "workloads/stream.hh"
+
+namespace vanguard {
+
+struct ListChaseSpec
+{
+    const char *name = "listchase";
+    uint64_t nodes = 4096;          ///< list length (footprint dial)
+    uint64_t iterations = 20000;    ///< node visits
+    unsigned payloadLoads = 2;      ///< loads per hammock side
+    unsigned aluPerSide = 2;
+    StreamParams stream{0.5, 0.06}; ///< per-node branch behaviour
+    bool randomOrder = true;        ///< shuffled vs sequential links
+};
+
+/**
+ * Build the kernel + memory image. The flag at each node is set from
+ * the Markov stream in traversal order, so the dynamic branch-outcome
+ * sequence of the single hot branch IS the stream (bias and
+ * predictability dials apply directly).
+ */
+BuiltKernel buildListChaseKernel(const ListChaseSpec &spec,
+                                 uint64_t input_seed);
+
+} // namespace vanguard
+
+#endif // VANGUARD_WORKLOADS_LISTCHASE_HH

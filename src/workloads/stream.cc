@@ -1,0 +1,57 @@
+#include "workloads/stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+FlipThresholds
+flipThresholds(const StreamParams &params)
+{
+    double b = params.takenFraction;
+    double m = params.flipRate;
+    vg_assert(b > 0.0 && b < 1.0, "bias must be in (0,1)");
+    vg_assert(m >= 0.0 && m <= 1.0);
+
+    double p_taken = std::min(1.0, m / (2.0 * b));
+    double p_not = std::min(1.0, m / (2.0 * (1.0 - b)));
+
+    FlipThresholds t;
+    t.whenTaken = static_cast<int64_t>(std::llround(p_taken * 256.0));
+    t.whenNotTaken =
+        static_cast<int64_t>(std::llround(p_not * 256.0));
+    return t;
+}
+
+std::vector<uint8_t>
+synthesizeOutcomes(const StreamParams &params, size_t n, Rng &rng)
+{
+    FlipThresholds t = flipThresholds(params);
+    std::vector<uint8_t> out(n);
+    uint8_t state = rng.chance(params.takenFraction) ? 1 : 0;
+    for (size_t i = 0; i < n; ++i) {
+        int64_t byte = static_cast<int64_t>(rng.below(256));
+        int64_t thresh = state ? t.whenTaken : t.whenNotTaken;
+        if (byte < thresh)
+            state ^= 1;
+        out[i] = state;
+    }
+    return out;
+}
+
+double
+expectedPredictability(const StreamParams &params)
+{
+    // "Repeat last outcome" is right except at run boundaries.
+    return 1.0 - params.flipRate;
+}
+
+double
+expectedBias(const StreamParams &params)
+{
+    return std::max(params.takenFraction, 1.0 - params.takenFraction);
+}
+
+} // namespace vanguard

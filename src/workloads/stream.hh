@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Branch-outcome stream synthesis with independently controlled BIAS
+ * and PREDICTABILITY — the knob that lets the synthetic suite occupy
+ * every quadrant of the paper's Figure 1.
+ *
+ * Each synthetic branch's outcome is a two-state Markov chain kept in
+ * data memory: the branch repeats its previous outcome and flips with
+ * a state-dependent probability drawn from an in-register xorshift
+ * PRNG. Choosing the flip probabilities
+ *
+ *      pT = m / (2b)        (flip prob while in the taken state)
+ *      pN = m / (2(1-b))    (flip prob while in the not-taken state)
+ *
+ * yields a stationary taken-fraction of exactly b while the total
+ * flip rate is m. A history-based predictor learns the run structure
+ * ("repeat the last outcome") and mispredicts only at the (PRNG-
+ * random, hence unlearnable) run boundaries, so
+ *
+ *      predictability ~= 1 - m,     bias ~= max(b, 1-b)
+ *
+ * independently tunable — a 50/50, m=0.06 stream is the paper's
+ * predictable-but-unbiased branch; b=0.94, m=0.03 is a classic
+ * superblock candidate; b=0.5, m=0.5 is predication's home turf.
+ */
+
+#ifndef VANGUARD_WORKLOADS_STREAM_HH
+#define VANGUARD_WORKLOADS_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace vanguard {
+
+struct StreamParams
+{
+    double takenFraction = 0.5;     ///< stationary bias target b
+    double flipRate = 0.06;         ///< run-boundary rate m (= 1 - q)
+};
+
+/** 0..256 thresholds the kernel compares PRNG bytes against. */
+struct FlipThresholds
+{
+    int64_t whenTaken = 0;      ///< pT * 256
+    int64_t whenNotTaken = 0;   ///< pN * 256
+};
+
+FlipThresholds flipThresholds(const StreamParams &params);
+
+/** Host-side reference generator (for tests): n outcomes. */
+std::vector<uint8_t> synthesizeOutcomes(const StreamParams &params,
+                                        size_t n, Rng &rng);
+
+/** Analytic estimates for sanity checks and tests. */
+double expectedPredictability(const StreamParams &params);
+double expectedBias(const StreamParams &params);
+
+} // namespace vanguard
+
+#endif // VANGUARD_WORKLOADS_STREAM_HH

@@ -1,0 +1,150 @@
+#include "workloads/suites.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+namespace {
+
+/**
+ * Compact row constructor. Argument order:
+ *   name, fp, hPU, hBP, hUP, loads, chained, alu, fpops, stores,
+ *   noisePU, takenPU, wsKB, stride, condChain, storesEarly, iterations
+ */
+BenchmarkSpec
+row(const char *name, bool fp, unsigned pu, unsigned bp, unsigned up,
+    unsigned loads, unsigned chained, unsigned alu, unsigned fpops,
+    unsigned stores, double noise, double taken, unsigned ws_kb,
+    unsigned stride, unsigned cond_chain, bool stores_early,
+    uint64_t iters = 20000)
+{
+    BenchmarkSpec s;
+    s.name = name;
+    s.fp = fp;
+    s.hammocksPU = pu;
+    s.hammocksBP = bp;
+    s.hammocksUP = up;
+    s.loadsPerSucc = loads;
+    s.chainedSuccLoads = chained;
+    s.aluPerSucc = alu;
+    s.fpPerSucc = fpops;
+    s.storesPerSucc = stores;
+    s.noisePU = noise;
+    s.takenPU = taken;
+    s.workingSetKB = ws_kb;
+    s.strideLines = stride;
+    s.condChainOps = cond_chain;
+    s.storesEarly = stores_early;
+    s.iterations = iters;
+    return s;
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+specInt2006()
+{
+    return {
+        // High performers: many convertible branches, chained loads
+        // behind predictable-unbiased branches, mostly-L2 footprints
+        // (paper: h264ref 23.1%, perlbench 18.4%, astar 16.3%).
+        row("h264ref-like",    false, 5, 2, 1, 5, 1, 3, 0, 1, 0.03, 0.55, 128,  2, 1, false),
+        row("perlbench-like",  false, 4, 2, 1, 5, 1, 3, 0, 1, 0.02, 0.55, 128,  2, 1, false),
+        row("astar-like",      false, 4, 1, 1, 4, 1, 3, 0, 1, 0.10, 0.55, 128,  2, 1, false),
+        // Middle class: MLP-rich but D$-hungry, or noisier branches.
+        row("omnetpp-like",    false, 3, 1, 1, 6, 1, 3, 0, 1, 0.05, 0.52, 1024, 2, 1, false),
+        row("xalancbmk-like",  false, 3, 1, 1, 5, 1, 3, 0, 1, 0.06, 0.52, 512,  2, 1, false),
+        row("sjeng-like",      false, 3, 1, 2, 4, 1, 3, 0, 1, 0.10, 0.55, 128,  1, 1, false),
+        row("gobmk-like",      false, 3, 1, 3, 5, 1, 3, 0, 1, 0.15, 0.55, 256,  1, 1, false),
+        row("gcc-like",        false, 3, 1, 1, 4, 1, 4, 0, 1, 0.07, 0.52, 256,  2, 2, false),
+        row("mcf-like",        false, 3, 1, 2, 8, 1, 2, 0, 1, 0.08, 0.52, 2048, 1, 1, false),
+        // Low end: few candidates or little hoistable work.
+        row("bzip2-like",      false, 2, 2, 2, 3, 1, 3, 0, 1, 0.07, 0.55, 256,  1, 1, false),
+        row("hmmer-like",      false, 1, 4, 0, 6, 1, 4, 0, 1, 0.01, 0.55, 64,   1, 1, false),
+        row("libquantum-like", false, 1, 3, 0, 0, 0, 3, 0, 1, 0.01, 0.55, 64,   1, 0, true),
+    };
+}
+
+std::vector<BenchmarkSpec>
+specFp2006()
+{
+    return {
+        // Top FP performers: many eligible forward branches, very
+        // high predictability (paper: wrf 26.3%, povray 22.3%).
+        row("wrf-like",       true, 4, 1, 0, 6, 1, 2, 4, 1, 0.02, 0.55, 256,  2, 1, false),
+        row("povray-like",    true, 4, 1, 0, 4, 0, 2, 4, 1, 0.02, 0.55, 128,  2, 0, false),
+        row("tonto-like",     true, 2, 2, 0, 4, 0, 2, 4, 1, 0.03, 0.55, 256,  1, 0, false),
+        row("gamess-like",    true, 2, 2, 0, 3, 0, 2, 5, 1, 0.03, 0.55, 128,  1, 0, false),
+        row("calculix-like",  true, 3, 2, 0, 3, 0, 2, 5, 1, 0.05, 0.55, 256,  1, 1, false),
+        row("milc-like",      true, 2, 1, 0, 4, 0, 2, 4, 1, 0.02, 0.55, 2048, 2, 1, false),
+        row("soplex-like",    true, 2, 1, 0, 3, 0, 2, 3, 1, 0.04, 0.52, 1024, 1, 1, false),
+        row("namd-like",      true, 2, 3, 0, 3, 0, 2, 6, 1, 0.02, 0.55, 128,  1, 1, false),
+        row("lbm-like",       true, 2, 2, 0, 6, 1, 2, 4, 2, 0.02, 0.52, 8192, 4, 1, false),
+        row("gromacs-like",   true, 2, 3, 0, 3, 0, 2, 5, 1, 0.02, 0.55, 256,  1, 1, false),
+        // Tail: mostly-biased branch populations, big straight-line
+        // blocks, stores early (little hoistable work).
+        row("sphinx3-like",   true, 1, 3, 0, 4, 0, 2, 3, 1, 0.03, 0.55, 1024, 1, 1, false),
+        row("bwaves-like",    true, 1, 4, 0, 4, 0, 6, 6, 1, 0.02, 0.55, 512,  1, 0, false),
+        row("GemsFDTD-like",  true, 1, 4, 0, 5, 0, 3, 6, 2, 0.02, 0.55, 1024, 1, 0, true),
+        row("zeusmp-like",    true, 1, 5, 0, 8, 0, 4, 6, 2, 0.02, 0.55, 512,  1, 0, false),
+        row("dealII-like",    true, 1, 3, 0, 2, 0, 3, 3, 2, 0.03, 0.52, 128,  1, 0, true),
+        row("cactusADM-like", true, 1, 4, 0, 8, 0, 4, 6, 3, 0.02, 0.52, 512,  1, 0, true),
+        row("leslie3d-like",  true, 1, 5, 0, 8, 0, 4, 6, 3, 0.02, 0.52, 512,  1, 0, true),
+    };
+}
+
+std::vector<BenchmarkSpec>
+specInt2000()
+{
+    return {
+        // SPEC 2000 INT is more predictable and better-behaved
+        // cache-wise than 2006 (paper Sec. 5.1; vortex-class peaks).
+        row("vortex-like",    false, 6, 1, 0, 5, 1, 3, 0, 1, 0.02, 0.55, 64,  2, 1, false),
+        row("crafty-like",    false, 5, 1, 0, 3, 1, 3, 0, 1, 0.03, 0.55, 64,  1, 1, false),
+        row("eon-like",       false, 5, 1, 0, 3, 1, 3, 1, 1, 0.02, 0.55, 64,  1, 1, false),
+        row("gap-like",       false, 4, 1, 0, 3, 1, 3, 0, 1, 0.03, 0.55, 128, 1, 1, false),
+        row("parser-like",    false, 4, 1, 1, 3, 1, 3, 0, 1, 0.04, 0.55, 128, 1, 1, false),
+        row("perlbmk-like",   false, 3, 2, 0, 3, 1, 3, 0, 1, 0.03, 0.55, 64,  1, 1, false),
+        row("gcc00-like",     false, 3, 1, 1, 2, 1, 4, 0, 1, 0.04, 0.53, 128, 1, 1, false),
+        row("mcf00-like",     false, 3, 1, 1, 5, 1, 2, 0, 1, 0.06, 0.52, 4096,2, 1, false),
+        row("gzip-like",      false, 4, 1, 1, 3, 1, 3, 0, 1, 0.04, 0.55, 512, 2, 1, false),
+        row("bzip2_00-like",  false, 2, 3, 1, 2, 1, 3, 0, 1, 0.04, 0.55, 256, 1, 1, false),
+        row("twolf-like",     false, 1, 2, 2, 2, 1, 3, 0, 1, 0.13, 0.52, 256, 1, 1, false),
+        row("vpr-like",       false, 1, 2, 2, 2, 1, 3, 0, 1, 0.11, 0.52, 256, 1, 1, false),
+    };
+}
+
+std::vector<BenchmarkSpec>
+specFp2000()
+{
+    return {
+        // Top performers: very high predictability, modest eligible
+        // fraction (paper: art, ammp, mesa).
+        row("art-like",      true, 3, 1, 0, 5, 1, 2, 4, 1, 0.02, 0.55, 512,  1, 1, false),
+        row("ammp-like",     true, 2, 2, 0, 4, 1, 2, 4, 1, 0.02, 0.55, 256,  1, 1, false),
+        row("mesa-like",     true, 2, 2, 0, 3, 1, 2, 3, 1, 0.02, 0.55, 64,   1, 1, false),
+        row("wupwise-like",  true, 2, 3, 0, 3, 0, 2, 4, 1, 0.02, 0.55, 128,  1, 1, false),
+        row("facerec-like",  true, 2, 3, 0, 3, 0, 2, 4, 1, 0.03, 0.55, 512,  1, 1, false),
+        row("swim-like",     true, 1, 4, 0, 5, 0, 3, 6, 2, 0.02, 0.55, 2048, 2, 0, true),
+        row("mgrid-like",    true, 1, 4, 0, 5, 0, 3, 6, 2, 0.02, 0.55, 1024, 1, 0, true),
+        row("applu-like",    true, 1, 4, 0, 5, 0, 3, 6, 2, 0.02, 0.55, 1024, 1, 0, true),
+        row("galgel-like",   true, 1, 4, 0, 4, 0, 3, 5, 1, 0.03, 0.55, 512,  1, 0, false),
+        row("equake-like",   true, 1, 3, 0, 4, 0, 2, 4, 1, 0.04, 0.52, 1024, 1, 1, false),
+        row("lucas-like",    true, 1, 4, 0, 4, 0, 3, 6, 2, 0.02, 0.55, 1024, 1, 0, true),
+        row("apsi-like",     true, 1, 4, 0, 4, 0, 3, 5, 2, 0.03, 0.55, 512,  1, 0, true),
+    };
+}
+
+BenchmarkSpec
+findBenchmark(const std::string &name)
+{
+    for (auto suite : {specInt2006(), specFp2006(), specInt2000(),
+                       specFp2000()}) {
+        for (const auto &spec : suite)
+            if (name == spec.name)
+                return spec;
+    }
+    vg_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace vanguard

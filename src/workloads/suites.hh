@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The SPEC-analog benchmark suites.
+ *
+ * SPEC CPU is proprietary, so each suite entry is a synthetic kernel
+ * whose *parameter vector* is tuned to reproduce the benchmark's
+ * Table-2 signature (PBC, ALPBB, MPPKI, D$ footprint, PHI, INT/FP
+ * character) — the factors the paper's Sec. 5.1/5.2 analysis says
+ * determine the speedup. Names carry a `-like` suffix to make the
+ * substitution explicit.
+ */
+
+#ifndef VANGUARD_WORKLOADS_SUITES_HH
+#define VANGUARD_WORKLOADS_SUITES_HH
+
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace vanguard {
+
+std::vector<BenchmarkSpec> specInt2006();
+std::vector<BenchmarkSpec> specFp2006();
+std::vector<BenchmarkSpec> specInt2000();
+std::vector<BenchmarkSpec> specFp2000();
+
+/** Look up one spec by name across all four suites (fatal if absent). */
+BenchmarkSpec findBenchmark(const std::string &name);
+
+} // namespace vanguard
+
+#endif // VANGUARD_WORKLOADS_SUITES_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the CFG cleanup passes: unreachable-block removal
+ * (with BlockId renumbering) and straight-line block merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cleanup.hh"
+#include "compiler/predicate.hh"
+#include "exec/interpreter.hh"
+#include "ir/builder.hh"
+
+namespace vanguard {
+namespace {
+
+TEST(Cleanup, RemovesUnreachableAndRenumbers)
+{
+    Function fn("u");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId dead1 = fn.addBlock("dead1");
+    BlockId live = fn.addBlock("live");
+    BlockId dead2 = fn.addBlock("dead2");
+    b.movi(0, 1);
+    b.jmp(live);
+    b.setInsertPoint(dead1);
+    b.halt();
+    b.setInsertPoint(live);
+    b.addi(0, 0, 1);
+    b.halt();
+    b.setInsertPoint(dead2);
+    b.jmp(dead1);
+    ASSERT_EQ(fn.verify(), "");
+
+    unsigned removed = removeUnreachableBlocks(fn);
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(fn.numBlocks(), 2u);
+    ASSERT_EQ(fn.verify(), "");
+    // The live block is renumbered to 1 and the jmp retargeted.
+    EXPECT_EQ(fn.block(0).terminator().takenTarget, 1u);
+    EXPECT_EQ(fn.block(1).name, "live");
+}
+
+TEST(Cleanup, NoopOnFullyReachable)
+{
+    Function fn("r");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId next = fn.addBlock("next");
+    b.jmp(next);
+    b.setInsertPoint(next);
+    b.halt();
+    EXPECT_EQ(removeUnreachableBlocks(fn), 0u);
+    EXPECT_EQ(fn.numBlocks(), 2u);
+}
+
+TEST(Cleanup, MergesJumpChains)
+{
+    Function fn("m");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId b1 = fn.addBlock("b1");
+    BlockId b2 = fn.addBlock("b2");
+    b.movi(0, 1);
+    b.jmp(b1);
+    b.setInsertPoint(b1);
+    b.addi(0, 0, 2);
+    b.jmp(b2);
+    b.setInsertPoint(b2);
+    b.addi(0, 0, 3);
+    b.halt();
+
+    CleanupStats stats = simplifyCfg(fn);
+    EXPECT_EQ(stats.blocksMerged, 2u);
+    EXPECT_EQ(fn.numBlocks(), 1u);
+    EXPECT_EQ(fn.block(0).insts.size(), 4u); // movi,addi,addi,halt
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    interp.run();
+    EXPECT_EQ(interp.reg(0), 6);
+}
+
+TEST(Cleanup, DoesNotMergeSharedSuccessors)
+{
+    Function fn("s");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    BlockId f = fn.addBlock("f");
+    BlockId join = fn.addBlock("join");
+    b.movi(0, 1);
+    b.br(0, t, f);
+    b.setInsertPoint(t);
+    b.jmp(join);
+    b.setInsertPoint(f);
+    b.jmp(join);
+    b.setInsertPoint(join);
+    b.halt();
+
+    unsigned merged = mergeStraightLineBlocks(fn);
+    EXPECT_EQ(merged, 0u) << "join has two predecessors";
+}
+
+TEST(Cleanup, DoesNotMergeSelfLoop)
+{
+    Function fn("l");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId body = fn.addBlock("body");
+    b.jmp(body);
+    b.setInsertPoint(body);
+    b.jmp(body); // self loop: preds(body) = {entry, body}
+    EXPECT_EQ(mergeStraightLineBlocks(fn), 0u);
+}
+
+TEST(Cleanup, SimplifiesIfConvertedHammock)
+{
+    // After if-conversion the hammock sides are stranded; cleanup
+    // should remove them and merge the straight line.
+    Function fn("ic");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    BlockId f = fn.addBlock("f");
+    BlockId join = fn.addBlock("join");
+    b.movi(1, 3);
+    b.cmpi(Opcode::CMPGT, 2, 1, 0);
+    InstId br = b.br(2, t, f);
+    b.setInsertPoint(t);
+    b.movi(3, 10);
+    b.jmp(join);
+    b.setInsertPoint(f);
+    b.movi(3, 20);
+    b.jmp(join);
+    b.setInsertPoint(join);
+    b.mov(4, 3);
+    b.halt();
+
+    PredicationStats ps = ifConvertBranches(fn, {br});
+    ASSERT_EQ(ps.converted, 1u);
+    size_t before = fn.numBlocks();
+    CleanupStats cs = simplifyCfg(fn);
+    EXPECT_GT(cs.blocksRemoved, 0u);
+    EXPECT_LT(fn.numBlocks(), before);
+    EXPECT_EQ(fn.numBlocks(), 1u) << "fully straight-lined";
+
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    interp.run();
+    EXPECT_EQ(interp.reg(4), 10);
+}
+
+TEST(Cleanup, PreservesSemanticsOnLoops)
+{
+    Function fn("lp");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId pre = fn.addBlock("pre");
+    BlockId head = fn.addBlock("head");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.jmp(pre);
+    b.setInsertPoint(pre);
+    b.movi(1, 50);
+    b.jmp(head);
+    b.setInsertPoint(head);
+    b.addi(0, 0, 1);
+    b.cmp(Opcode::CMPLT, 2, 0, 1);
+    b.br(2, head, exit);
+    b.setInsertPoint(exit);
+    b.halt();
+
+    Function ref = fn;
+    simplifyCfg(fn);
+    ASSERT_EQ(fn.verify(), "");
+
+    Memory ma(64), mb(64);
+    Interpreter ia(ref, ma), ib(fn, mb);
+    ia.run();
+    ib.run();
+    EXPECT_EQ(ia.reg(0), ib.reg(0));
+    EXPECT_EQ(ib.reg(0), 50);
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the core pipeline API (vanguard.hh), the machine
+ * configuration, and the experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/vanguard.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+BenchmarkSpec
+quick(const char *name, uint64_t iters = 2000)
+{
+    BenchmarkSpec spec = findBenchmark(name);
+    spec.iterations = iters;
+    return spec;
+}
+
+TEST(MachineConfig, WidthVariantsScalePorts)
+{
+    MachineConfig w2 = MachineConfig::widthVariant(2);
+    MachineConfig w4 = MachineConfig::widthVariant(4);
+    MachineConfig w8 = MachineConfig::widthVariant(8);
+    EXPECT_EQ(w2.width, 2u);
+    EXPECT_EQ(w4.width, 4u);
+    EXPECT_EQ(w8.width, 8u);
+    EXPECT_LT(w2.intPorts, w4.intPorts + 1);
+    EXPECT_LE(w4.intPorts, w8.intPorts);
+    // Table 1 constants hold at every width.
+    for (const auto &cfg : {w2, w4, w8}) {
+        EXPECT_EQ(cfg.frontendStages, 5u);
+        EXPECT_EQ(cfg.fetchBufferEntries, 32u);
+        EXPECT_EQ(cfg.l1d.sizeKB, 32u);
+        EXPECT_EQ(cfg.l2.sizeKB, 256u);
+        EXPECT_EQ(cfg.l3.sizeKB, 4096u);
+        EXPECT_EQ(cfg.memLatency, 140u);
+        EXPECT_EQ(cfg.mshrEntries, 64u);
+        EXPECT_EQ(cfg.dbbEntries, 16u);
+    }
+}
+
+TEST(MachineConfig, ToStringMentionsKeyStructures)
+{
+    std::string text = MachineConfig::widthVariant(4).toString();
+    for (const char *needle :
+         {"gshare3", "FetchBuffer", "L1-D$", "L1-I$", "LLC",
+          "Miss Buffer", "DBB", "140-cycle"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(VanguardOptions, MachinePropagatesKnobs)
+{
+    VanguardOptions opts;
+    opts.width = 8;
+    opts.predictor = "tage";
+    opts.shadowCommit = false;
+    opts.dbbEntries = 4;
+    opts.l1iSizeKB = 24;
+    opts.icachePrefetch = true;
+    MachineConfig cfg = opts.machine();
+    EXPECT_EQ(cfg.width, 8u);
+    EXPECT_EQ(cfg.predictor, "tage");
+    EXPECT_FALSE(cfg.shadowCommit);
+    EXPECT_EQ(cfg.dbbEntries, 4u);
+    EXPECT_EQ(cfg.l1i.sizeKB, 24u);
+    EXPECT_TRUE(cfg.icacheNextLinePrefetch);
+}
+
+TEST(Core, CompiledCodeIsSeedIndependent)
+{
+    BenchmarkSpec spec = quick("bzip2-like");
+    VanguardOptions opts;
+    TrainArtifacts train = trainBenchmark(spec, opts);
+    CompiledConfig a = compileConfig(spec, train, true, opts);
+    CompiledConfig b = compileConfig(spec, train, true, opts);
+    ASSERT_EQ(a.prog.size(), b.prog.size());
+    for (size_t i = 0; i < a.prog.size(); ++i) {
+        EXPECT_EQ(a.prog.at(i).inst.op, b.prog.at(i).inst.op);
+        EXPECT_EQ(a.prog.at(i).pc, b.prog.at(i).pc);
+    }
+}
+
+TEST(Core, HoistedMaskMarksOnlyHoistedIds)
+{
+    BenchmarkSpec spec = quick("h264ref-like");
+    VanguardOptions opts;
+    TrainArtifacts train = trainBenchmark(spec, opts);
+    DecomposeStats dstats;
+    CompiledConfig exp = compileConfig(spec, train, true, opts,
+                                       &dstats);
+    ASSERT_FALSE(exp.hoistedMask.empty());
+    size_t marked = 0;
+    for (bool bit : exp.hoistedMask)
+        marked += bit;
+    EXPECT_EQ(marked, dstats.hoistedIds.size());
+    for (InstId id : dstats.hoistedIds) {
+        ASSERT_LT(id, exp.hoistedMask.size());
+        EXPECT_TRUE(exp.hoistedMask[id]);
+    }
+    // Baseline has no mask.
+    CompiledConfig base = compileConfig(spec, train, false, opts);
+    EXPECT_TRUE(base.hoistedMask.empty());
+}
+
+TEST(Core, BaselineConfigHasNoDecomposedOps)
+{
+    BenchmarkSpec spec = quick("astar-like");
+    VanguardOptions opts;
+    TrainArtifacts train = trainBenchmark(spec, opts);
+    CompiledConfig base = compileConfig(spec, train, false, opts);
+    for (size_t i = 0; i < base.prog.size(); ++i) {
+        EXPECT_NE(base.prog.at(i).inst.op, Opcode::PREDICT);
+        EXPECT_NE(base.prog.at(i).inst.op, Opcode::RESOLVE);
+    }
+}
+
+TEST(Core, SelectionHonorsThreshold)
+{
+    BenchmarkSpec spec = quick("h264ref-like", 4000);
+    VanguardOptions loose;
+    loose.selection.minExposed = 0.01;
+    VanguardOptions strict;
+    strict.selection.minExposed = 0.45;
+    size_t loose_n = trainBenchmark(spec, loose).selected.size();
+    size_t strict_n = trainBenchmark(spec, strict).selected.size();
+    EXPECT_GE(loose_n, strict_n);
+    EXPECT_GT(loose_n, 0u);
+}
+
+TEST(Experiment, GeomeanPctMatchesManualComputation)
+{
+    // (1.10 * 1.21)^(1/2) - 1 = 0.1534...
+    double g = geomeanPct({10.0, 21.0});
+    EXPECT_NEAR(g, 15.34, 0.05);
+    EXPECT_NEAR(geomeanPct({0.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(Experiment, RenderSpeedupFigureHasGeomeanRow)
+{
+    std::vector<BenchmarkSpec> mini = {quick("bzip2-like", 800)};
+    VanguardOptions opts;
+    std::string fig = renderSpeedupFigure("mini", mini, {4}, opts,
+                                          /*best_input=*/false);
+    EXPECT_NE(fig.find("bzip2-like"), std::string::npos);
+    EXPECT_NE(fig.find("GEOMEAN"), std::string::npos);
+    EXPECT_NE(fig.find("4-wide"), std::string::npos);
+}
+
+TEST(Core, EvaluateIsDeterministic)
+{
+    BenchmarkSpec spec = quick("sjeng-like");
+    VanguardOptions opts;
+    BenchmarkOutcome a = evaluateBenchmark(spec, opts, kRefSeeds[0]);
+    BenchmarkOutcome b = evaluateBenchmark(spec, opts, kRefSeeds[0]);
+    EXPECT_EQ(a.base.cycles, b.base.cycles);
+    EXPECT_EQ(a.exp.cycles, b.exp.cycles);
+    EXPECT_DOUBLE_EQ(a.speedupPct, b.speedupPct);
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for instruction semantics (evaluate) and the functional
+ * interpreter, including fault behavior and the PREDICT oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.hh"
+#include "exec/memory.hh"
+#include "exec/semantics.hh"
+#include "ir/builder.hh"
+
+namespace vanguard {
+namespace {
+
+class Semantics : public ::testing::Test
+{
+  protected:
+    Semantics() : mem(4096) {}
+
+    OpResult
+    eval2(Opcode op, int64_t a, int64_t b)
+    {
+        regs[1] = a;
+        regs[2] = b;
+        Instruction inst;
+        inst.op = op;
+        inst.dst = 0;
+        inst.src1 = 1;
+        inst.src2 = 2;
+        return evaluate(inst, regs, mem);
+    }
+
+    int64_t regs[kNumRegs] = {};
+    Memory mem;
+};
+
+TEST_F(Semantics, Arithmetic)
+{
+    EXPECT_EQ(eval2(Opcode::ADD, 3, 4).value, 7);
+    EXPECT_EQ(eval2(Opcode::SUB, 3, 4).value, -1);
+    EXPECT_EQ(eval2(Opcode::MUL, -3, 4).value, -12);
+    EXPECT_EQ(eval2(Opcode::AND, 0b1100, 0b1010).value, 0b1000);
+    EXPECT_EQ(eval2(Opcode::OR, 0b1100, 0b1010).value, 0b1110);
+    EXPECT_EQ(eval2(Opcode::XOR, 0b1100, 0b1010).value, 0b0110);
+}
+
+TEST_F(Semantics, ShiftsAreLogicalAndMasked)
+{
+    EXPECT_EQ(eval2(Opcode::SHL, 1, 4).value, 16);
+    EXPECT_EQ(eval2(Opcode::SHR, -1, 60).value, 15);
+    EXPECT_EQ(eval2(Opcode::SHL, 1, 64).value, 1); // amount masked & 63
+}
+
+TEST_F(Semantics, Comparisons)
+{
+    EXPECT_EQ(eval2(Opcode::CMPEQ, 5, 5).value, 1);
+    EXPECT_EQ(eval2(Opcode::CMPNE, 5, 5).value, 0);
+    EXPECT_EQ(eval2(Opcode::CMPLT, -1, 0).value, 1);
+    EXPECT_EQ(eval2(Opcode::CMPLE, 0, 0).value, 1);
+    EXPECT_EQ(eval2(Opcode::CMPGT, 1, 2).value, 0);
+    EXPECT_EQ(eval2(Opcode::CMPGE, 2, 2).value, 1);
+}
+
+TEST_F(Semantics, DivisionEdgeCases)
+{
+    EXPECT_EQ(eval2(Opcode::DIV, 7, 2).value, 3);
+    EXPECT_TRUE(eval2(Opcode::DIV, 7, 0).fault);
+    EXPECT_FALSE(eval2(Opcode::FDIV, 7, 0).fault);
+    EXPECT_EQ(eval2(Opcode::FDIV, 7, 0).value, 0);
+    // INT64_MIN / -1 wraps instead of trapping.
+    EXPECT_EQ(eval2(Opcode::DIV, INT64_MIN, -1).value, INT64_MIN);
+}
+
+TEST_F(Semantics, SelectPicksBySrc1)
+{
+    regs[1] = 1;
+    regs[2] = 10;
+    regs[3] = 20;
+    Instruction sel;
+    sel.op = Opcode::SELECT;
+    sel.dst = 0;
+    sel.src1 = 1;
+    sel.src2 = 2;
+    sel.src3 = 3;
+    EXPECT_EQ(evaluate(sel, regs, mem).value, 10);
+    regs[1] = 0;
+    EXPECT_EQ(evaluate(sel, regs, mem).value, 20);
+}
+
+TEST_F(Semantics, LoadsAndBounds)
+{
+    mem.write64(64, 0x1234);
+    regs[1] = 64;
+    Instruction ld;
+    ld.op = Opcode::LD;
+    ld.dst = 0;
+    ld.src1 = 1;
+    EXPECT_EQ(evaluate(ld, regs, mem).value, 0x1234);
+
+    regs[1] = static_cast<int64_t>(mem.size()); // out of bounds
+    EXPECT_TRUE(evaluate(ld, regs, mem).fault);
+
+    ld.op = Opcode::LD_S;
+    OpResult r = evaluate(ld, regs, mem);
+    EXPECT_FALSE(r.fault) << "LD_S suppresses faults";
+    EXPECT_EQ(r.value, 0) << "LD_S yields 0 on bad addresses";
+}
+
+TEST_F(Semantics, StoreComputesButDoesNotWrite)
+{
+    regs[1] = 128;
+    regs[2] = 77;
+    Instruction st;
+    st.op = Opcode::ST;
+    st.src1 = 1;
+    st.src2 = 2;
+    OpResult r = evaluate(st, regs, mem);
+    EXPECT_TRUE(r.isStore);
+    EXPECT_EQ(r.memAddr, 128u);
+    EXPECT_EQ(r.storeValue, 77);
+    EXPECT_EQ(mem.read64(128), 0) << "evaluate must not mutate memory";
+}
+
+TEST_F(Semantics, BranchTakenness)
+{
+    regs[1] = 1;
+    Instruction br;
+    br.op = Opcode::BR;
+    br.src1 = 1;
+    EXPECT_TRUE(evaluate(br, regs, mem).taken);
+    regs[1] = 0;
+    EXPECT_FALSE(evaluate(br, regs, mem).taken);
+    br.op = Opcode::RESOLVE;
+    regs[1] = -5; // any nonzero counts as taken
+    EXPECT_TRUE(evaluate(br, regs, mem).taken);
+}
+
+TEST(Interpreter, RunsStraightLine)
+{
+    Function fn("s");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 6);
+    b.movi(1, 7);
+    b.mul(2, 0, 1);
+    b.halt();
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    RunResult r = interp.run();
+    EXPECT_EQ(r.status, RunStatus::Halted);
+    EXPECT_EQ(r.dynamicInsts, 4u);
+    EXPECT_EQ(interp.reg(2), 42);
+}
+
+TEST(Interpreter, LoopsAndCountsBranches)
+{
+    Function fn("loop");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId body = fn.addBlock("body");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.jmp(body);
+    b.setInsertPoint(body);
+    b.addi(0, 0, 1);
+    b.cmpi(Opcode::CMPLT, 1, 0, 10);
+    b.br(1, body, exit);
+    b.setInsertPoint(exit);
+    b.halt();
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    RunResult r = interp.run();
+    EXPECT_EQ(r.status, RunStatus::Halted);
+    EXPECT_EQ(interp.reg(0), 10);
+    EXPECT_EQ(r.dynamicBranches, 10u);
+}
+
+TEST(Interpreter, InstLimitStopsInfiniteLoop)
+{
+    Function fn("inf");
+    IRBuilder b(fn);
+    BlockId entry = b.startBlock("entry");
+    b.jmp(entry);
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    RunResult r = interp.run(1000);
+    EXPECT_EQ(r.status, RunStatus::InstLimit);
+    EXPECT_EQ(r.dynamicInsts, 1000u);
+}
+
+TEST(Interpreter, FaultReportsInstruction)
+{
+    Function fn("f");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 1 << 20);
+    InstId bad = b.load(1, 0, 0); // out of the 64-byte memory
+    b.halt();
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    RunResult r = interp.run();
+    EXPECT_EQ(r.status, RunStatus::Fault);
+    EXPECT_EQ(r.faultingInst, bad);
+}
+
+TEST(Interpreter, PredictOracleSteersPredicts)
+{
+    Function fn("p");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId ca = fn.addBlock("ca");
+    BlockId ba = fn.addBlock("ba");
+    BlockId done = fn.addBlock("done");
+    b.predict(ca, ba, 0);
+    b.setInsertPoint(ca);
+    b.movi(0, 1);
+    b.jmp(done);
+    b.setInsertPoint(ba);
+    b.movi(0, 2);
+    b.jmp(done);
+    b.setInsertPoint(done);
+    b.halt();
+    Memory mem(64);
+    {
+        Interpreter interp(fn, mem);
+        interp.setPredictOracle([](const Instruction &) { return true; });
+        interp.run();
+        EXPECT_EQ(interp.reg(0), 1);
+    }
+    {
+        Interpreter interp(fn, mem);
+        interp.run(); // default oracle: not taken
+        EXPECT_EQ(interp.reg(0), 2);
+    }
+}
+
+TEST(Interpreter, StoreLogRecordsCommittedStores)
+{
+    Function fn("st");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 8);
+    b.movi(1, 99);
+    b.store(0, 0, 1);
+    b.store(0, 8, 1);
+    b.halt();
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    interp.recordStores(true);
+    interp.run();
+    ASSERT_EQ(interp.storeLog().size(), 2u);
+    EXPECT_EQ(interp.storeLog()[0], std::make_pair(uint64_t{8},
+                                                   int64_t{99}));
+    EXPECT_EQ(interp.storeLog()[1].first, 16u);
+    EXPECT_EQ(mem.read64(8), 99);
+}
+
+TEST(Interpreter, BranchHookSeesOutcomes)
+{
+    Function fn("bh");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    b.movi(0, 1);
+    b.br(0, t, t);
+    b.setInsertPoint(t);
+    b.halt();
+    Memory mem(64);
+    Interpreter interp(fn, mem);
+    int hooks = 0;
+    bool saw_taken = false;
+    interp.setBranchHook([&](const Instruction &inst, bool taken) {
+        ++hooks;
+        saw_taken = taken;
+        EXPECT_EQ(inst.op, Opcode::BR);
+    });
+    interp.run();
+    EXPECT_EQ(hooks, 1);
+    EXPECT_TRUE(saw_taken);
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for hoist planning: which successor-block instructions
+ * may legally be speculated above a branch resolution point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/hoist.hh"
+#include "ir/builder.hh"
+
+namespace vanguard {
+namespace {
+
+/** Build a single-block function and return the block. */
+template <typename EmitFn>
+Function
+block(EmitFn emit)
+{
+    Function fn("h");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    emit(b);
+    b.halt();
+    return fn;
+}
+
+TEST(Hoist, PlainAluAndLoadsAreHoistable)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 64);
+        b.load(1, 0, 0);
+        b.add(2, 1, 1);
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    EXPECT_EQ(plan.indices.size(), 3u);
+    EXPECT_EQ(plan.bodySize, 3u);
+}
+
+TEST(Hoist, StoresAreNeverHoisted)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 64);
+        b.store(0, 0, 0);
+        b.movi(1, 2);
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    // movi r0, movi r1 hoistable; store skipped.
+    EXPECT_EQ(plan.indices.size(), 2u);
+    for (size_t idx : plan.indices)
+        EXPECT_FALSE(fn.block(0).insts[idx].isStore());
+}
+
+TEST(Hoist, LoadsBlockedAfterStore)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 64);
+        b.load(1, 0, 0);    // before the store: hoistable
+        b.store(0, 8, 0);
+        b.load(2, 0, 16);   // after the store: alias risk
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    ASSERT_EQ(plan.indices.size(), 2u);
+    EXPECT_EQ(plan.indices[0], 0u);
+    EXPECT_EQ(plan.indices[1], 1u);
+}
+
+TEST(Hoist, DivNeverHoisted)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 10);
+        b.movi(1, 2);
+        b.op2(Opcode::DIV, 2, 0, 1); // may fault: not speculable
+        b.op2(Opcode::FDIV, 3, 0, 1); // FP-lane div never faults: OK
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    for (size_t idx : plan.indices)
+        EXPECT_NE(fn.block(0).insts[idx].op, Opcode::DIV);
+    // FDIV is eligible.
+    bool has_fdiv = false;
+    for (size_t idx : plan.indices)
+        has_fdiv |= fn.block(0).insts[idx].op == Opcode::FDIV;
+    EXPECT_TRUE(has_fdiv);
+}
+
+TEST(Hoist, RawOnSkippedBlocks)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 10);
+        b.movi(1, 2);
+        b.op2(Opcode::DIV, 2, 0, 1); // skipped
+        b.addi(3, 2, 1);             // reads the DIV result: blocked
+        b.addi(4, 0, 1);             // independent: hoistable
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    std::vector<size_t> expect = {0, 1, 4};
+    EXPECT_EQ(plan.indices, expect);
+}
+
+TEST(Hoist, WarOnSkippedBlocks)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 10);
+        b.movi(1, 2);
+        b.op2(Opcode::DIV, 2, 0, 1); // skipped; reads r0, r1
+        b.movi(0, 99);               // WAR with skipped DIV: blocked
+        b.movi(5, 1);                // independent: hoistable
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    std::vector<size_t> expect = {0, 1, 4};
+    EXPECT_EQ(plan.indices, expect);
+}
+
+TEST(Hoist, WawOnSkippedBlocks)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 10);
+        b.op2i(Opcode::DIV, 2, 0, 2); // skipped, writes r2
+        b.movi(2, 5);                 // WAW with skipped DIV: blocked
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    std::vector<size_t> expect = {0};
+    EXPECT_EQ(plan.indices, expect);
+}
+
+TEST(Hoist, CapRespected)
+{
+    Function fn = block([](IRBuilder &b) {
+        for (int i = 0; i < 10; ++i)
+            b.movi(static_cast<RegId>(i), i);
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 4);
+    EXPECT_EQ(plan.indices.size(), 4u);
+}
+
+TEST(Hoist, TerminatorExcluded)
+{
+    Function fn("t");
+    IRBuilder b(fn);
+    BlockId entry = b.startBlock("entry");
+    b.movi(0, 1);
+    b.jmp(entry);
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    EXPECT_EQ(plan.bodySize, 1u);
+    EXPECT_EQ(plan.indices.size(), 1u);
+}
+
+TEST(Hoist, HoistableFractionMatchesPlan)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.movi(0, 64);
+        b.store(0, 0, 0);   // not hoistable
+        b.load(1, 0, 0);    // blocked by the store
+        b.movi(2, 1);       // hoistable
+    });
+    // 2 of 4 body insts hoistable.
+    EXPECT_NEAR(hoistableFraction(fn.block(0)), 0.5, 1e-9);
+}
+
+TEST(Hoist, EmptyBody)
+{
+    Function fn("e");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.halt();
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(hoistableFraction(fn.block(0)), 0.0);
+}
+
+TEST(Hoist, NopsAreSkippedHarmlessly)
+{
+    Function fn = block([](IRBuilder &b) {
+        b.nop();
+        b.movi(0, 1);
+    });
+    HoistPlan plan = computeHoistPlan(fn.block(0), 8);
+    std::vector<size_t> expect = {1};
+    EXPECT_EQ(plan.indices, expect);
+}
+
+} // namespace
+} // namespace vanguard

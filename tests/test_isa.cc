@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for opcode traits, register naming, and instruction
+ * formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace vanguard {
+namespace {
+
+TEST(Opcode, TerminatorClassification)
+{
+    EXPECT_TRUE(opcodeIsTerminator(Opcode::BR));
+    EXPECT_TRUE(opcodeIsTerminator(Opcode::JMP));
+    EXPECT_TRUE(opcodeIsTerminator(Opcode::PREDICT));
+    EXPECT_TRUE(opcodeIsTerminator(Opcode::RESOLVE));
+    EXPECT_TRUE(opcodeIsTerminator(Opcode::HALT));
+    EXPECT_FALSE(opcodeIsTerminator(Opcode::ADD));
+    EXPECT_FALSE(opcodeIsTerminator(Opcode::LD));
+    EXPECT_FALSE(opcodeIsTerminator(Opcode::ST));
+}
+
+TEST(Opcode, BranchClassification)
+{
+    EXPECT_TRUE(opcodeIsBranch(Opcode::BR));
+    EXPECT_TRUE(opcodeIsBranch(Opcode::PREDICT));
+    EXPECT_TRUE(opcodeIsBranch(Opcode::RESOLVE));
+    EXPECT_TRUE(opcodeIsBranch(Opcode::JMP));
+    EXPECT_FALSE(opcodeIsBranch(Opcode::HALT));
+    EXPECT_TRUE(opcodeIsCondBranch(Opcode::BR));
+    EXPECT_TRUE(opcodeIsCondBranch(Opcode::RESOLVE));
+    EXPECT_FALSE(opcodeIsCondBranch(Opcode::PREDICT));
+    EXPECT_FALSE(opcodeIsCondBranch(Opcode::JMP));
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(opcodeIsLoad(Opcode::LD));
+    EXPECT_TRUE(opcodeIsLoad(Opcode::LD_S));
+    EXPECT_FALSE(opcodeIsLoad(Opcode::ST));
+    EXPECT_TRUE(opcodeIsStore(Opcode::ST));
+    EXPECT_TRUE(opcodeIsMemRef(Opcode::LD));
+    EXPECT_TRUE(opcodeIsMemRef(Opcode::ST));
+    EXPECT_FALSE(opcodeIsMemRef(Opcode::ADD));
+}
+
+TEST(Opcode, DstWriters)
+{
+    EXPECT_TRUE(opcodeWritesDst(Opcode::ADD));
+    EXPECT_TRUE(opcodeWritesDst(Opcode::LD));
+    EXPECT_TRUE(opcodeWritesDst(Opcode::LD_S));
+    EXPECT_TRUE(opcodeWritesDst(Opcode::SELECT));
+    EXPECT_FALSE(opcodeWritesDst(Opcode::ST));
+    EXPECT_FALSE(opcodeWritesDst(Opcode::BR));
+    EXPECT_FALSE(opcodeWritesDst(Opcode::PREDICT));
+    EXPECT_FALSE(opcodeWritesDst(Opcode::RESOLVE));
+    EXPECT_FALSE(opcodeWritesDst(Opcode::NOP));
+}
+
+TEST(Opcode, FaultingOps)
+{
+    EXPECT_TRUE(opcodeCanFault(Opcode::LD));
+    EXPECT_TRUE(opcodeCanFault(Opcode::ST));
+    EXPECT_TRUE(opcodeCanFault(Opcode::DIV));
+    EXPECT_FALSE(opcodeCanFault(Opcode::LD_S)) <<
+        "speculative loads must never fault (paper Sec. 2.2)";
+    EXPECT_FALSE(opcodeCanFault(Opcode::FDIV));
+    EXPECT_FALSE(opcodeCanFault(Opcode::ADD));
+}
+
+TEST(Opcode, LatenciesMatchTable1)
+{
+    EXPECT_EQ(opcodeLatency(Opcode::ADD), 1u);
+    EXPECT_EQ(opcodeLatency(Opcode::MUL), 3u);
+    EXPECT_EQ(opcodeLatency(Opcode::DIV), 12u);
+    EXPECT_EQ(opcodeLatency(Opcode::LD), 4u); // L1 hit latency
+    EXPECT_EQ(opcodeLatency(Opcode::FMUL), 4u);
+    EXPECT_EQ(opcodeLatency(Opcode::FDIV), 12u);
+}
+
+TEST(Opcode, FuClasses)
+{
+    EXPECT_EQ(opcodeFuClass(Opcode::LD), FuClass::Mem);
+    EXPECT_EQ(opcodeFuClass(Opcode::ST), FuClass::Mem);
+    EXPECT_EQ(opcodeFuClass(Opcode::FADD), FuClass::Fp);
+    EXPECT_EQ(opcodeFuClass(Opcode::ADD), FuClass::IntAlu);
+    EXPECT_EQ(opcodeFuClass(Opcode::BR), FuClass::IntAlu);
+    EXPECT_EQ(opcodeFuClass(Opcode::PREDICT), FuClass::None)
+        << "PREDICT is dropped at decode and uses no execution port";
+}
+
+TEST(Opcode, AllOpcodesHaveNames)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        EXPECT_FALSE(opcodeName(static_cast<Opcode>(op)).empty());
+    }
+}
+
+TEST(Reg, Banks)
+{
+    EXPECT_TRUE(isArchReg(0));
+    EXPECT_TRUE(isArchReg(31));
+    EXPECT_FALSE(isArchReg(32));
+    EXPECT_TRUE(isTempReg(tempReg(0)));
+    EXPECT_TRUE(isTempReg(tempReg(31)));
+    EXPECT_FALSE(isTempReg(5));
+    EXPECT_EQ(tempReg(0), 32);
+}
+
+TEST(Reg, Names)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(31), "r31");
+    EXPECT_EQ(regName(tempReg(3)), "t3");
+    EXPECT_EQ(regName(kNoReg), "-");
+}
+
+TEST(Instruction, ImmediateDetection)
+{
+    Instruction inst;
+    inst.op = Opcode::ADD;
+    inst.src2 = kNoReg;
+    EXPECT_TRUE(inst.hasImmSrc2());
+    inst.src2 = 4;
+    EXPECT_FALSE(inst.hasImmSrc2());
+}
+
+TEST(Instruction, ToStringFormats)
+{
+    Instruction ld;
+    ld.op = Opcode::LD;
+    ld.dst = 3;
+    ld.src1 = 7;
+    ld.imm = 16;
+    EXPECT_EQ(ld.toString(), "ld r3, [r7 + 16]");
+
+    Instruction br;
+    br.op = Opcode::BR;
+    br.src1 = 2;
+    br.takenTarget = 5;
+    br.fallTarget = 6;
+    EXPECT_EQ(br.toString(), "br r2, bb5 / bb6");
+
+    Instruction res;
+    res.op = Opcode::RESOLVE;
+    res.src1 = 2;
+    res.takenTarget = 9;
+    res.fallTarget = 10;
+    res.origBranch = 42;
+    res.resolvePathTaken = true;
+    std::string text = res.toString();
+    EXPECT_NE(text.find("resolve"), std::string::npos);
+    EXPECT_NE(text.find("#42"), std::string::npos);
+    EXPECT_NE(text.find("path T"), std::string::npos);
+}
+
+} // namespace
+} // namespace vanguard

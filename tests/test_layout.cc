@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the linearizer (code layout) and the laid-out
+ * ProgramExecutor, including equivalence against the CFG interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/layout.hh"
+#include "exec/interpreter.hh"
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+namespace vanguard {
+namespace {
+
+Function
+makeDiamondLoop()
+{
+    Function fn("dl");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId head = fn.addBlock("head");
+    BlockId t = fn.addBlock("t");
+    BlockId f = fn.addBlock("f");
+    BlockId latch = fn.addBlock("latch");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.jmp(head);
+    b.setInsertPoint(head);
+    b.andi(1, 0, 1);
+    b.br(1, t, f);
+    b.setInsertPoint(t);
+    b.addi(2, 2, 3);
+    b.jmp(latch);
+    b.setInsertPoint(f);
+    b.addi(2, 2, 7);
+    b.jmp(latch);
+    b.setInsertPoint(latch);
+    b.addi(0, 0, 1);
+    b.cmpi(Opcode::CMPLT, 3, 0, 20);
+    b.br(3, head, exit);
+    b.setInsertPoint(exit);
+    b.store(4, 0, 2);
+    b.halt();
+    return fn;
+}
+
+TEST(Layout, AddressesAreDenseAndBased)
+{
+    Function fn = makeDiamondLoop();
+    Program prog = linearize(fn);
+    ASSERT_GT(prog.size(), 0u);
+    for (size_t i = 0; i < prog.size(); ++i)
+        EXPECT_EQ(prog.at(i).pc, kCodeBase + i * kInstBytes);
+    EXPECT_EQ(prog.indexOf(prog.at(3).pc), 3u);
+}
+
+TEST(Layout, FallThroughsAreAdjacentOrBridged)
+{
+    Function fn = makeDiamondLoop();
+    Program prog = linearize(fn);
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Instruction &inst = prog.at(i).inst;
+        if (inst.op == Opcode::BR || inst.op == Opcode::RESOLVE ||
+            inst.op == Opcode::PREDICT) {
+            // Fall-through must be the very next instruction and
+            // belong to the fall target block (or be a bridge JMP to
+            // it).
+            ASSERT_LT(i + 1, prog.size());
+            const LaidInst &next = prog.at(i + 1);
+            bool adjacent = next.srcBlock == inst.fallTarget;
+            bool bridged = next.inst.op == Opcode::JMP &&
+                           next.inst.takenTarget == inst.fallTarget;
+            EXPECT_TRUE(adjacent || bridged) << "at index " << i;
+        }
+    }
+}
+
+TEST(Layout, TakenTargetsResolveToBlockStarts)
+{
+    Function fn = makeDiamondLoop();
+    Program prog = linearize(fn);
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const LaidInst &li = prog.at(i);
+        if (li.inst.isBranch()) {
+            size_t target_index = prog.indexOf(li.takenPc);
+            ASSERT_LT(target_index, prog.size());
+            EXPECT_EQ(prog.at(target_index).srcBlock,
+                      li.inst.takenTarget);
+            EXPECT_EQ(target_index,
+                      prog.blockStart(li.inst.takenTarget));
+        }
+    }
+}
+
+TEST(Layout, ElidesFallThroughJumps)
+{
+    // entry: jmp bb1; bb1: halt  — the jmp should disappear.
+    Function fn("e");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId next = fn.addBlock("next");
+    b.movi(0, 1);
+    b.jmp(next);
+    b.setInsertPoint(next);
+    b.halt();
+    Program prog = linearize(fn);
+    EXPECT_EQ(prog.size(), 2u) << "movi + halt only";
+    EXPECT_EQ(prog.at(1).inst.op, Opcode::HALT);
+}
+
+TEST(Layout, InsertsBridgeJumpWhenFallTargetTaken)
+{
+    // Two branches sharing a fall-through block: only one can be
+    // adjacent; the other needs a synthesized JMP.
+    Function fn("b2");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId b1 = fn.addBlock("b1");
+    BlockId shared = fn.addBlock("shared");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 1);
+    b.br(0, b1, shared);
+    b.setInsertPoint(b1);
+    b.movi(1, 2);
+    b.br(1, exit, shared);
+    b.setInsertPoint(shared);
+    b.jmp(exit);
+    b.setInsertPoint(exit);
+    b.halt();
+    ASSERT_EQ(fn.verify(), "");
+    Program prog = linearize(fn);
+    unsigned synthesized = 0;
+    for (size_t i = 0; i < prog.size(); ++i)
+        if (prog.at(i).inst.op == Opcode::JMP &&
+            prog.at(i).inst.id == kNoInst) {
+            ++synthesized;
+        }
+    EXPECT_EQ(synthesized, 1u);
+}
+
+TEST(Layout, CodeBytesTracksSize)
+{
+    Function fn = makeDiamondLoop();
+    Program prog = linearize(fn);
+    EXPECT_EQ(prog.codeBytes(), prog.size() * kInstBytes);
+}
+
+TEST(ProgramExecutor, MatchesInterpreterOnDiamondLoop)
+{
+    Function fn = makeDiamondLoop();
+    Memory mem_a(256), mem_b(256);
+
+    Interpreter interp(fn, mem_a);
+    RunResult rr = interp.run();
+    ASSERT_EQ(rr.status, RunStatus::Halted);
+
+    Program prog = linearize(fn);
+    ProgramExecutor exec(prog, mem_b);
+    exec.run();
+    ASSERT_TRUE(exec.halted());
+    ASSERT_FALSE(exec.faulted());
+
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(interp.reg(static_cast<RegId>(r)),
+                  exec.reg(static_cast<RegId>(r)))
+            << "r" << r;
+    EXPECT_TRUE(mem_a == mem_b);
+}
+
+TEST(ProgramExecutor, FaultStops)
+{
+    Function fn("f");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 1 << 30);
+    b.load(1, 0, 0);
+    b.halt();
+    Memory mem(64);
+    Program prog = linearize(fn);
+    ProgramExecutor exec(prog, mem);
+    exec.run();
+    EXPECT_TRUE(exec.faulted());
+    EXPECT_TRUE(exec.halted());
+}
+
+TEST(ProgramExecutor, PredictHookControlsPath)
+{
+    Function fn("p");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId ca = fn.addBlock("ca");
+    BlockId ba = fn.addBlock("ba");
+    BlockId done = fn.addBlock("done");
+    b.predict(ca, ba, 0);
+    b.setInsertPoint(ca);
+    b.movi(0, 1);
+    b.jmp(done);
+    b.setInsertPoint(ba);
+    b.movi(0, 2);
+    b.jmp(done);
+    b.setInsertPoint(done);
+    b.halt();
+    Program prog = linearize(fn);
+    Memory mem(64);
+    ProgramExecutor exec(prog, mem);
+    exec.setPredictHook([](const LaidInst &) { return true; });
+    exec.run();
+    EXPECT_EQ(exec.reg(0), 1);
+}
+
+TEST(ProgramExecutor, StoreLogMatchesInterpreter)
+{
+    Function fn = makeDiamondLoop();
+    Memory mem_a(256), mem_b(256);
+    Interpreter interp(fn, mem_a);
+    interp.recordStores(true);
+    interp.run();
+    Program prog = linearize(fn);
+    ProgramExecutor exec(prog, mem_b);
+    exec.recordStores(true);
+    exec.run();
+    EXPECT_EQ(interp.storeLog(), exec.storeLog());
+}
+
+TEST(ProgramExecutor, RandomCfgsMatchInterpreter)
+{
+    // Property: for random small CFGs, laid-out execution ==
+    // CFG interpretation.
+    Rng rng(77);
+    for (int trial = 0; trial < 30; ++trial) {
+        Function fn("rnd");
+        IRBuilder b(fn);
+        b.startBlock("entry");
+        unsigned nblocks = 3 + static_cast<unsigned>(rng.below(5));
+        std::vector<BlockId> blocks;
+        for (unsigned i = 0; i < nblocks; ++i)
+            blocks.push_back(fn.addBlock());
+        // entry
+        b.movi(0, static_cast<int64_t>(rng.below(100)));
+        b.movi(1, 0);
+        b.jmp(blocks[0]);
+        for (unsigned i = 0; i < nblocks; ++i) {
+            b.setInsertPoint(blocks[i]);
+            b.addi(1, 1, static_cast<int64_t>(rng.below(9)));
+            if (i + 1 < nblocks) {
+                b.cmpi(Opcode::CMPGT, 2, 1,
+                       static_cast<int64_t>(rng.below(20)));
+                // forward only: no infinite loops
+                BlockId other =
+                    blocks[i + 1 + rng.below(nblocks - i - 1)];
+                b.br(2, other, blocks[i + 1]);
+            } else {
+                b.halt();
+            }
+        }
+        ASSERT_EQ(fn.verify(), "");
+        Memory ma(64), mb(64);
+        Interpreter interp(fn, ma);
+        interp.run(100000);
+        Program prog = linearize(fn);
+        ProgramExecutor exec(prog, mb);
+        exec.run(100000);
+        EXPECT_EQ(interp.reg(1), exec.reg(1)) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace vanguard

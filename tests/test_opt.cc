@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and property tests for the scalar optimization passes (dead
+ * code elimination and constant folding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/opt.hh"
+#include "exec/interpreter.hh"
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+namespace vanguard {
+namespace {
+
+TEST(Dce, RemovesUnusedDefs)
+{
+    Function fn("d");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 1);          // dead: overwritten below, never read
+    b.movi(0, 2);
+    b.movi(1, 3);          // dead: never read at all
+    b.addi(2, 0, 10);      // live (stored)
+    b.movi(3, 99);
+    b.store(3, 0, 2);
+    b.halt();
+    unsigned removed = deadCodeElimination(fn);
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(fn.instCount(), 5u);
+}
+
+TEST(Dce, KeepsFaultingOpsUnlessAggressive)
+{
+    Function fn("f");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 64);
+    b.load(1, 0, 0);       // result unused, but LD can fault
+    b.loadSpec(2, 0, 0);   // result unused, LD_S cannot fault: dead
+    b.halt();
+    // Only the ld.s dies: the faulting LD is kept, and movi r0 still
+    // feeds it.
+    EXPECT_EQ(deadCodeElimination(fn, false), 1u);
+    bool has_ld = false;
+    for (const auto &inst : fn.block(0).insts)
+        has_ld |= inst.op == Opcode::LD;
+    EXPECT_TRUE(has_ld);
+
+    Function fn2("f2");
+    IRBuilder b2(fn2);
+    b2.startBlock("entry");
+    b2.movi(0, 64);
+    b2.load(1, 0, 0);
+    b2.halt();
+    EXPECT_EQ(deadCodeElimination(fn2, true), 2u)
+        << "aggressive mode removes the dead load and its address";
+}
+
+TEST(Dce, KeepsLoopCarriedValues)
+{
+    Function fn("l");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId head = fn.addBlock("head");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.jmp(head);
+    b.setInsertPoint(head);
+    b.addi(0, 0, 1);   // live around the backedge
+    b.cmpi(Opcode::CMPLT, 1, 0, 10);
+    b.br(1, head, exit);
+    b.setInsertPoint(exit);
+    b.store(2, 0, 0);
+    b.halt();
+    EXPECT_EQ(deadCodeElimination(fn), 0u);
+}
+
+TEST(Fold, FoldsConstantChains)
+{
+    Function fn("c");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 6);
+    b.movi(1, 7);
+    b.mul(2, 0, 1);        // -> movi r2, 42
+    b.addi(3, 2, 8);       // -> movi r3, 50
+    b.store(3, 0, 2);      // store keeps the values observable
+    b.halt();
+    unsigned folded = constantFolding(fn);
+    EXPECT_EQ(folded, 2u);
+    unsigned movis = 0;
+    for (const auto &inst : fn.block(0).insts)
+        movis += inst.op == Opcode::MOVI;
+    EXPECT_EQ(movis, 4u);
+
+    Memory mem(256);
+    Interpreter interp(fn, mem);
+    interp.run();
+    EXPECT_EQ(mem.read64(50), 42);
+}
+
+TEST(Fold, StopsAtUnknownInputs)
+{
+    Function fn("u");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 64);
+    b.load(1, 0, 0);   // unknown at compile time
+    b.addi(2, 1, 1);   // not foldable
+    b.store(0, 8, 2);
+    b.halt();
+    EXPECT_EQ(constantFolding(fn), 0u);
+}
+
+TEST(Fold, InvalidatesAcrossRedefinition)
+{
+    Function fn("r");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 5);
+    b.load(0, 1, 0);   // r0 no longer constant
+    b.addi(2, 0, 1);   // must NOT fold to 6
+    b.store(1, 8, 2);
+    b.halt();
+    EXPECT_EQ(constantFolding(fn), 0u);
+}
+
+TEST(Fold, NeverFoldsDivByZeroIntoFault)
+{
+    Function fn("z");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 5);
+    b.movi(1, 0);
+    b.op2(Opcode::DIV, 2, 0, 1); // would fault; must not be folded
+    b.halt();
+    EXPECT_EQ(constantFolding(fn), 0u);
+}
+
+TEST(Opt, PipelinePreservesSemanticsOnRandomPrograms)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 40; ++trial) {
+        Function fn("rnd");
+        IRBuilder b(fn);
+        b.startBlock("entry");
+        for (int i = 0; i < 30; ++i) {
+            RegId dst = static_cast<RegId>(rng.below(8));
+            RegId s1 = static_cast<RegId>(rng.below(8));
+            RegId s2 = static_cast<RegId>(rng.below(8));
+            switch (rng.below(6)) {
+              case 0:
+                b.movi(dst, static_cast<int64_t>(rng.below(100)));
+                break;
+              case 1:
+                b.add(dst, s1, s2);
+                break;
+              case 2:
+                b.mul(dst, s1, s2);
+                break;
+              case 3:
+                b.op2i(Opcode::SHR, dst, s1,
+                       static_cast<int64_t>(rng.below(8)));
+                break;
+              case 4:
+                b.select(dst, s1, s2,
+                         static_cast<RegId>(rng.below(8)));
+                break;
+              default:
+                b.store(8, static_cast<int64_t>(rng.below(8)) * 8, s1);
+                b.movi(8, 128); // keep the base register constant
+                break;
+            }
+        }
+        b.movi(8, 128);
+        for (RegId r = 0; r < 8; ++r)
+            b.store(8, 64 + r * 8, r);
+        b.halt();
+
+        Memory ma(512), mb(512);
+        Interpreter ia(fn, ma);
+        ia.run();
+
+        Function opt = fn;
+        OptStats stats = optimize(opt);
+        (void)stats;
+        ASSERT_EQ(opt.verify(), "");
+        Interpreter ib(opt, mb);
+        ib.run();
+        // Compare the published stores (registers may differ for dead
+        // values, but memory must agree).
+        ASSERT_TRUE(ma == mb) << "trial " << trial;
+    }
+}
+
+TEST(Opt, ReportsCombinedStats)
+{
+    Function fn("s");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    b.movi(0, 2);
+    b.movi(1, 3);
+    b.add(2, 0, 1);    // foldable -> movi 5
+    b.add(3, 2, 2);    // foldable -> movi 10, then dead
+    b.store(4, 0, 2);
+    b.halt();
+    OptStats stats = optimize(fn);
+    EXPECT_GE(stats.instsFolded, 2u);
+    EXPECT_GE(stats.instsRemoved, 1u);
+}
+
+} // namespace
+} // namespace vanguard

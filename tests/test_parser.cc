@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the IR text parser, including round-trip properties
+ * against Function::toString() on real transformed kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/decompose.hh"
+#include "exec/interpreter.hh"
+#include "ir/builder.hh"
+#include "ir/parser.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+TEST(Parser, ParsesMinimalFunction)
+{
+    ParseResult r = parseFunction(R"(
+function tiny {
+start:
+    movi r0, 42
+    halt
+}
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fn.name(), "tiny");
+    EXPECT_EQ(r.fn.numBlocks(), 1u);
+    Memory mem(64);
+    Interpreter interp(r.fn, mem);
+    interp.run();
+    EXPECT_EQ(interp.reg(0), 42);
+}
+
+TEST(Parser, ParsesAllOperandForms)
+{
+    ParseResult r = parseFunction(R"(
+function forms {
+entry:
+    movi r1, -7
+    mov r2, r1
+    add r3, r1, r2
+    add r4, r3, 100
+    select r5, r4 ? r1 : r2
+    shl t0, r5, 2
+    ld r6, [r4 + 8]
+    ld.s r7, [r4 + -8]
+    st [r4 + 16], r6
+    cmplt r8, r6, r7
+    br r8, taken / fall
+taken:
+    jmp fall
+fall:
+    halt
+}
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fn.numBlocks(), 3u);
+    const auto &entry = r.fn.block(0).insts;
+    EXPECT_EQ(entry[0].imm, -7);
+    EXPECT_EQ(entry[5].dst, tempReg(0));
+    EXPECT_EQ(entry[7].op, Opcode::LD_S);
+    EXPECT_EQ(entry[7].imm, -8);
+    EXPECT_EQ(entry.back().takenTarget, 1u);
+    EXPECT_EQ(entry.back().fallTarget, 2u);
+}
+
+TEST(Parser, ParsesDecomposedForms)
+{
+    ParseResult r = parseFunction(R"(
+function dec {
+a:
+    predict ca / ba (orig #7)
+ba:
+    resolve r1, corr / fall (orig #7, path N)
+ca:
+    resolve r2, fall / corr (orig #7, path T)
+corr:
+    jmp fall
+fall:
+    halt
+}
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    const Instruction &predict = r.fn.block(0).terminator();
+    EXPECT_EQ(predict.op, Opcode::PREDICT);
+    EXPECT_EQ(predict.origBranch, 7u);
+    EXPECT_FALSE(r.fn.block(1).terminator().resolvePathTaken);
+    EXPECT_TRUE(r.fn.block(2).terminator().resolvePathTaken);
+}
+
+TEST(Parser, ReportsErrors)
+{
+    EXPECT_FALSE(parseFunction("garbage").ok);
+    EXPECT_FALSE(parseFunction("function f {\n    movi r0, 1\n}\n").ok)
+        << "instruction before a label must fail";
+    ParseResult r = parseFunction(R"(
+function f {
+a:
+    frobnicate r0, r1, r2
+    halt
+}
+)");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unknown opcode"), std::string::npos);
+    EXPECT_NE(r.error.find("line 4"), std::string::npos);
+}
+
+TEST(Parser, RejectsBadRegisters)
+{
+    ParseResult r = parseFunction(R"(
+function f {
+a:
+    movi r99, 1
+    halt
+}
+)");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Parser, RejectsUnterminatedOrUnverified)
+{
+    // Missing terminator in block a.
+    ParseResult r = parseFunction(R"(
+function f {
+a:
+    movi r0, 1
+b:
+    halt
+}
+)");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("verification"), std::string::npos);
+}
+
+TEST(Parser, CommentsAndBlanksIgnored)
+{
+    ParseResult r = parseFunction(R"(
+; leading comment
+function c {
+
+entry:   ; the entry block
+    movi r0, 3   ; three
+    halt
+}
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fn.instCount(), 2u);
+}
+
+TEST(Parser, RoundTripsBuilderFunctions)
+{
+    Function fn("rt");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    BlockId f = fn.addBlock("f");
+    b.movi(0, 5);
+    b.cmpi(Opcode::CMPGT, 1, 0, 3);
+    b.br(1, t, f);
+    b.setInsertPoint(t);
+    b.load(2, 0, 16);
+    b.halt();
+    b.setInsertPoint(f);
+    b.store(0, 8, 1);
+    b.halt();
+
+    ParseResult r = parseFunction(fn.toString());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fn.toString(), fn.toString())
+        << "print -> parse -> print must be stable";
+}
+
+TEST(Parser, RoundTripsTransformedKernel)
+{
+    // The acid test: a real suite kernel AFTER decomposition (predict/
+    // resolve instructions, temp registers, speculative loads).
+    BenchmarkSpec spec = findBenchmark("perlbench-like");
+    spec.iterations = 100;
+    spec.coldBlocks = 4;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    std::vector<InstId> branches;
+    for (const auto &bb : k.fn.blocks())
+        if (bb.hasTerminator() && bb.terminator().op == Opcode::BR)
+            branches.push_back(bb.terminator().id);
+    decomposeBranches(k.fn, branches);
+
+    std::string printed = k.fn.toString();
+    ParseResult r = parseFunction(printed);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fn.toString(), printed);
+
+    // And the parsed program behaves identically.
+    Memory ma = *k.mem;
+    Memory mb = *k.mem;
+    Interpreter ia(k.fn, ma), ib(r.fn, mb);
+    ia.run(2'000'000);
+    ib.run(2'000'000);
+    for (unsigned reg = 0; reg < kNumArchRegs; ++reg)
+        EXPECT_EQ(ia.reg(static_cast<RegId>(reg)),
+                  ib.reg(static_cast<RegId>(reg)));
+    EXPECT_TRUE(ma == mb);
+}
+
+} // namespace
+} // namespace vanguard

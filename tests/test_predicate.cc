@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for if-conversion (predication) — the classic answer for
+ * unbiased-unpredictable hammocks (Figure 1 lower-right quadrant).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/predicate.hh"
+#include "exec/interpreter.hh"
+#include "ir/builder.hh"
+
+namespace vanguard {
+namespace {
+
+struct Diamond
+{
+    Function fn{"d"};
+    InstId branch = kNoInst;
+};
+
+Diamond
+makeDiamond()
+{
+    Diamond d;
+    IRBuilder b(d.fn);
+    b.startBlock("entry");
+    BlockId t = d.fn.addBlock("t");
+    BlockId f = d.fn.addBlock("f");
+    BlockId join = d.fn.addBlock("join");
+    b.load(1, 0, 0);
+    b.cmpi(Opcode::CMPNE, 2, 1, 0);
+    d.branch = b.br(2, t, f);
+    b.setInsertPoint(t);
+    b.load(3, 0, 8);
+    b.addi(4, 3, 100);
+    b.jmp(join);
+    b.setInsertPoint(f);
+    b.load(3, 0, 16);
+    b.addi(4, 3, 200);
+    b.jmp(join);
+    b.setInsertPoint(join);
+    b.add(5, 4, 3);
+    b.halt();
+    return d;
+}
+
+TEST(Predicate, ConvertsDiamondToStraightLine)
+{
+    Diamond d = makeDiamond();
+    PredicationStats stats = ifConvertBranches(d.fn, {d.branch});
+    EXPECT_EQ(stats.converted, 1u);
+    EXPECT_GT(stats.selectsInserted, 0u);
+    ASSERT_EQ(d.fn.verify(), "");
+    // No conditional branch remains in the entry block.
+    EXPECT_EQ(d.fn.block(0).terminator().op, Opcode::JMP);
+    bool has_select = false;
+    for (const auto &inst : d.fn.block(0).insts)
+        has_select |= inst.op == Opcode::SELECT;
+    EXPECT_TRUE(has_select);
+}
+
+TEST(Predicate, PreservesSemanticsBothOutcomes)
+{
+    for (int64_t cond : {0, 1}) {
+        Diamond ref = makeDiamond();
+        Memory rm(256);
+        rm.write64(0, cond);
+        rm.write64(8, 7);
+        rm.write64(16, 9);
+        Interpreter ri(ref.fn, rm);
+        ri.run();
+
+        Diamond d = makeDiamond();
+        ifConvertBranches(d.fn, {d.branch});
+        Memory m(256);
+        m.write64(0, cond);
+        m.write64(8, 7);
+        m.write64(16, 9);
+        Interpreter i(d.fn, m);
+        ASSERT_EQ(i.run().status, RunStatus::Halted);
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            EXPECT_EQ(ri.reg(static_cast<RegId>(r)),
+                      i.reg(static_cast<RegId>(r)))
+                << "cond=" << cond << " r" << r;
+    }
+}
+
+TEST(Predicate, LoadsBecomeSpeculative)
+{
+    Diamond d = makeDiamond();
+    ifConvertBranches(d.fn, {d.branch});
+    unsigned lds = 0;
+    for (const auto &inst : d.fn.block(0).insts)
+        lds += inst.op == Opcode::LD_S;
+    EXPECT_EQ(lds, 2u) << "both arms' loads execute unconditionally";
+}
+
+TEST(Predicate, ConvertsTriangle)
+{
+    Function fn("tri");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    BlockId join = fn.addBlock("join");
+    b.movi(1, 5);
+    b.cmpi(Opcode::CMPGT, 2, 1, 3);
+    InstId br = b.br(2, t, join);
+    b.setInsertPoint(t);
+    b.addi(3, 1, 50);
+    b.jmp(join);
+    b.setInsertPoint(join);
+    b.add(4, 3, 1);
+    b.halt();
+    ASSERT_EQ(fn.verify(), "");
+
+    Memory rm(64);
+    Function ref = fn;
+    Interpreter ri(ref, rm);
+    ri.run();
+
+    PredicationStats stats = ifConvertBranches(fn, {br});
+    EXPECT_EQ(stats.converted, 1u);
+    Memory m(64);
+    Interpreter i(fn, m);
+    ASSERT_EQ(i.run().status, RunStatus::Halted);
+    EXPECT_EQ(i.reg(4), ri.reg(4));
+    EXPECT_EQ(i.reg(3), ri.reg(3));
+}
+
+TEST(Predicate, RejectsSidesWithStores)
+{
+    Diamond d = makeDiamond();
+    // Add a store to the T side: cannot execute unconditionally.
+    IRBuilder b(d.fn);
+    auto &t = d.fn.block(1);
+    Instruction st;
+    st.op = Opcode::ST;
+    st.id = d.fn.nextInstId();
+    st.src1 = 0;
+    st.src2 = 3;
+    st.imm = 32;
+    t.insts.insert(t.insts.begin(), st);
+    PredicationStats stats = ifConvertBranches(d.fn, {d.branch});
+    EXPECT_EQ(stats.converted, 0u);
+}
+
+TEST(Predicate, RejectsBigSides)
+{
+    Diamond d = makeDiamond();
+    PredicationOptions opts;
+    opts.maxSideInsts = 1;
+    PredicationStats stats = ifConvertBranches(d.fn, {d.branch}, opts);
+    EXPECT_EQ(stats.converted, 0u);
+}
+
+TEST(Predicate, RejectsSideWithExtraPredecessors)
+{
+    Diamond d = makeDiamond();
+    IRBuilder b(d.fn);
+    BlockId extra = d.fn.addBlock("extra");
+    b.setInsertPoint(extra);
+    b.jmp(1); // second pred of T
+    PredicationStats stats = ifConvertBranches(d.fn, {d.branch});
+    EXPECT_EQ(stats.converted, 0u);
+}
+
+TEST(Predicate, RejectsMismatchedJoins)
+{
+    Function fn("mj");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId t = fn.addBlock("t");
+    BlockId f = fn.addBlock("f");
+    BlockId j1 = fn.addBlock("j1");
+    BlockId j2 = fn.addBlock("j2");
+    b.movi(1, 1);
+    InstId br = b.br(1, t, f);
+    b.setInsertPoint(t);
+    b.movi(2, 1);
+    b.jmp(j1);
+    b.setInsertPoint(f);
+    b.movi(2, 2);
+    b.jmp(j2);
+    b.setInsertPoint(j1);
+    b.halt();
+    b.setInsertPoint(j2);
+    b.halt();
+    PredicationStats stats = ifConvertBranches(fn, {br});
+    EXPECT_EQ(stats.converted, 0u);
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the TRAIN-input profiler: bias, predictability,
+ * forwardness classification, MPPKI, and the Figure-2/3 population
+ * (top-N forward branches by bias). Also validates the outcome-stream
+ * generators against their analytic targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "ir/builder.hh"
+#include "profile/profiler.hh"
+#include "workloads/kernel.hh"
+#include "workloads/stream.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+/** Loop over a memory-resident outcome array, branching on it. */
+Function
+makeBranchLoop(Memory &mem, const std::vector<uint8_t> &outcomes,
+               InstId &branch_out)
+{
+    for (size_t i = 0; i < outcomes.size(); ++i)
+        mem.write64(i * 8, outcomes[i]);
+
+    Function fn("bl");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId head = fn.addBlock("head");
+    BlockId taken = fn.addBlock("taken");
+    BlockId fall = fn.addBlock("fall");
+    BlockId latch = fn.addBlock("latch");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.movi(1, static_cast<int64_t>(outcomes.size()));
+    b.jmp(head);
+    b.setInsertPoint(head);
+    b.shli(2, 0, 3);
+    b.load(3, 2, 0);
+    branch_out = b.br(3, taken, fall);
+    b.setInsertPoint(taken);
+    b.addi(4, 4, 1);
+    b.jmp(latch);
+    b.setInsertPoint(fall);
+    b.addi(5, 5, 1);
+    b.jmp(latch);
+    b.setInsertPoint(latch);
+    b.addi(0, 0, 1);
+    b.cmp(Opcode::CMPLT, 6, 0, 1);
+    b.br(6, head, exit);
+    b.setInsertPoint(exit);
+    b.halt();
+    return fn;
+}
+
+TEST(Profiler, MeasuresBiasExactly)
+{
+    Memory mem(1 << 16);
+    std::vector<uint8_t> outs(4000, 0);
+    for (size_t i = 0; i < outs.size(); ++i)
+        outs[i] = (i % 10) < 7; // 70% taken
+    InstId branch;
+    Function fn = makeBranchLoop(mem, outs, branch);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(fn, mem, *pred);
+    const BranchStats *bs = prof.find(branch);
+    ASSERT_NE(bs, nullptr);
+    EXPECT_EQ(bs->execs, 4000u);
+    EXPECT_NEAR(bs->bias(), 0.7, 0.001);
+    EXPECT_TRUE(bs->forward);
+}
+
+TEST(Profiler, PredictabilityExceedsBiasOnPatterns)
+{
+    // The paper's core population: a 50/50 branch with a learnable
+    // pattern. Predictability must hugely exceed bias.
+    Memory mem(1 << 16);
+    std::vector<uint8_t> outs(6000);
+    for (size_t i = 0; i < outs.size(); ++i)
+        outs[i] = i & 1;
+    InstId branch;
+    Function fn = makeBranchLoop(mem, outs, branch);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(fn, mem, *pred);
+    const BranchStats *bs = prof.find(branch);
+    ASSERT_NE(bs, nullptr);
+    EXPECT_NEAR(bs->bias(), 0.5, 0.01);
+    EXPECT_GT(bs->predictability(), 0.95);
+    EXPECT_GT(bs->exposedPredictability(), 0.4);
+}
+
+TEST(Profiler, BackwardBranchClassified)
+{
+    Memory mem(1 << 16);
+    std::vector<uint8_t> outs(100, 1);
+    InstId branch;
+    Function fn = makeBranchLoop(mem, outs, branch);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(fn, mem, *pred);
+    // The loop latch branch (head id 1 < latch id 4) is backward.
+    bool found_backward = false;
+    for (const auto &[id, bs] : prof.all())
+        if (!bs.forward && bs.bias() > 0.9)
+            found_backward = true;
+    EXPECT_TRUE(found_backward);
+}
+
+TEST(Profiler, MppkiAggregates)
+{
+    Memory mem(1 << 16);
+    Rng rng(5);
+    std::vector<uint8_t> outs(4000);
+    for (auto &o : outs)
+        o = rng.chance(0.5); // unpredictable
+    InstId branch;
+    Function fn = makeBranchLoop(mem, outs, branch);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(fn, mem, *pred);
+    EXPECT_GT(prof.mppki(), 10.0) << "random branch => high MPPKI";
+    EXPECT_GT(prof.totalDynamicInsts, 0u);
+    EXPECT_EQ(prof.totalDynamicBranches, 8000u); // branch + latch
+}
+
+TEST(Profiler, TopForwardByBiasSortsAndFilters)
+{
+    BenchmarkSpec spec = findBenchmark("h264ref-like");
+    spec.iterations = 3000;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(k.fn, *k.mem, *pred);
+    auto top = prof.topForwardByBias(5);
+    ASSERT_EQ(top.size(), 5u);
+    for (size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1]->bias(), top[i]->bias());
+    for (const auto *bs : top)
+        EXPECT_TRUE(bs->forward);
+}
+
+TEST(Profiler, ByExecutionCountDescends)
+{
+    BenchmarkSpec spec = findBenchmark("bzip2-like");
+    spec.iterations = 2000;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(k.fn, *k.mem, *pred);
+    auto by_exec = prof.byExecutionCount();
+    ASSERT_GT(by_exec.size(), 2u);
+    for (size_t i = 1; i < by_exec.size(); ++i)
+        EXPECT_GE(by_exec[i - 1]->execs, by_exec[i]->execs);
+}
+
+// ---- stream generator validation -----------------------------------
+
+struct StreamCase
+{
+    double bias;
+    double flip;
+};
+
+class StreamTargets : public ::testing::TestWithParam<StreamCase>
+{
+};
+
+TEST_P(StreamTargets, RealizedBiasAndPredictabilityMatchAnalytic)
+{
+    StreamParams sp;
+    sp.takenFraction = GetParam().bias;
+    sp.flipRate = GetParam().flip;
+    Rng rng(11);
+    auto outs = synthesizeOutcomes(sp, 60000, rng);
+
+    size_t taken = 0;
+    size_t repeats = 0;
+    for (size_t i = 0; i < outs.size(); ++i) {
+        taken += outs[i];
+        if (i > 0)
+            repeats += outs[i] == outs[i - 1];
+    }
+    double measured_taken =
+        static_cast<double>(taken) / static_cast<double>(outs.size());
+    double measured_bias =
+        std::max(measured_taken, 1.0 - measured_taken);
+    double repeat_rate =
+        static_cast<double>(repeats) /
+        static_cast<double>(outs.size() - 1);
+
+    EXPECT_NEAR(measured_bias, expectedBias(sp), 0.03);
+    // "repeat last" accuracy == 1 - flip rate.
+    EXPECT_NEAR(repeat_rate, expectedPredictability(sp), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure1Quadrants, StreamTargets,
+    ::testing::Values(StreamCase{0.5, 0.05},   // predictable-unbiased
+                      StreamCase{0.55, 0.10},
+                      StreamCase{0.94, 0.03},  // biased-predictable
+                      StreamCase{0.5, 0.5},    // unpredictable
+                      StreamCase{0.7, 0.15}));
+
+TEST(StreamTargets, ThresholdsPreserveStationaryBias)
+{
+    StreamParams sp;
+    sp.takenFraction = 0.6;
+    sp.flipRate = 0.1;
+    FlipThresholds t = flipThresholds(sp);
+    // Detailed balance: b * pT == (1-b) * pN.
+    double pt = static_cast<double>(t.whenTaken) / 256.0;
+    double pn = static_cast<double>(t.whenNotTaken) / 256.0;
+    EXPECT_NEAR(0.6 * pt, 0.4 * pn, 0.01);
+}
+
+TEST(StreamTargets, GshareLearnsRunStructure)
+{
+    // End-to-end: the predictor the paper uses reaches ~(1 - m)
+    // accuracy on a run stream, while bias stays ~b.
+    StreamParams sp;
+    sp.takenFraction = 0.5;
+    sp.flipRate = 0.06;
+    Rng rng(21);
+    auto outs = synthesizeOutcomes(sp, 30000, rng);
+    auto pred = makePredictor("gshare3");
+    size_t correct = 0, measured = 0;
+    for (size_t i = 0; i < outs.size(); ++i) {
+        PredMeta meta;
+        bool taken = outs[i] != 0;
+        bool p = pred->predict(0x4440, meta);
+        if (i > outs.size() / 2) {
+            ++measured;
+            correct += p == taken;
+        }
+        pred->updateHistory(taken);
+        pred->update(0x4440, taken, meta);
+    }
+    double acc = static_cast<double>(correct) / measured;
+    EXPECT_GT(acc, 0.88);
+}
+
+} // namespace
+} // namespace vanguard

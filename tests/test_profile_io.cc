@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for BranchProfile text serialization (the PGO artifact
+ * format): round trips, format errors, and end-to-end reuse of a
+ * deserialized profile for branch selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "compiler/select.hh"
+#include "profile/profile_io.hh"
+#include "profile/profiler.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+BranchProfile
+realProfile()
+{
+    BenchmarkSpec spec = findBenchmark("astar-like");
+    spec.iterations = 2000;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    auto pred = makePredictor("gshare3");
+    return profileFunction(k.fn, *k.mem, *pred);
+}
+
+TEST(ProfileIo, RoundTripsRealProfile)
+{
+    BranchProfile prof = realProfile();
+    std::string text = serializeProfile(prof);
+    ProfileParseResult parsed = deserializeProfile(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    EXPECT_EQ(parsed.profile.totalDynamicInsts,
+              prof.totalDynamicInsts);
+    EXPECT_EQ(parsed.profile.totalMispredicts,
+              prof.totalMispredicts);
+    ASSERT_EQ(parsed.profile.all().size(), prof.all().size());
+    for (const auto &[id, bs] : prof.all()) {
+        const BranchStats *p = parsed.profile.find(id);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->execs, bs.execs);
+        EXPECT_EQ(p->taken, bs.taken);
+        EXPECT_EQ(p->correct, bs.correct);
+        EXPECT_EQ(p->forward, bs.forward);
+        EXPECT_DOUBLE_EQ(p->bias(), bs.bias());
+    }
+    // Stable: serialize(parse(serialize(x))) == serialize(x).
+    EXPECT_EQ(serializeProfile(parsed.profile), text);
+}
+
+TEST(ProfileIo, DeserializedProfileDrivesSelection)
+{
+    BenchmarkSpec spec = findBenchmark("astar-like");
+    spec.iterations = 2000;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    BranchProfile prof = realProfile();
+
+    ProfileParseResult parsed =
+        deserializeProfile(serializeProfile(prof));
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_EQ(selectBranches(k.fn, prof),
+              selectBranches(k.fn, parsed.profile))
+        << "selection must be identical through a profile round trip";
+}
+
+TEST(ProfileIo, RejectsBadHeader)
+{
+    auto r = deserializeProfile("not-a-profile\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("header"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsMalformedRecords)
+{
+    auto r = deserializeProfile(
+        "vanguard-profile v1\nbranch id=oops\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsInconsistentCounts)
+{
+    auto r = deserializeProfile(
+        "vanguard-profile v1\n"
+        "branch id=1 block=2 fwd=1 execs=10 taken=20 correct=5\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("inconsistent"), std::string::npos);
+}
+
+TEST(ProfileIo, RejectsEmpty)
+{
+    EXPECT_FALSE(deserializeProfile("").ok);
+}
+
+TEST(ProfileIo, IgnoresCommentsAndBlankLines)
+{
+    auto r = deserializeProfile(
+        "vanguard-profile v1\n"
+        "# a comment\n"
+        "\n"
+        "meta insts=100 branches=10 mispredicts=3\n"
+        "branch id=7 block=1 fwd=1 execs=10 taken=6 correct=9\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    const BranchStats *bs = r.profile.find(7);
+    ASSERT_NE(bs, nullptr);
+    EXPECT_NEAR(bs->bias(), 0.6, 1e-9);
+    EXPECT_NEAR(bs->predictability(), 0.9, 1e-9);
+}
+
+} // namespace
+} // namespace vanguard

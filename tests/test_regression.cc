@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Golden regression locks: exact end-to-end numbers for a few
+ * (benchmark, config) points. Everything in the stack is
+ * deterministic (platform-stable RNG, fixed seeds), so any change to
+ * these values means the model changed — which may be intentional,
+ * but must be noticed and re-baselined consciously (and EXPERIMENTS.md
+ * re-generated).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vanguard.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+struct GoldenPoint
+{
+    const char *name;
+    uint64_t baseCycles;
+    uint64_t expCycles;
+    size_t selected;
+    size_t baseStatic;
+    size_t expStatic;
+};
+
+class Golden : public ::testing::TestWithParam<GoldenPoint>
+{
+};
+
+TEST_P(Golden, EndToEndNumbersAreStable)
+{
+    const GoldenPoint &g = GetParam();
+    BenchmarkSpec spec = findBenchmark(g.name);
+    spec.iterations = 2000;
+    VanguardOptions opts; // 4-wide, gshare3, Table-1 defaults
+    BenchmarkOutcome o = evaluateBenchmark(spec, opts, kRefSeeds[0]);
+    EXPECT_EQ(o.base.cycles, g.baseCycles);
+    EXPECT_EQ(o.exp.cycles, g.expCycles);
+    EXPECT_EQ(o.selectedBranches, g.selected);
+    EXPECT_EQ(o.baseStaticInsts, g.baseStatic);
+    EXPECT_EQ(o.expStaticInsts, g.expStatic);
+    EXPECT_GT(o.speedupPct, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelBaseline, Golden,
+    ::testing::Values(
+        GoldenPoint{"h264ref-like", 973952, 865721, 5, 3503, 3838},
+        GoldenPoint{"wrf-like", 1081555, 956320, 4, 3378, 3678},
+        GoldenPoint{"mcf-like", 1918995, 1864029, 3, 3417, 3630}));
+
+TEST(GoldenInvariants, DynamicInstsIndependentOfTiming)
+{
+    // Committed instruction counts are a pure function of the program
+    // and input — independent of machine width.
+    BenchmarkSpec spec = findBenchmark("bzip2-like");
+    spec.iterations = 1500;
+    VanguardOptions w2;
+    w2.width = 2;
+    VanguardOptions w8;
+    w8.width = 8;
+    BenchmarkOutcome a = evaluateBenchmark(spec, w2, kRefSeeds[1]);
+    BenchmarkOutcome b = evaluateBenchmark(spec, w8, kRefSeeds[1]);
+    EXPECT_EQ(a.base.dynamicInsts, b.base.dynamicInsts);
+    EXPECT_EQ(a.base.condBranches, b.base.condBranches);
+}
+
+TEST(GoldenInvariants, FetchedEqualsCommitted)
+{
+    // The model fetches exactly the committed path (wrong-path work
+    // is charged as latency, not instructions) — an explicit model
+    // contract that DESIGN.md documents.
+    BenchmarkSpec spec = findBenchmark("gobmk-like");
+    spec.iterations = 1500;
+    VanguardOptions opts;
+    BenchmarkOutcome o = evaluateBenchmark(spec, opts, kRefSeeds[0]);
+    EXPECT_EQ(o.base.fetched, o.base.dynamicInsts);
+    EXPECT_EQ(o.exp.fetched, o.exp.dynamicInsts);
+}
+
+TEST(GoldenInvariants, PredictResolveBalance)
+{
+    // Every dynamic PREDICT is resolved exactly once.
+    BenchmarkSpec spec = findBenchmark("perlbench-like");
+    spec.iterations = 1500;
+    VanguardOptions opts;
+    BenchmarkOutcome o = evaluateBenchmark(spec, opts, kRefSeeds[2]);
+    EXPECT_GT(o.exp.predictsExecuted, 0u);
+    EXPECT_EQ(o.exp.predictsExecuted, o.exp.resolvesExecuted);
+    EXPECT_LE(o.exp.resolveRedirects, o.exp.resolvesExecuted);
+}
+
+} // namespace
+} // namespace vanguard

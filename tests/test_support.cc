@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG, saturating counters,
+ * circular buffer, and stats helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/circular_buffer.hh"
+#include "support/rng.hh"
+#include "support/sat_counter.hh"
+#include "support/stats.hh"
+
+namespace vanguard {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(10), 10u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter ctr(2, 0);
+    for (int i = 0; i < 10; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.value(), 3);
+    EXPECT_TRUE(ctr.predictTaken());
+    EXPECT_TRUE(ctr.isSaturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter ctr(2, 3);
+    for (int i = 0; i < 10; ++i)
+        ctr.decrement();
+    EXPECT_EQ(ctr.value(), 0);
+    EXPECT_FALSE(ctr.predictTaken());
+}
+
+TEST(SatCounter, MidpointPredictsNotTaken)
+{
+    SatCounter ctr(2, 2);
+    EXPECT_TRUE(ctr.predictTaken());
+    ctr.decrement();
+    EXPECT_FALSE(ctr.predictTaken()); // value 1 of max 3
+}
+
+TEST(SatCounter, ResetWeak)
+{
+    SatCounter ctr(3);
+    ctr.resetWeak(true);
+    EXPECT_TRUE(ctr.predictTaken());
+    ctr.decrement();
+    EXPECT_FALSE(ctr.predictTaken());
+    ctr.resetWeak(false);
+    EXPECT_FALSE(ctr.predictTaken());
+    ctr.increment();
+    EXPECT_TRUE(ctr.predictTaken());
+}
+
+TEST(SignedSatCounter, Clamps)
+{
+    SignedSatCounter ctr(3, 0);
+    for (int i = 0; i < 10; ++i)
+        ctr.update(true);
+    EXPECT_EQ(ctr.value(), 3);
+    for (int i = 0; i < 20; ++i)
+        ctr.update(false);
+    EXPECT_EQ(ctr.value(), -4);
+    EXPECT_FALSE(ctr.positive());
+}
+
+TEST(CircularBuffer, FifoOrder)
+{
+    CircularBuffer<int> buf(4);
+    buf.push(1);
+    buf.push(2);
+    buf.push(3);
+    EXPECT_EQ(buf.pop(), 1);
+    EXPECT_EQ(buf.pop(), 2);
+    buf.push(4);
+    buf.push(5);
+    buf.push(6);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.pop(), 3);
+    EXPECT_EQ(buf.pop(), 4);
+    EXPECT_EQ(buf.pop(), 5);
+    EXPECT_EQ(buf.pop(), 6);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(CircularBuffer, StableSlotIndices)
+{
+    CircularBuffer<int> buf(4);
+    size_t s0 = buf.push(10);
+    size_t s1 = buf.push(20);
+    EXPECT_NE(s0, s1);
+    EXPECT_EQ(buf.at(s0), 10);
+    EXPECT_EQ(buf.at(s1), 20);
+    buf.pop();
+    size_t s2 = buf.push(30);
+    EXPECT_EQ(buf.at(s2), 30);
+    EXPECT_EQ(buf.at(s1), 20);
+}
+
+TEST(CircularBuffer, SquashYoungest)
+{
+    CircularBuffer<int> buf(8);
+    for (int i = 0; i < 5; ++i)
+        buf.push(i);
+    buf.squashYoungest(2);
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf.pop(), 0);
+    EXPECT_EQ(buf.pop(), 1);
+    EXPECT_EQ(buf.pop(), 2);
+    // Tail is rewound: pushes reuse the squashed slots.
+    size_t slot = buf.push(99);
+    EXPECT_EQ(buf.at(slot), 99);
+}
+
+TEST(CircularBuffer, LastIndexTracksTail)
+{
+    CircularBuffer<int> buf(2);
+    size_t a = buf.push(1);
+    EXPECT_EQ(buf.lastIndex(), a);
+    size_t b = buf.push(2);
+    EXPECT_EQ(buf.lastIndex(), b);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, SpeedupMath)
+{
+    EXPECT_DOUBLE_EQ(speedupRatio(110, 100), 1.1);
+    EXPECT_NEAR(speedupPercent(1.1), 10.0, 1e-9);
+    EXPECT_NEAR(speedupPercent(0.9), -10.0, 1e-9);
+}
+
+TEST(Stats, StatSetAccumulates)
+{
+    StatSet s;
+    s.set("a", 1);
+    s.add("a", 2);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
+    EXPECT_FALSE(s.has("b"));
+    EXPECT_DOUBLE_EQ(s.get("b"), 0.0);
+    EXPECT_NE(s.dump().find("a = 3"), std::string::npos);
+}
+
+TEST(Stats, TablePrinterAligns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1.0"});
+    t.addRow({"longer", "2.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the pipeline trace facility: collection limits,
+ * timing invariants, and the text timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "compiler/layout.hh"
+#include "ir/builder.hh"
+#include "uarch/pipeline.hh"
+#include "uarch/trace.hh"
+
+namespace vanguard {
+namespace {
+
+Function
+smallLoop()
+{
+    Function fn("loop");
+    IRBuilder b(fn);
+    b.startBlock("entry");
+    BlockId head = fn.addBlock("head");
+    BlockId exit = fn.addBlock("exit");
+    b.movi(0, 0);
+    b.movi(1, 100);
+    b.jmp(head);
+    BlockId t = fn.addBlock("t");
+    BlockId f2 = fn.addBlock("f");
+    BlockId latch = fn.addBlock("latch");
+    b.setInsertPoint(head);
+    b.load(2, 3, 0);
+    b.addi(2, 2, 1);
+    b.andi(5, 0, 1);
+    b.br(5, t, f2);
+    b.setInsertPoint(t);
+    b.addi(6, 6, 1);
+    b.jmp(latch); // f sits between t and latch: this jmp survives
+    b.setInsertPoint(f2);
+    b.addi(7, 7, 1);
+    b.jmp(latch);
+    b.setInsertPoint(latch);
+    b.addi(0, 0, 1);
+    b.cmp(Opcode::CMPLT, 4, 0, 1);
+    b.br(4, head, exit);
+    b.setInsertPoint(exit);
+    b.halt();
+    return fn;
+}
+
+PipelineTrace
+runWithTrace(Function &fn, size_t limit)
+{
+    PipelineTrace trace(limit);
+    SimOptions opts;
+    opts.trace = &trace;
+    Program prog = linearize(fn);
+    Memory mem(1 << 16);
+    auto pred = makePredictor("gshare3");
+    simulate(prog, mem, *pred, MachineConfig::widthVariant(4), opts);
+    return trace;
+}
+
+TEST(Trace, CollectsUpToLimit)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 32);
+    EXPECT_EQ(trace.entries().size(), 32u);
+}
+
+TEST(Trace, TimingInvariantsHold)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 64);
+    uint64_t prev_fetch = 0;
+    uint64_t prev_issue = 0;
+    for (const TraceEntry &e : trace.entries()) {
+        EXPECT_GE(e.issueCycle, e.fetchCycle);
+        EXPECT_GE(e.doneCycle, e.issueCycle);
+        EXPECT_GE(e.fetchCycle, prev_fetch) << "fetch is in order";
+        if (e.issued) {
+            EXPECT_GE(e.issueCycle, prev_issue)
+                << "issue is in order";
+            prev_issue = e.issueCycle;
+        }
+        prev_fetch = e.fetchCycle;
+    }
+}
+
+TEST(Trace, LoadLatencyVisible)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 64);
+    bool found_load = false;
+    for (const TraceEntry &e : trace.entries()) {
+        if (e.op == Opcode::LD && e.fetchCycle > 20) {
+            found_load = true;
+            EXPECT_GE(e.doneCycle - e.issueCycle, 4u)
+                << "L1 hit is 4 cycles";
+        }
+    }
+    EXPECT_TRUE(found_load);
+}
+
+TEST(Trace, NonIssuedOpsMarked)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 64);
+    bool saw_jmp = false;
+    for (const TraceEntry &e : trace.entries()) {
+        if (e.op == Opcode::JMP) {
+            saw_jmp = true;
+            EXPECT_FALSE(e.issued);
+        }
+    }
+    EXPECT_TRUE(saw_jmp);
+}
+
+TEST(Trace, RenderProducesTimeline)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 16);
+    std::string text = trace.render(200);
+    EXPECT_NE(text.find('F'), std::string::npos);
+    EXPECT_NE(text.find('I'), std::string::npos);
+    EXPECT_NE(text.find("movi"), std::string::npos);
+    // One row per traced instruction (plus header).
+    size_t rows = 0;
+    for (char c : text)
+        rows += c == '\n';
+    EXPECT_GE(rows, 10u);
+}
+
+TEST(Trace, EmptyTraceRenders)
+{
+    PipelineTrace trace(8);
+    EXPECT_EQ(trace.render(), "(empty trace)\n");
+}
+
+TEST(Trace, ClearResets)
+{
+    Function fn = smallLoop();
+    PipelineTrace trace = runWithTrace(fn, 8);
+    EXPECT_FALSE(trace.entries().empty());
+    trace.clear();
+    EXPECT_TRUE(trace.entries().empty());
+    EXPECT_TRUE(trace.wants());
+}
+
+} // namespace
+} // namespace vanguard

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the synthetic SPEC-analog workloads: structural
+ * validity, determinism, input-seed behavior, metric dials, and the
+ * Figure-1 quadrant placement of the generated branch populations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "exec/interpreter.hh"
+#include "profile/profiler.hh"
+#include "workloads/kernel.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+BenchmarkSpec
+shortSpec(const char *name, uint64_t iters = 3000)
+{
+    BenchmarkSpec spec = findBenchmark(name);
+    spec.iterations = iters;
+    return spec;
+}
+
+TEST(Workloads, AllSuiteKernelsVerifyAndRun)
+{
+    for (const auto &suite : {specInt2006(), specFp2006(),
+                              specInt2000(), specFp2000()}) {
+        for (BenchmarkSpec spec : suite) {
+            spec.iterations = 50;
+            BuiltKernel k = buildKernel(spec, kTrainSeed);
+            ASSERT_EQ(k.fn.verify(), "") << spec.name;
+            Interpreter interp(k.fn, *k.mem);
+            RunResult r = interp.run(5'000'000);
+            EXPECT_EQ(r.status, RunStatus::Halted) << spec.name;
+        }
+    }
+}
+
+TEST(Workloads, SuiteSizes)
+{
+    EXPECT_EQ(specInt2006().size(), 12u);
+    EXPECT_EQ(specFp2006().size(), 17u);
+    EXPECT_EQ(specInt2000().size(), 12u);
+    EXPECT_EQ(specFp2000().size(), 12u);
+}
+
+TEST(Workloads, FindBenchmarkRoundTrips)
+{
+    BenchmarkSpec spec = findBenchmark("omnetpp-like");
+    EXPECT_STREQ(spec.name, "omnetpp-like");
+    EXPECT_FALSE(spec.fp);
+    BenchmarkSpec fp = findBenchmark("wrf-like");
+    EXPECT_TRUE(fp.fp);
+}
+
+TEST(Workloads, BuildIsDeterministicPerSeed)
+{
+    BenchmarkSpec spec = shortSpec("perlbench-like", 500);
+    BuiltKernel a = buildKernel(spec, 42);
+    BuiltKernel b = buildKernel(spec, 42);
+    EXPECT_EQ(a.fn.toString(), b.fn.toString());
+    EXPECT_TRUE(*a.mem == *b.mem);
+}
+
+TEST(Workloads, CodeIsInputIndependent)
+{
+    // Like a real binary: different inputs = same code, different
+    // data. This is what lets PGO code compiled against TRAIN run
+    // unmodified on REF inputs.
+    BenchmarkSpec spec = shortSpec("astar-like", 500);
+    BuiltKernel train = buildKernel(spec, kTrainSeed);
+    BuiltKernel ref = buildKernel(spec, kRefSeeds[0]);
+    EXPECT_EQ(train.fn.toString(), ref.fn.toString());
+    EXPECT_FALSE(*train.mem == *ref.mem);
+}
+
+TEST(Workloads, DifferentSeedsDifferentDynamics)
+{
+    BenchmarkSpec spec = shortSpec("sjeng-like", 1500);
+    auto run = [&](uint64_t seed) {
+        BuiltKernel k = buildKernel(spec, seed);
+        auto pred = makePredictor("gshare3");
+        return profileFunction(k.fn, *k.mem, *pred).totalMispredicts;
+    };
+    EXPECT_NE(run(kRefSeeds[0]), run(kRefSeeds[1]));
+}
+
+TEST(Workloads, QuadrantPlacement)
+{
+    // The generated branch population must land in the Figure-1
+    // quadrants the spec requests.
+    BenchmarkSpec spec = shortSpec("gobmk-like", 6000); // has all 3
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(k.fn, *k.mem, *pred);
+
+    unsigned pu = 0, bp = 0, up = 0;
+    for (const auto &[id, bs] : prof.all()) {
+        if (!bs.forward || bs.execs < spec.iterations / 2)
+            continue;
+        if (bs.predictability() > 0.75 && bs.bias() < 0.78)
+            ++pu;
+        else if (bs.bias() > 0.85)
+            ++bp;
+        else if (bs.predictability() < 0.7)
+            ++up;
+    }
+    EXPECT_GE(pu, spec.hammocksPU - 1);
+    EXPECT_GE(bp, spec.hammocksBP);
+    EXPECT_GE(up, spec.hammocksUP - 1);
+}
+
+TEST(Workloads, LoopBranchIsBackwardAndBiased)
+{
+    BenchmarkSpec spec = shortSpec("hmmer-like", 2000);
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    auto pred = makePredictor("gshare3");
+    BranchProfile prof = profileFunction(k.fn, *k.mem, *pred);
+    bool found = false;
+    for (const auto &[id, bs] : prof.all()) {
+        if (!bs.forward && bs.execs >= 1999 && bs.bias() > 0.99)
+            found = true;
+    }
+    EXPECT_TRUE(found) << "the loop latch must be backward & biased";
+}
+
+TEST(Workloads, WorkingSetDialControlsMissRate)
+{
+    auto misses = [](unsigned ws_kb) {
+        BenchmarkSpec spec = findBenchmark("h264ref-like");
+        spec.iterations = 2000;
+        spec.workingSetKB = ws_kb;
+        BuiltKernel k = buildKernel(spec, kTrainSeed);
+        // Count distinct-line touches via functional run + a probe
+        // cache would be heavy; use the memory footprint as proxy and
+        // ensure the kernel still runs.
+        Interpreter interp(k.fn, *k.mem);
+        EXPECT_EQ(interp.run(10'000'000).status, RunStatus::Halted);
+        return k.mem->size();
+    };
+    EXPECT_GT(misses(1024), misses(16));
+}
+
+TEST(Workloads, ColdCodeExecutesPeriodically)
+{
+    BenchmarkSpec spec = shortSpec("perlbench-like", 1024);
+    spec.coldPeriod = 256;
+    BuiltKernel k = buildKernel(spec, kTrainSeed);
+    ASSERT_NE(k.firstColdBlock, kNoBlock);
+    uint64_t cold_execs = 0;
+    Interpreter interp(k.fn, *k.mem);
+    interp.setInstHook([&](const Instruction &, BlockId bb) {
+        if (bb >= k.firstColdBlock)
+            ++cold_execs;
+    });
+    interp.run(10'000'000);
+    EXPECT_GT(cold_execs, 0u);
+    // 4 detours of ~32*95 cold insts each.
+    uint64_t per_detour = cold_execs / (1024 / 256);
+    EXPECT_GT(per_detour, 1000u);
+}
+
+TEST(Workloads, ColdCodeGrowsStaticFootprintOnly)
+{
+    BenchmarkSpec with = shortSpec("bzip2-like", 200);
+    BenchmarkSpec without = with;
+    without.coldBlocks = 0;
+    BuiltKernel a = buildKernel(with, kTrainSeed);
+    BuiltKernel bk = buildKernel(without, kTrainSeed);
+    EXPECT_GT(a.fn.instCount(), bk.fn.instCount() + 1000);
+    EXPECT_EQ(bk.firstColdBlock, kNoBlock);
+    ASSERT_EQ(bk.fn.verify(), "");
+}
+
+TEST(Workloads, StoresEarlyLowersHoistability)
+{
+    BenchmarkSpec late = shortSpec("h264ref-like", 100);
+    BenchmarkSpec early = late;
+    early.storesEarly = true;
+    BuiltKernel kl = buildKernel(late, kTrainSeed);
+    BuiltKernel ke = buildKernel(early, kTrainSeed);
+    // storesEarly places a store among the first few instructions of
+    // each successor block, fencing later loads from hoisting.
+    auto store_in_prefix = [](const Function &fn) {
+        for (const auto &bb : fn.blocks()) {
+            if (bb.name != "T0")
+                continue;
+            size_t probe = std::min<size_t>(4, bb.insts.size());
+            for (size_t i = 0; i < probe; ++i)
+                if (bb.insts[i].isStore())
+                    return true;
+        }
+        return false;
+    };
+    EXPECT_FALSE(store_in_prefix(kl.fn));
+    EXPECT_TRUE(store_in_prefix(ke.fn));
+}
+
+TEST(Workloads, FpSuitesEmitFpOps)
+{
+    BuiltKernel k = buildKernel(shortSpec("wrf-like", 50), kTrainSeed);
+    unsigned fp_ops = 0;
+    for (const auto &bb : k.fn.blocks())
+        for (const auto &inst : bb.insts)
+            if (inst.fuClass() == FuClass::Fp)
+                ++fp_ops;
+    EXPECT_GT(fp_ops, 10u);
+
+    BuiltKernel ki =
+        buildKernel(shortSpec("gcc-like", 50), kTrainSeed);
+    unsigned fp_int = 0;
+    for (const auto &bb : ki.fn.blocks())
+        for (const auto &inst : bb.insts)
+            if (inst.fuClass() == FuClass::Fp)
+                ++fp_int;
+    EXPECT_EQ(fp_int, 0u);
+}
+
+} // namespace
+} // namespace vanguard
