@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dbb_size.dir/abl_dbb_size.cc.o"
+  "CMakeFiles/abl_dbb_size.dir/abl_dbb_size.cc.o.d"
+  "abl_dbb_size"
+  "abl_dbb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dbb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

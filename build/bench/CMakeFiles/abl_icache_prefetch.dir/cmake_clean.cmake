@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_icache_prefetch.dir/abl_icache_prefetch.cc.o"
+  "CMakeFiles/abl_icache_prefetch.dir/abl_icache_prefetch.cc.o.d"
+  "abl_icache_prefetch"
+  "abl_icache_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_icache_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pointer_chase.dir/abl_pointer_chase.cc.o"
+  "CMakeFiles/abl_pointer_chase.dir/abl_pointer_chase.cc.o.d"
+  "abl_pointer_chase"
+  "abl_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shadow_commit.dir/abl_shadow_commit.cc.o"
+  "CMakeFiles/abl_shadow_commit.dir/abl_shadow_commit.cc.o.d"
+  "abl_shadow_commit"
+  "abl_shadow_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shadow_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vs_predication.dir/abl_vs_predication.cc.o"
+  "CMakeFiles/abl_vs_predication.dir/abl_vs_predication.cc.o.d"
+  "abl_vs_predication"
+  "abl_vs_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vs_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_int_pred_vs_bias.dir/fig02_int_pred_vs_bias.cc.o"
+  "CMakeFiles/fig02_int_pred_vs_bias.dir/fig02_int_pred_vs_bias.cc.o.d"
+  "fig02_int_pred_vs_bias"
+  "fig02_int_pred_vs_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_int_pred_vs_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_int_pred_vs_bias.
+# This may be replaced when dependencies are built.

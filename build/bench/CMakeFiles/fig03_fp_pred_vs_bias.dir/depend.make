@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_fp_pred_vs_bias.
+# This may be replaced when dependencies are built.

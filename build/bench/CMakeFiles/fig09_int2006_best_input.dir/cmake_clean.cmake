@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_int2006_best_input.dir/fig09_int2006_best_input.cc.o"
+  "CMakeFiles/fig09_int2006_best_input.dir/fig09_int2006_best_input.cc.o.d"
+  "fig09_int2006_best_input"
+  "fig09_int2006_best_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_int2006_best_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

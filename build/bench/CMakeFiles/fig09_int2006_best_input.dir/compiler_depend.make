@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_int2006_best_input.
+# This may be replaced when dependencies are built.

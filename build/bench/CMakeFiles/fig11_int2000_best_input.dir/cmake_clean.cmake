@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_int2000_best_input.dir/fig11_int2000_best_input.cc.o"
+  "CMakeFiles/fig11_int2000_best_input.dir/fig11_int2000_best_input.cc.o.d"
+  "fig11_int2000_best_input"
+  "fig11_int2000_best_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_int2000_best_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fp2006_speedup.dir/fig12_fp2006_speedup.cc.o"
+  "CMakeFiles/fig12_fp2006_speedup.dir/fig12_fp2006_speedup.cc.o.d"
+  "fig12_fp2006_speedup"
+  "fig12_fp2006_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fp2006_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fp2000_speedup.dir/fig13_fp2000_speedup.cc.o"
+  "CMakeFiles/fig13_fp2000_speedup.dir/fig13_fp2000_speedup.cc.o.d"
+  "fig13_fp2000_speedup"
+  "fig13_fp2000_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fp2000_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

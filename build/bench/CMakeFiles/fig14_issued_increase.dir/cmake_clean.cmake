@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_issued_increase.dir/fig14_issued_increase.cc.o"
+  "CMakeFiles/fig14_issued_increase.dir/fig14_issued_increase.cc.o.d"
+  "fig14_issued_increase"
+  "fig14_issued_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_issued_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_bpred_sensitivity.dir/sec53_bpred_sensitivity.cc.o"
+  "CMakeFiles/sec53_bpred_sensitivity.dir/sec53_bpred_sensitivity.cc.o.d"
+  "sec53_bpred_sensitivity"
+  "sec53_bpred_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_bpred_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_code_size_icache.dir/sec61_code_size_icache.cc.o"
+  "CMakeFiles/sec61_code_size_icache.dir/sec61_code_size_icache.cc.o.d"
+  "sec61_code_size_icache"
+  "sec61_code_size_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_code_size_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

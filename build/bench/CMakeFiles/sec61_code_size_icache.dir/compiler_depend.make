@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec61_code_size_icache.
+# This may be replaced when dependencies are built.

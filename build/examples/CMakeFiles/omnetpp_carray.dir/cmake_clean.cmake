@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnetpp_carray.dir/omnetpp_carray.cpp.o"
+  "CMakeFiles/omnetpp_carray.dir/omnetpp_carray.cpp.o.d"
+  "omnetpp_carray"
+  "omnetpp_carray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnetpp_carray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omnetpp_carray.
+# This may be replaced when dependencies are built.

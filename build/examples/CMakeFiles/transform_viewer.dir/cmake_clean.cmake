@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_viewer.dir/transform_viewer.cpp.o"
+  "CMakeFiles/transform_viewer.dir/transform_viewer.cpp.o.d"
+  "transform_viewer"
+  "transform_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_cli.dir/vanguard_cli.cpp.o"
+  "CMakeFiles/vanguard_cli.dir/vanguard_cli.cpp.o.d"
+  "vanguard_cli"
+  "vanguard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bimodal.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/bimodal.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/bimodal.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/btb.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/btb.cc.o.d"
+  "/root/repo/src/bpred/factory.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/factory.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/factory.cc.o.d"
+  "/root/repo/src/bpred/gshare.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/gshare.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/gshare.cc.o.d"
+  "/root/repo/src/bpred/ideal.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/ideal.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/ideal.cc.o.d"
+  "/root/repo/src/bpred/local.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/local.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/local.cc.o.d"
+  "/root/repo/src/bpred/perceptron.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/perceptron.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/perceptron.cc.o.d"
+  "/root/repo/src/bpred/tage.cc" "src/bpred/CMakeFiles/vanguard_bpred.dir/tage.cc.o" "gcc" "src/bpred/CMakeFiles/vanguard_bpred.dir/tage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

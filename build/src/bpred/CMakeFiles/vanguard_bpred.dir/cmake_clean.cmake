@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_bpred.dir/bimodal.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/bimodal.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/btb.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/btb.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/factory.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/factory.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/gshare.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/gshare.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/ideal.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/ideal.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/local.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/local.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/perceptron.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/perceptron.cc.o.d"
+  "CMakeFiles/vanguard_bpred.dir/tage.cc.o"
+  "CMakeFiles/vanguard_bpred.dir/tage.cc.o.d"
+  "libvanguard_bpred.a"
+  "libvanguard_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cleanup.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/cleanup.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/cleanup.cc.o.d"
+  "/root/repo/src/compiler/decompose.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/decompose.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/decompose.cc.o.d"
+  "/root/repo/src/compiler/hoist.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/hoist.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/hoist.cc.o.d"
+  "/root/repo/src/compiler/layout.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/layout.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/layout.cc.o.d"
+  "/root/repo/src/compiler/opt.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/opt.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/opt.cc.o.d"
+  "/root/repo/src/compiler/predicate.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/predicate.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/predicate.cc.o.d"
+  "/root/repo/src/compiler/scheduler.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/scheduler.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/scheduler.cc.o.d"
+  "/root/repo/src/compiler/select.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/select.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/select.cc.o.d"
+  "/root/repo/src/compiler/superblock.cc" "src/compiler/CMakeFiles/vanguard_compiler.dir/superblock.cc.o" "gcc" "src/compiler/CMakeFiles/vanguard_compiler.dir/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vanguard_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vanguard_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/vanguard_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vanguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/vanguard_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_compiler.dir/cleanup.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/cleanup.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/decompose.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/decompose.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/hoist.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/hoist.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/layout.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/layout.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/opt.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/opt.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/predicate.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/predicate.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/scheduler.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/scheduler.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/select.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/select.cc.o.d"
+  "CMakeFiles/vanguard_compiler.dir/superblock.cc.o"
+  "CMakeFiles/vanguard_compiler.dir/superblock.cc.o.d"
+  "libvanguard_compiler.a"
+  "libvanguard_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_core.dir/experiment.cc.o"
+  "CMakeFiles/vanguard_core.dir/experiment.cc.o.d"
+  "CMakeFiles/vanguard_core.dir/vanguard.cc.o"
+  "CMakeFiles/vanguard_core.dir/vanguard.cc.o.d"
+  "libvanguard_core.a"
+  "libvanguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

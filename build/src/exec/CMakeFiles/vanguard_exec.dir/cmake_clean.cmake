@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_exec.dir/interpreter.cc.o"
+  "CMakeFiles/vanguard_exec.dir/interpreter.cc.o.d"
+  "CMakeFiles/vanguard_exec.dir/semantics.cc.o"
+  "CMakeFiles/vanguard_exec.dir/semantics.cc.o.d"
+  "libvanguard_exec.a"
+  "libvanguard_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cc" "src/ir/CMakeFiles/vanguard_ir.dir/analysis.cc.o" "gcc" "src/ir/CMakeFiles/vanguard_ir.dir/analysis.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/vanguard_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/vanguard_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/vanguard_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/vanguard_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/vanguard_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/vanguard_ir.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/vanguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

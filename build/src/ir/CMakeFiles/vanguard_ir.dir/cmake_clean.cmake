@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_ir.dir/analysis.cc.o"
+  "CMakeFiles/vanguard_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/vanguard_ir.dir/builder.cc.o"
+  "CMakeFiles/vanguard_ir.dir/builder.cc.o.d"
+  "CMakeFiles/vanguard_ir.dir/function.cc.o"
+  "CMakeFiles/vanguard_ir.dir/function.cc.o.d"
+  "CMakeFiles/vanguard_ir.dir/parser.cc.o"
+  "CMakeFiles/vanguard_ir.dir/parser.cc.o.d"
+  "libvanguard_ir.a"
+  "libvanguard_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_isa.dir/instruction.cc.o"
+  "CMakeFiles/vanguard_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/vanguard_isa.dir/opcode.cc.o"
+  "CMakeFiles/vanguard_isa.dir/opcode.cc.o.d"
+  "libvanguard_isa.a"
+  "libvanguard_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/profile_io.cc" "src/profile/CMakeFiles/vanguard_profile.dir/profile_io.cc.o" "gcc" "src/profile/CMakeFiles/vanguard_profile.dir/profile_io.cc.o.d"
+  "/root/repo/src/profile/profiler.cc" "src/profile/CMakeFiles/vanguard_profile.dir/profiler.cc.o" "gcc" "src/profile/CMakeFiles/vanguard_profile.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/vanguard_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/vanguard_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vanguard_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vanguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_profile.dir/profile_io.cc.o"
+  "CMakeFiles/vanguard_profile.dir/profile_io.cc.o.d"
+  "CMakeFiles/vanguard_profile.dir/profiler.cc.o"
+  "CMakeFiles/vanguard_profile.dir/profiler.cc.o.d"
+  "libvanguard_profile.a"
+  "libvanguard_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

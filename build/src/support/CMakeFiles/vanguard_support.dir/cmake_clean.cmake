@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_support.dir/stats.cc.o"
+  "CMakeFiles/vanguard_support.dir/stats.cc.o.d"
+  "libvanguard_support.a"
+  "libvanguard_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_uarch.dir/cache.cc.o"
+  "CMakeFiles/vanguard_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/vanguard_uarch.dir/config.cc.o"
+  "CMakeFiles/vanguard_uarch.dir/config.cc.o.d"
+  "CMakeFiles/vanguard_uarch.dir/pipeline.cc.o"
+  "CMakeFiles/vanguard_uarch.dir/pipeline.cc.o.d"
+  "CMakeFiles/vanguard_uarch.dir/trace.cc.o"
+  "CMakeFiles/vanguard_uarch.dir/trace.cc.o.d"
+  "libvanguard_uarch.a"
+  "libvanguard_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

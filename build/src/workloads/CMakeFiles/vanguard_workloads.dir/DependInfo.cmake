@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernel.cc" "src/workloads/CMakeFiles/vanguard_workloads.dir/kernel.cc.o" "gcc" "src/workloads/CMakeFiles/vanguard_workloads.dir/kernel.cc.o.d"
+  "/root/repo/src/workloads/listchase.cc" "src/workloads/CMakeFiles/vanguard_workloads.dir/listchase.cc.o" "gcc" "src/workloads/CMakeFiles/vanguard_workloads.dir/listchase.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/vanguard_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/vanguard_workloads.dir/stream.cc.o.d"
+  "/root/repo/src/workloads/suites.cc" "src/workloads/CMakeFiles/vanguard_workloads.dir/suites.cc.o" "gcc" "src/workloads/CMakeFiles/vanguard_workloads.dir/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/vanguard_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vanguard_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vanguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

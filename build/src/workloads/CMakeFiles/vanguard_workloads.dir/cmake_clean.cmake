@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vanguard_workloads.dir/kernel.cc.o"
+  "CMakeFiles/vanguard_workloads.dir/kernel.cc.o.d"
+  "CMakeFiles/vanguard_workloads.dir/listchase.cc.o"
+  "CMakeFiles/vanguard_workloads.dir/listchase.cc.o.d"
+  "CMakeFiles/vanguard_workloads.dir/stream.cc.o"
+  "CMakeFiles/vanguard_workloads.dir/stream.cc.o.d"
+  "CMakeFiles/vanguard_workloads.dir/suites.cc.o"
+  "CMakeFiles/vanguard_workloads.dir/suites.cc.o.d"
+  "libvanguard_workloads.a"
+  "libvanguard_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vanguard_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

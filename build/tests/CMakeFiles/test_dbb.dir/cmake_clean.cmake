@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbb.dir/test_dbb.cc.o"
+  "CMakeFiles/test_dbb.dir/test_dbb.cc.o.d"
+  "test_dbb"
+  "test_dbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hoist.dir/test_hoist.cc.o"
+  "CMakeFiles/test_hoist.dir/test_hoist.cc.o.d"
+  "test_hoist"
+  "test_hoist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hoist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hoist.
+# This may be replaced when dependencies are built.

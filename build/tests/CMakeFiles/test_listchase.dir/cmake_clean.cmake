@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listchase.dir/test_listchase.cc.o"
+  "CMakeFiles/test_listchase.dir/test_listchase.cc.o.d"
+  "test_listchase"
+  "test_listchase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listchase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/test_regression.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/test_regression.dir/test_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vanguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vanguard_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/vanguard_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vanguard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/vanguard_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vanguard_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vanguard_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vanguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/vanguard_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vanguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
