@@ -8,7 +8,9 @@
  *
  * Runtime scaling: VANGUARD_ITERS overrides the per-benchmark loop
  * trip count (default 12000), letting CI run quick passes while full
- * runs use larger counts.
+ * runs use larger counts. VANGUARD_JOBS caps the experiment engine's
+ * worker threads (default: all hardware threads); VANGUARD_JOBS=1
+ * forces the serial path, which is bit-identical by contract.
  */
 
 #ifndef VANGUARD_BENCH_COMMON_HH
@@ -25,6 +27,7 @@
 #include "core/vanguard.hh"
 #include "profile/profiler.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suites.hh"
 
 namespace vanguard {
@@ -39,6 +42,13 @@ benchIterations(uint64_t fallback = 12000)
             return v;
     }
     return fallback;
+}
+
+/** Worker threads the experiment engine will use for this run. */
+inline unsigned
+benchJobs()
+{
+    return ThreadPool::resolveWorkerCount();
 }
 
 inline std::vector<BenchmarkSpec>
@@ -58,6 +68,9 @@ banner(const char *exhibit, const char *paper_claim)
                 "=====================\n");
     std::printf("%s\n", exhibit);
     std::printf("Paper: %s\n", paper_claim);
+    std::printf("Engine: %u parallel sim worker%s (override with "
+                "VANGUARD_JOBS=N)\n",
+                benchJobs(), benchJobs() == 1 ? "" : "s");
     std::printf("================================================="
                 "=====================\n");
 }

@@ -8,11 +8,13 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bpred/factory.hh"
 #include "core/vanguard.hh"
 #include "profile/profiler.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 #include "workloads/suites.hh"
 
 using namespace vanguard;
@@ -28,9 +30,17 @@ main(int argc, char **argv)
     TablePrinter table({"predictor", "storage", "TRAIN MPPKI",
                         "accuracy %", "decomposed speedup %"});
 
-    for (const char *pname :
-         {"bimodal", "local", "gshare", "gshare3", "gshare3-big",
-          "tage", "isltage", "ideal:1.0"}) {
+    const std::vector<const char *> predictors = {
+        "bimodal", "local",   "gshare",  "gshare3",
+        "gshare3-big", "tage", "isltage", "ideal:1.0"};
+
+    // One pool job per predictor; each writes its row into the slot
+    // for its index so the table order is deterministic.
+    std::vector<std::vector<std::string>> rows(predictors.size());
+    ThreadPool pool;
+    pool.parallelFor(predictors.size(), [&](size_t i) {
+        const char *pname = predictors[i];
+
         // Profiling accuracy with this predictor as the SW model.
         BuiltKernel kernel = buildKernel(spec, kTrainSeed);
         auto pred = makePredictor(pname);
@@ -59,11 +69,13 @@ main(int argc, char **argv)
         else
             std::snprintf(storage, sizeof(storage), "%.1f KB",
                           static_cast<double>(bits) / 8192.0);
-        table.addRow({pname, storage,
-                      TablePrinter::fmt(prof.mppki(), 2),
-                      TablePrinter::fmt(accuracy, 2),
-                      TablePrinter::fmt(o.speedupPct, 2)});
-    }
+        rows[i] = {pname, storage,
+                   TablePrinter::fmt(prof.mppki(), 2),
+                   TablePrinter::fmt(accuracy, 2),
+                   TablePrinter::fmt(o.speedupPct, 2)};
+    });
+    for (auto &row : rows)
+        table.addRow(std::move(row));
     std::printf("%s", table.render().c_str());
     std::printf("\nNote: speedups compare against a baseline using "
                 "the SAME predictor, so better prediction can raise "

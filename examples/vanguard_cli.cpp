@@ -10,6 +10,10 @@
  *                          perceptron|tage|isltage|ideal:<p>
  *     --iterations N       loop trip count (default 15000)
  *     --seed N             REF input seed (default first REF seed)
+ *     --all-refs           evaluate every REF input through the
+ *                          parallel experiment engine (mean/best)
+ *     --jobs N             engine worker threads (default: the
+ *                          VANGUARD_JOBS env var, then all cores)
  *     --no-decompose       measure the baseline configuration only
  *     --no-superblock      disable the biased-branch pass
  *     --no-shadow-commit   commit MOVs consume issue slots
@@ -34,6 +38,7 @@
 #include "bpred/factory.hh"
 #include "compiler/layout.hh"
 #include "compiler/select.hh"
+#include "core/runner.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
 #include "support/stats.hh"
@@ -82,7 +87,8 @@ usageAndExit()
     std::fprintf(stderr,
                  "usage: vanguard_cli [--benchmark NAME] [--list] "
                  "[--width N] [--predictor NAME] [--iterations N] "
-                 "[--seed N] [--no-decompose] [--no-superblock] "
+                 "[--seed N] [--all-refs] [--jobs N] "
+                 "[--no-decompose] [--no-superblock] "
                  "[--no-shadow-commit] [--dbb N] [--threshold P] "
                  "[--save-profile F] [--load-profile F] "
                  "[--dump-ir] [--dump-asm] [--timeline] [--stats]\n");
@@ -99,7 +105,8 @@ main(int argc, char **argv)
     uint64_t iterations = 15000;
     uint64_t seed = kRefSeeds[0];
     bool dump_ir = false, dump_asm = false, timeline = false,
-         stats = false;
+         stats = false, all_refs = false;
+    unsigned jobs = 0;
     std::string save_profile, load_profile;
 
     for (int i = 1; i < argc; ++i) {
@@ -127,6 +134,10 @@ main(int argc, char **argv)
             iterations = strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
             seed = strtoull(next(), nullptr, 10);
+        } else if (arg == "--all-refs") {
+            all_refs = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(atoi(next()));
         } else if (arg == "--no-decompose") {
             opts.applyDecomposition = false;
         } else if (arg == "--no-superblock") {
@@ -156,6 +167,29 @@ main(int argc, char **argv)
 
     BenchmarkSpec spec = findBenchmark(benchmark);
     spec.iterations = iterations;
+
+    if (all_refs) {
+        // Whole-benchmark sweep through the parallel engine: one
+        // train, one compile per config, every REF seed simulated as
+        // an independent job.
+        RunnerOptions ropts;
+        ropts.jobs = jobs;
+        std::vector<SuiteResult> res =
+            runSuiteWidths({spec}, {opts.width}, opts, ropts);
+        const SeedSummary &row = res[0].rows[0];
+        for (size_t s = 0; s < row.perSeed.size(); ++s) {
+            const BenchmarkOutcome &o = row.perSeed[s];
+            std::printf("ref %zu: base %12llu cycles, exp %12llu "
+                        "cycles, speedup %+.2f%%\n",
+                        s,
+                        static_cast<unsigned long long>(o.base.cycles),
+                        static_cast<unsigned long long>(o.exp.cycles),
+                        o.speedupPct);
+        }
+        std::printf("%s: mean %+.2f%%  best %+.2f%%\n",
+                    spec.name, row.meanSpeedupPct, row.bestSpeedupPct);
+        return 0;
+    }
 
     TrainArtifacts train;
     if (!load_profile.empty()) {

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
+#include "core/runner.hh"
 #include "support/stats.hh"
+#include "support/thread_pool.hh"
 
 namespace vanguard {
 
@@ -20,23 +22,11 @@ SuiteResult
 runSuite(const std::vector<BenchmarkSpec> &suite,
          const VanguardOptions &opts, bool verbose)
 {
-    SuiteResult result;
-    std::vector<double> means;
-    std::vector<double> bests;
-    for (const auto &spec : suite) {
-        SeedSummary summary = evaluateBenchmarkAllRefs(spec, opts);
-        if (verbose) {
-            std::fprintf(stderr, "  %-18s mean %+6.1f%%  best %+6.1f%%\n",
-                         summary.name.c_str(), summary.meanSpeedupPct,
-                         summary.bestSpeedupPct);
-        }
-        means.push_back(summary.meanSpeedupPct);
-        bests.push_back(summary.bestSpeedupPct);
-        result.rows.push_back(std::move(summary));
-    }
-    result.geomeanMeanPct = geomeanPct(means);
-    result.geomeanBestPct = geomeanPct(bests);
-    return result;
+    RunnerOptions ropts;
+    ropts.verbose = verbose;
+    std::vector<SuiteResult> per_width =
+        runSuiteWidths(suite, {opts.width}, opts, ropts);
+    return std::move(per_width.front());
 }
 
 std::string
@@ -50,13 +40,18 @@ renderSpeedupFigure(const std::string &title,
         headers.push_back(std::to_string(w) + "-wide %");
     TablePrinter table(std::move(headers));
 
-    std::vector<SuiteResult> per_width;
-    for (unsigned w : widths) {
-        VanguardOptions opts = base;
-        opts.width = w;
-        std::fprintf(stderr, "[%s] width %u...\n", title.c_str(), w);
-        per_width.push_back(runSuite(suite, opts));
-    }
+    // All widths go into one pool: (benchmark x width x config x
+    // seed) simulation jobs run concurrently instead of serial
+    // per-width passes.
+    RunnerOptions ropts;
+    ropts.tag = title;
+    std::fprintf(stderr,
+                 "[%s] %zu benchmarks x %zu widths x %zu REF seeds "
+                 "on %u workers...\n",
+                 title.c_str(), suite.size(), widths.size(),
+                 kNumRefSeeds, ThreadPool::resolveWorkerCount());
+    std::vector<SuiteResult> per_width =
+        runSuiteWidths(suite, widths, base, ropts);
 
     for (size_t b = 0; b < suite.size(); ++b) {
         std::vector<std::string> cells = {suite[b].name};

@@ -1,0 +1,148 @@
+#include "core/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+
+namespace vanguard {
+
+namespace {
+
+/**
+ * Mutex-guarded, rate-limited stderr progress. Worker threads call
+ * jobDone() after every simulation; at most one line per interval is
+ * emitted (plus the final one), so a large sweep cannot flood the
+ * terminal and two threads never interleave a line.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::string tag, size_t total,
+                     std::chrono::milliseconds interval =
+                         std::chrono::milliseconds(500))
+        : tag_(std::move(tag)), total_(total), interval_(interval),
+          last_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    jobDone()
+    {
+        size_t done = ++done_;
+        if (tag_.empty())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto now = std::chrono::steady_clock::now();
+        if (done != total_ && now - last_ < interval_)
+            return;
+        last_ = now;
+        std::fprintf(stderr, "[%s] %zu/%zu simulations\n",
+                     tag_.c_str(), done, total_);
+    }
+
+  private:
+    std::string tag_;
+    size_t total_;
+    std::chrono::milliseconds interval_;
+    std::atomic<size_t> done_{0};
+    std::mutex mutex_;
+    std::chrono::steady_clock::time_point last_;
+};
+
+} // namespace
+
+std::vector<SuiteResult>
+runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
+               const std::vector<unsigned> &widths,
+               const VanguardOptions &base, const RunnerOptions &ropts)
+{
+    const size_t B = suite.size();
+    const size_t W = widths.size();
+    const size_t S = kNumRefSeeds;
+
+    std::vector<VanguardOptions> wopts;
+    wopts.reserve(W);
+    for (unsigned w : widths) {
+        VanguardOptions o = base;
+        o.width = w;
+        wopts.push_back(o);
+    }
+
+    ThreadPool pool(ropts.jobs);
+
+    // Phase 1: train each benchmark once (width-independent).
+    std::vector<TrainArtifacts> trains(B);
+    pool.parallelFor(B, [&](size_t b) {
+        trains[b] = trainBenchmark(suite[b], base);
+    });
+
+    // Phase 2: compile each (benchmark, width) pair once.
+    std::vector<BenchmarkArtifacts> arts(B * W);
+    pool.parallelFor(B * W, [&](size_t i) {
+        arts[i] = compileBenchmark(suite[i / W], trains[i / W],
+                                   wopts[i % W]);
+    });
+
+    // Phase 3: one job per (benchmark, width, config, seed). Slot
+    // layout: ((b*W + w)*S + s)*2 + cfg with cfg 0 = baseline
+    // (collecting per-branch stalls, as the serial path does) and
+    // cfg 1 = experimental.
+    std::vector<SimStats> sims(B * W * S * 2);
+    ProgressReporter progress(ropts.tag, sims.size());
+    pool.parallelFor(sims.size(), [&](size_t i) {
+        size_t cfg = i % 2;
+        size_t s = (i / 2) % S;
+        size_t bw = i / (2 * S);
+        const BenchmarkArtifacts &art = arts[bw];
+        const BenchmarkSpec &spec = suite[bw / W];
+        const VanguardOptions &opts = wopts[bw % W];
+        sims[i] = cfg == 0
+            ? simulateConfig(spec, art.base, opts, kRefSeeds[s],
+                             /*collect_branch_stalls=*/true)
+            : simulateConfig(spec, art.exp, opts, kRefSeeds[s]);
+        progress.jobDone();
+    });
+
+    // Phase 4: deterministic assembly in index order.
+    std::vector<SuiteResult> results(W);
+    for (size_t w = 0; w < W; ++w) {
+        std::vector<double> means;
+        std::vector<double> bests;
+        for (size_t b = 0; b < B; ++b) {
+            SeedSummary summary;
+            summary.name = suite[b].name;
+            std::vector<double> ratios;
+            double best = -1e9;
+            for (size_t s = 0; s < S; ++s) {
+                size_t i = ((b * W + w) * S + s) * 2;
+                BenchmarkOutcome outcome = assembleOutcome(
+                    suite[b], arts[b * W + w], std::move(sims[i]),
+                    std::move(sims[i + 1]));
+                ratios.push_back(1.0 + outcome.speedupPct / 100.0);
+                best = std::max(best, outcome.speedupPct);
+                summary.perSeed.push_back(std::move(outcome));
+            }
+            summary.meanSpeedupPct = (geomean(ratios) - 1.0) * 100.0;
+            summary.bestSpeedupPct = best;
+            if (ropts.verbose) {
+                std::fprintf(stderr,
+                             "  %-18s mean %+6.1f%%  best %+6.1f%%\n",
+                             summary.name.c_str(),
+                             summary.meanSpeedupPct,
+                             summary.bestSpeedupPct);
+            }
+            means.push_back(summary.meanSpeedupPct);
+            bests.push_back(summary.bestSpeedupPct);
+            results[w].rows.push_back(std::move(summary));
+        }
+        results[w].geomeanMeanPct = geomeanPct(means);
+        results[w].geomeanBestPct = geomeanPct(bests);
+    }
+    return results;
+}
+
+} // namespace vanguard

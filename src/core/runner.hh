@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Parallel experiment engine: flattens a (benchmark x width x config
+ * x REF-seed) sweep into independent simulation jobs on a shared
+ * thread pool.
+ *
+ * Phases (each a pool-wide barrier):
+ *   1. train   — one job per benchmark (training is width-independent),
+ *   2. compile — one job per (benchmark, width): both configurations,
+ *   3. simulate — one job per (benchmark, width, config, seed); each
+ *      job builds its own Memory and predictor and reads the phase-2
+ *      CompiledConfig strictly read-only,
+ *   4. assemble — single-threaded, in index order.
+ *
+ * Determinism contract: jobs write into pre-sized slots keyed by job
+ * index, never by completion order, and every job is a pure function
+ * of its (spec, options, seed) inputs — so results are bit-identical
+ * to the serial path at any worker count, including VANGUARD_JOBS=1.
+ * Progress lines go to stderr through a mutex-guarded, rate-limited
+ * reporter and are the only nondeterministic output.
+ */
+
+#ifndef VANGUARD_CORE_RUNNER_HH
+#define VANGUARD_CORE_RUNNER_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace vanguard {
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 defers to VANGUARD_JOBS, then
+     *  hardware_concurrency (ThreadPool::resolveWorkerCount). */
+    unsigned jobs = 0;
+
+    /** Per-benchmark mean/best summary lines on stderr. */
+    bool verbose = false;
+
+    /** Prefix for rate-limited progress lines ("" disables them). */
+    std::string tag;
+};
+
+/**
+ * Evaluate a suite at every requested width through one pool.
+ * Returns one SuiteResult per width, in the widths' order, each
+ * bit-identical to a serial per-width runSuite pass.
+ */
+std::vector<SuiteResult>
+runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
+               const std::vector<unsigned> &widths,
+               const VanguardOptions &base,
+               const RunnerOptions &ropts = {});
+
+} // namespace vanguard
+
+#endif // VANGUARD_CORE_RUNNER_HH

@@ -159,39 +159,54 @@ avgHoistableFraction(const Function &fn,
 
 } // namespace
 
+BenchmarkArtifacts
+compileBenchmark(const BenchmarkSpec &spec, TrainArtifacts train,
+                 const VanguardOptions &opts)
+{
+    BenchmarkArtifacts art;
+    art.base = compileConfig(spec, train, false, opts);
+    art.exp =
+        compileConfig(spec, train, opts.applyDecomposition, opts);
+
+    // Static-shape metrics from the untransformed kernel.
+    BuiltKernel pristine = buildKernel(spec, kTrainSeed);
+    art.alpbb = avgLoadsPerBlock(pristine.fn, pristine.firstColdBlock);
+    art.phi = avgHoistableFraction(pristine.fn, train.selected);
+
+    art.train = std::move(train);
+    return art;
+}
+
+BenchmarkArtifacts
+prepareBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts)
+{
+    return compileBenchmark(spec, trainBenchmark(spec, opts), opts);
+}
+
 BenchmarkOutcome
-evaluateBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts,
-                  uint64_t ref_seed)
+assembleOutcome(const BenchmarkSpec &spec, const BenchmarkArtifacts &art,
+                SimStats base_stats, SimStats exp_stats)
 {
     BenchmarkOutcome out;
     out.name = spec.name;
-
-    TrainArtifacts train = trainBenchmark(spec, opts);
-    out.selectedBranches = train.selected.size();
-
-    CompiledConfig base = compileConfig(spec, train, false, opts);
-    DecomposeStats dstats;
-    CompiledConfig exp =
-        compileConfig(spec, train,
-                      opts.applyDecomposition, opts, &dstats);
-
-    out.base = simulateConfig(spec, base, opts, ref_seed,
-                              /*collect_branch_stalls=*/true);
-    out.exp = simulateConfig(spec, exp, opts, ref_seed);
+    out.selectedBranches = art.train.selected.size();
+    out.base = std::move(base_stats);
+    out.exp = std::move(exp_stats);
 
     out.speedupPct =
         speedupPercent(speedupRatio(out.base.cycles, out.exp.cycles));
 
-    out.baseStaticInsts = base.staticInsts;
-    out.expStaticInsts = exp.staticInsts;
-    out.piscs = base.staticInsts == 0
+    out.baseStaticInsts = art.base.staticInsts;
+    out.expStaticInsts = art.exp.staticInsts;
+    out.piscs = art.base.staticInsts == 0
         ? 0.0
         : 100.0 *
-              (static_cast<double>(exp.staticInsts) -
-               static_cast<double>(base.staticInsts)) /
-              static_cast<double>(base.staticInsts);
+              (static_cast<double>(art.exp.staticInsts) -
+               static_cast<double>(art.base.staticInsts)) /
+              static_cast<double>(art.base.staticInsts);
 
-    out.pbc = convertedBranchFraction(train.profile, train.selected);
+    out.pbc =
+        convertedBranchFraction(art.train.profile, art.train.selected);
     out.mppkiBase = out.base.mppki();
     out.pdih = out.exp.dynamicInsts == 0
         ? 0.0
@@ -207,7 +222,7 @@ evaluateBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts,
     // ASPCB: baseline issue-stall per selected branch.
     uint64_t stall_cycles = 0;
     uint64_t stall_events = 0;
-    for (InstId id : train.selected) {
+    for (InstId id : art.train.selected) {
         auto it = out.base.branchStalls.find(id);
         if (it != out.base.branchStalls.end()) {
             stall_cycles += it->second.first;
@@ -219,11 +234,28 @@ evaluateBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts,
         : static_cast<double>(stall_cycles) /
               static_cast<double>(stall_events);
 
-    // Static-shape metrics from the untransformed kernel.
-    BuiltKernel pristine = buildKernel(spec, kTrainSeed);
-    out.alpbb = avgLoadsPerBlock(pristine.fn, pristine.firstColdBlock);
-    out.phi = avgHoistableFraction(pristine.fn, train.selected);
+    out.alpbb = art.alpbb;
+    out.phi = art.phi;
     return out;
+}
+
+BenchmarkOutcome
+evaluateWithArtifacts(const BenchmarkSpec &spec,
+                      const BenchmarkArtifacts &art,
+                      const VanguardOptions &opts, uint64_t ref_seed)
+{
+    SimStats base = simulateConfig(spec, art.base, opts, ref_seed,
+                                   /*collect_branch_stalls=*/true);
+    SimStats exp = simulateConfig(spec, art.exp, opts, ref_seed);
+    return assembleOutcome(spec, art, std::move(base), std::move(exp));
+}
+
+BenchmarkOutcome
+evaluateBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts,
+                  uint64_t ref_seed)
+{
+    BenchmarkArtifacts art = prepareBenchmark(spec, opts);
+    return evaluateWithArtifacts(spec, art, opts, ref_seed);
 }
 
 SeedSummary
@@ -232,11 +264,16 @@ evaluateBenchmarkAllRefs(const BenchmarkSpec &spec,
 {
     SeedSummary summary;
     summary.name = spec.name;
+
+    // Train and compile exactly once; CompiledConfig is
+    // seed-independent, so only the simulations differ per REF input.
+    BenchmarkArtifacts art = prepareBenchmark(spec, opts);
+
     std::vector<double> ratios;
     double best = -1e9;
     for (size_t s = 0; s < kNumRefSeeds; ++s) {
         BenchmarkOutcome outcome =
-            evaluateBenchmark(spec, opts, kRefSeeds[s]);
+            evaluateWithArtifacts(spec, art, opts, kRefSeeds[s]);
         ratios.push_back(1.0 + outcome.speedupPct / 100.0);
         best = std::max(best, outcome.speedupPct);
         summary.perSeed.push_back(std::move(outcome));

@@ -90,6 +90,35 @@ TrainArtifacts trainBenchmark(const BenchmarkSpec &spec,
                               const VanguardOptions &opts);
 
 /**
+ * Everything that is computed once per (benchmark, width) and shared
+ * read-only across all REF-seed simulations: the TRAIN profile and
+ * selection, both compiled configurations, and the static-shape
+ * metrics (ALPBB/PHI) of the untransformed kernel. Seed-independent
+ * by construction — see CompiledConfig.
+ */
+struct BenchmarkArtifacts
+{
+    TrainArtifacts train;
+    CompiledConfig base;
+    CompiledConfig exp;
+    double alpbb = 0.0; ///< avg loads per hot basic block
+    double phi = 0.0;   ///< % hoistable insts in successor blocks
+};
+
+/**
+ * Compile both configurations (and the static-shape metrics) from an
+ * existing TRAIN pass. Training is width-independent, so one
+ * TrainArtifacts may feed compileBenchmark at several widths.
+ */
+BenchmarkArtifacts compileBenchmark(const BenchmarkSpec &spec,
+                                    TrainArtifacts train,
+                                    const VanguardOptions &opts);
+
+/** trainBenchmark + compileBenchmark in one call. */
+BenchmarkArtifacts prepareBenchmark(const BenchmarkSpec &spec,
+                                    const VanguardOptions &opts);
+
+/**
  * Compile one configuration of the benchmark (the IR pipeline:
  * superblock pass, optional decomposition, list scheduling, layout).
  * The returned program is seed-independent; pair it with any REF
@@ -101,10 +130,28 @@ CompiledConfig compileConfig(const BenchmarkSpec &spec,
                              const VanguardOptions &opts,
                              DecomposeStats *dstats_out = nullptr);
 
-/** Full evaluation for one REF input: baseline vs experimental. */
+/** Full evaluation for one REF input: baseline vs experimental.
+ *  Thin wrapper over prepareBenchmark + evaluateWithArtifacts for
+ *  single-seed callers; many-seed callers should prepare once. */
 BenchmarkOutcome evaluateBenchmark(const BenchmarkSpec &spec,
                                    const VanguardOptions &opts,
                                    uint64_t ref_seed);
+
+/** Evaluate one REF input against pre-built compile artifacts. */
+BenchmarkOutcome evaluateWithArtifacts(const BenchmarkSpec &spec,
+                                       const BenchmarkArtifacts &art,
+                                       const VanguardOptions &opts,
+                                       uint64_t ref_seed);
+
+/**
+ * Derive a BenchmarkOutcome from already-run simulations — the pure
+ * (artifacts, base stats, exp stats) -> metrics step. The parallel
+ * runner simulates in worker threads and assembles outcomes with this
+ * on one thread, in deterministic index order.
+ */
+BenchmarkOutcome assembleOutcome(const BenchmarkSpec &spec,
+                                 const BenchmarkArtifacts &art,
+                                 SimStats base_stats, SimStats exp_stats);
 
 /** Averages across REF inputs (paper Figs. 8/10/12/13 vs 9/11). */
 struct SeedSummary

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Minimal work-queue thread pool for the parallel experiment engine.
+ *
+ * N worker threads (default: hardware_concurrency, overridable with
+ * the VANGUARD_JOBS environment variable) drain a FIFO of
+ * std::function jobs. wait() blocks until every submitted job has
+ * finished and rethrows the first exception any job raised, so
+ * callers get normal error propagation across the thread boundary.
+ *
+ * The pool is deliberately dumb — no futures, no stealing, no
+ * priorities. Experiment jobs are coarse (one full simulation each),
+ * so a single mutex-guarded queue is nowhere near contention.
+ * Determinism is the caller's job: jobs must write results into
+ * pre-sized slots keyed by job index, never by completion order.
+ */
+
+#ifndef VANGUARD_SUPPORT_THREAD_POOL_HH
+#define VANGUARD_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vanguard {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Worker-count policy: an explicit request wins, then the
+     * VANGUARD_JOBS environment variable, then hardware_concurrency
+     * (minimum 1). Unparsable or zero VANGUARD_JOBS values are
+     * ignored.
+     */
+    static unsigned
+    resolveWorkerCount(unsigned requested = 0)
+    {
+        if (requested > 0)
+            return requested;
+        if (const char *env = std::getenv("VANGUARD_JOBS")) {
+            unsigned long v = std::strtoul(env, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 1;
+    }
+
+    explicit ThreadPool(unsigned workers = 0)
+    {
+        unsigned n = resolveWorkerCount(workers);
+        workers_.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        work_cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one job. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(job));
+            ++outstanding_;
+        }
+        work_cv_.notify_one();
+    }
+
+    /**
+     * Block until every submitted job has finished, then rethrow the
+     * first exception any job raised (remaining jobs still ran: a
+     * failure never wedges the queue). The pool is reusable after
+     * wait() returns or throws.
+     */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+        if (error_) {
+            std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+    /** Run fn(0) .. fn(n-1) as n independent jobs and wait for all. */
+    void
+    parallelFor(size_t n, const std::function<void(size_t)> &fn)
+    {
+        for (size_t i = 0; i < n; ++i)
+            submit([&fn, i] { fn(i); });
+        wait();
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_cv_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return;
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            try {
+                job();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--outstanding_ == 0)
+                    idle_cv_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t outstanding_ = 0;
+    std::exception_ptr error_;
+    bool stopping_ = false;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_THREAD_POOL_HH

@@ -26,6 +26,31 @@ class TimingModel
         exec_.setPredictHook([this](const LaidInst &li) {
             return onPredictFetch(li);
         });
+
+        // Dense per-branch stall accumulators, sized once up front so
+        // the hot loop never touches the hash map (and does nothing at
+        // all when collection is off). Sized by the largest id a
+        // BR/RESOLVE can report, not by program length.
+        if (opts_.collectBranchStalls) {
+            InstId max_id = 0;
+            bool any = false;
+            for (size_t i = 0; i < prog_.size(); ++i) {
+                const Instruction &inst = prog_.at(i).inst;
+                InstId key = kNoInst;
+                if (inst.op == Opcode::BR)
+                    key = inst.id;
+                else if (inst.op == Opcode::RESOLVE)
+                    key = inst.origBranch;
+                if (key != kNoInst) {
+                    max_id = std::max(max_id, key);
+                    any = true;
+                }
+            }
+            if (any) {
+                stall_cycles_by_id_.assign(max_id + 1, 0);
+                stall_events_by_id_.assign(max_id + 1, 0);
+            }
+        }
     }
 
     SimStats run();
@@ -175,9 +200,10 @@ class TimingModel
         if (opts_.collectBranchStalls) {
             InstId key = inst.op == Opcode::RESOLVE ? inst.origBranch
                                                     : inst.id;
-            auto &entry = stats_.branchStalls[key];
-            entry.first += stall;
-            entry.second += 1;
+            if (key < stall_cycles_by_id_.size()) {
+                stall_cycles_by_id_[key] += stall;
+                ++stall_events_by_id_[key];
+            }
         }
     }
 
@@ -248,6 +274,12 @@ class TimingModel
 
     // DBB timing state: free cycles of inserted entries, FIFO order.
     std::deque<uint64_t> dbb_free_cycles_;
+
+    // Per-branch stall accumulators (only sized when
+    // opts.collectBranchStalls); densified into stats_.branchStalls
+    // once at the end of run().
+    std::vector<uint64_t> stall_cycles_by_id_;
+    std::vector<uint64_t> stall_events_by_id_;
 
     uint64_t predict_seq_ = 0;
     DbbEntry pending_predict_;
@@ -460,6 +492,22 @@ TimingModel::run()
             break;
     }
     stats_.cycles = max_done_ + 1;
+
+    // One pass builds the per-branch map callers expect; sized to the
+    // touched-entry count so it never rehashes.
+    if (opts_.collectBranchStalls) {
+        size_t touched = 0;
+        for (uint64_t events : stall_events_by_id_)
+            touched += events != 0;
+        stats_.branchStalls.reserve(touched);
+        for (InstId id = 0; id < stall_events_by_id_.size(); ++id) {
+            if (stall_events_by_id_[id] != 0) {
+                stats_.branchStalls.emplace(
+                    id, std::make_pair(stall_cycles_by_id_[id],
+                                       stall_events_by_id_[id]));
+            }
+        }
+    }
     return stats_;
 }
 
@@ -481,6 +529,7 @@ prerecordPredictOutcomes(const Program &prog, const Memory &mem,
     Memory scratch = mem; // functional pre-pass must not disturb state
     ProgramExecutor exec(prog, scratch);
     std::vector<bool> outcomes;
+    outcomes.reserve(4096); // grows by doubling; skip the small steps
 
     exec.setPredictHook([&](const LaidInst &) {
         outcomes.push_back(false); // placeholder; filled at RESOLVE

@@ -61,7 +61,12 @@ struct SimOptions
      */
     const std::vector<bool> *hoistedMask = nullptr;
 
-    /** Collect per-branch issue-stall cycles (ASPCB ingredient). */
+    /**
+     * Collect per-branch issue-stall cycles (ASPCB ingredient). When
+     * off, the per-branch accounting allocates nothing and touches no
+     * hash map; when on, dense accumulators are sized once up front
+     * and densified into SimStats::branchStalls at the end of the run.
+     */
     bool collectBranchStalls = false;
 
     /** Optional pipeline timeline collector (see uarch/trace.hh). */

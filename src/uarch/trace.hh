@@ -33,7 +33,11 @@ struct TraceEntry
 class PipelineTrace
 {
   public:
-    explicit PipelineTrace(size_t limit = 256) : limit_(limit) {}
+    explicit PipelineTrace(size_t limit = 256) : limit_(limit)
+    {
+        // Pre-size the window so recording never regrows mid-run.
+        entries_.reserve(limit_);
+    }
 
     bool
     wants() const
