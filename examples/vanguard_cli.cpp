@@ -25,6 +25,17 @@
  *     --dump-asm           print the laid-out program
  *     --timeline           print a steady-state pipeline timeline
  *     --stats              print the full counter set
+ *     --lockstep           run the functional-oracle differential
+ *                          check alongside every simulation
+ *     --cycle-budget N     watchdog cycle budget (0 disables)
+ *     --replay-dir DIR     write a replay bundle per failed job
+ *     --fail-threshold N   with --all-refs: tolerate up to N failed
+ *                          jobs before exiting 3
+ *     --replay FILE        re-execute a failure bundle solo (under
+ *                          lockstep) and report whether it reproduced
+ *
+ * Exit codes: 0 success, 1 simulator error, 2 usage,
+ * 3 sweep failures exceeded --fail-threshold.
  */
 
 #include <cstdio>
@@ -38,6 +49,7 @@
 #include "bpred/factory.hh"
 #include "compiler/layout.hh"
 #include "compiler/select.hh"
+#include "core/replay.hh"
 #include "core/runner.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
@@ -91,14 +103,71 @@ usageAndExit()
                  "[--no-decompose] [--no-superblock] "
                  "[--no-shadow-commit] [--dbb N] [--threshold P] "
                  "[--save-profile F] [--load-profile F] "
-                 "[--dump-ir] [--dump-asm] [--timeline] [--stats]\n");
+                 "[--dump-ir] [--dump-asm] [--timeline] [--stats] "
+                 "[--lockstep] [--cycle-budget N] [--replay-dir D] "
+                 "[--fail-threshold N] [--replay FILE]\n");
     std::exit(2);
 }
+
+/** Re-execute a failure bundle solo; exit 0 iff it reproduced. */
+int
+runReplay(const std::string &path, bool lockstep)
+{
+    ReplayParseResult parsed = loadReplayBundle(path);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "bad replay bundle: %s\n",
+                     parsed.error.c_str());
+        return 1;
+    }
+    const ReplayBundle &b = parsed.bundle;
+    std::printf("replaying %s: %s %s w%u %s seed 0x%llx\n",
+                path.c_str(), b.benchmark.c_str(), b.phase.c_str(),
+                b.width, b.config == 0 ? "base" : "exp",
+                static_cast<unsigned long long>(b.seed));
+    std::printf("recorded failure: %s: %s\n", b.errorKind.c_str(),
+                b.errorMessage.c_str());
+
+    ReplayOutcome out = replayBundle(b, lockstep);
+    if (!out.failed) {
+        std::printf("replay ran CLEAN (%llu cycles, IPC %.3f) — the "
+                    "recorded failure did not reproduce\n",
+                    static_cast<unsigned long long>(out.stats.cycles),
+                    out.stats.ipc());
+        return 1;
+    }
+    std::printf("replay raised %s: %s\n", out.kind.c_str(),
+                out.message.c_str());
+    std::printf(out.reproduced
+                    ? "REPRODUCED (same error kind as recorded)\n"
+                    : "DIFFERENT error kind than recorded\n");
+    return out.reproduced ? 0 : 1;
+}
+
+int
+runCli(int argc, char **argv);
 
 } // namespace
 
 int
 main(int argc, char **argv)
+{
+    try {
+        return runCli(argc, argv);
+    } catch (const SimError &e) {
+        // CLI boundary: structured simulator errors become a message
+        // and an exit code instead of a stack unwind past main.
+        std::fprintf(stderr, "vanguard_cli: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "vanguard_cli: %s\n", e.what());
+        return 1;
+    }
+}
+
+namespace {
+
+int
+runCli(int argc, char **argv)
 {
     std::string benchmark = "h264ref-like";
     VanguardOptions opts;
@@ -108,6 +177,8 @@ main(int argc, char **argv)
          stats = false, all_refs = false;
     unsigned jobs = 0;
     std::string save_profile, load_profile;
+    std::string replay_path, replay_dir;
+    size_t fail_threshold = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -152,6 +223,16 @@ main(int argc, char **argv)
             save_profile = next();
         } else if (arg == "--load-profile") {
             load_profile = next();
+        } else if (arg == "--lockstep") {
+            opts.lockstep = true;
+        } else if (arg == "--cycle-budget") {
+            opts.simCycleBudget = strtoull(next(), nullptr, 0);
+        } else if (arg == "--replay-dir") {
+            replay_dir = next();
+        } else if (arg == "--fail-threshold") {
+            fail_threshold = strtoull(next(), nullptr, 10);
+        } else if (arg == "--replay") {
+            replay_path = next();
         } else if (arg == "--dump-ir") {
             dump_ir = true;
         } else if (arg == "--dump-asm") {
@@ -165,18 +246,24 @@ main(int argc, char **argv)
         }
     }
 
+    if (!replay_path.empty())
+        return runReplay(replay_path, /*lockstep=*/true);
+
     BenchmarkSpec spec = findBenchmark(benchmark);
     spec.iterations = iterations;
 
     if (all_refs) {
-        // Whole-benchmark sweep through the parallel engine: one
-        // train, one compile per config, every REF seed simulated as
-        // an independent job.
+        // Whole-benchmark sweep through the fault-tolerant parallel
+        // engine: one train, one compile per config, every REF seed
+        // simulated as an independent job. Individual job failures
+        // are reported (and bundled with --replay-dir) instead of
+        // aborting the sweep.
         RunnerOptions ropts;
         ropts.jobs = jobs;
-        std::vector<SuiteResult> res =
-            runSuiteWidths({spec}, {opts.width}, opts, ropts);
-        const SeedSummary &row = res[0].rows[0];
+        ropts.replayDir = replay_dir;
+        SuiteReport report =
+            runSuiteWidthsReport({spec}, {opts.width}, opts, ropts);
+        const SeedSummary &row = report.results[0].rows[0];
         for (size_t s = 0; s < row.perSeed.size(); ++s) {
             const BenchmarkOutcome &o = row.perSeed[s];
             std::printf("ref %zu: base %12llu cycles, exp %12llu "
@@ -186,8 +273,19 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(o.exp.cycles),
                         o.speedupPct);
         }
-        std::printf("%s: mean %+.2f%%  best %+.2f%%\n",
+        std::printf("%s: mean %+.2f%%  best %+.2f%%",
                     spec.name, row.meanSpeedupPct, row.bestSpeedupPct);
+        if (row.failedSeeds != 0)
+            std::printf("  (%u of %u seeds FAILED)", row.failedSeeds,
+                        static_cast<unsigned>(kNumRefSeeds));
+        std::printf("\n");
+        if (!report.failures.empty()) {
+            std::fprintf(stderr, "%zu job(s) failed:\n%s",
+                         report.failures.size(),
+                         renderFailureTable(report.failures).c_str());
+            if (report.exceededThreshold(fail_threshold))
+                return 3;
+        }
         return 0;
     }
 
@@ -241,22 +339,31 @@ main(int argc, char **argv)
     PipelineTrace trace(timeline ? 2000 : 0);
     SimStats sb = simulateConfig(spec, base, opts, seed);
 
-    BuiltKernel ref = buildKernel(spec, seed);
-    auto pred = makePredictor(opts.predictor, seed);
-    SimOptions sopts;
-    sopts.maxInsts = opts.simMaxInsts;
-    if (timeline)
+    SimStats se;
+    if (!timeline) {
+        // The standard path: watchdogs and the optional lockstep
+        // oracle apply to both configurations.
+        se = simulateConfig(spec, exp, opts, seed);
+    } else {
+        // Tracing needs a hand-built SimOptions (simulateConfig has
+        // no trace hook); watchdogs still apply.
+        BuiltKernel ref = buildKernel(spec, seed);
+        auto pred = makePredictor(opts.predictor, seed);
+        SimOptions sopts;
+        sopts.maxInsts = opts.simMaxInsts;
+        sopts.cycleBudget = opts.simCycleBudget;
+        sopts.progressWindow = opts.simProgressWindow;
         sopts.trace = &trace;
-    std::vector<bool> outcomes;
-    if (opts.predictor.rfind("ideal:", 0) == 0 && exp.decomposed) {
-        outcomes = prerecordPredictOutcomes(exp.prog, *ref.mem,
-                                            opts.simMaxInsts * 2);
-        sopts.predictOutcomes = &outcomes;
+        std::vector<bool> outcomes;
+        if (opts.predictor.rfind("ideal:", 0) == 0 && exp.decomposed) {
+            outcomes = prerecordPredictOutcomes(exp.prog, *ref.mem,
+                                                opts.simMaxInsts * 2);
+            sopts.predictOutcomes = &outcomes;
+        }
+        if (!exp.hoistedMask.empty())
+            sopts.hoistedMask = &exp.hoistedMask;
+        se = simulate(exp.prog, *ref.mem, *pred, opts.machine(), sopts);
     }
-    if (!exp.hoistedMask.empty())
-        sopts.hoistedMask = &exp.hoistedMask;
-    SimStats se =
-        simulate(exp.prog, *ref.mem, *pred, opts.machine(), sopts);
 
     std::printf("baseline   : %12llu cycles  IPC %.3f\n",
                 static_cast<unsigned long long>(sb.cycles), sb.ipc());
@@ -281,3 +388,5 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace

@@ -35,7 +35,7 @@ makePredictor(const std::string &name, uint64_t seed)
         double acc = std::strtod(name.c_str() + 6, nullptr);
         return std::make_unique<IdealPredictor>(acc, seed);
     }
-    vg_fatal("unknown predictor '%s'", name.c_str());
+    vg_throw(Config, "unknown predictor '%s'", name.c_str());
 }
 
 std::vector<std::string>

@@ -179,6 +179,8 @@ ProgramExecutor::step()
         mem_.write64(r.memAddr, r.storeValue);
         if (record_stores_)
             store_log_.emplace_back(r.memAddr, r.storeValue);
+        if (store_hook_)
+            store_hook_(r.memAddr, r.storeValue);
     } else if (li.inst.writesDst()) {
         regs_[li.inst.dst] = r.value;
     }

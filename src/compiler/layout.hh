@@ -89,10 +89,15 @@ class ProgramExecutor
 
     using PredictHook = std::function<bool(const LaidInst &)>;
 
+    /** Observe every committed store (lockstep oracle tap). */
+    using StoreHook = std::function<void(uint64_t addr, int64_t value)>;
+
     ProgramExecutor(const Program &prog, Memory &mem);
 
     /** Decide PREDICT directions; default always predicts not-taken. */
     void setPredictHook(PredictHook hook);
+
+    void setStoreHook(StoreHook hook) { store_hook_ = std::move(hook); }
 
     int64_t reg(RegId r) const { return regs_[r]; }
     void setReg(RegId r, int64_t v) { regs_[r] = v; }
@@ -126,6 +131,7 @@ class ProgramExecutor
     bool halted_ = false;
     bool faulted_ = false;
     PredictHook predict_hook_;
+    StoreHook store_hook_;
     bool record_stores_ = false;
     std::vector<std::pair<uint64_t, int64_t>> store_log_;
 };

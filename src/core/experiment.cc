@@ -33,7 +33,9 @@ std::string
 renderSpeedupFigure(const std::string &title,
                     const std::vector<BenchmarkSpec> &suite,
                     const std::vector<unsigned> &widths,
-                    const VanguardOptions &base, bool best_input)
+                    const VanguardOptions &base, bool best_input,
+                    const RunnerOptions &ropts_in,
+                    std::vector<JobFailure> *failures_out)
 {
     std::vector<std::string> headers = {"benchmark"};
     for (unsigned w : widths)
@@ -43,22 +45,27 @@ renderSpeedupFigure(const std::string &title,
     // All widths go into one pool: (benchmark x width x config x
     // seed) simulation jobs run concurrently instead of serial
     // per-width passes.
-    RunnerOptions ropts;
-    ropts.tag = title;
+    RunnerOptions ropts = ropts_in;
+    if (ropts.tag.empty())
+        ropts.tag = title;
     std::fprintf(stderr,
                  "[%s] %zu benchmarks x %zu widths x %zu REF seeds "
                  "on %u workers...\n",
                  title.c_str(), suite.size(), widths.size(),
                  kNumRefSeeds, ThreadPool::resolveWorkerCount());
-    std::vector<SuiteResult> per_width =
-        runSuiteWidths(suite, widths, base, ropts);
+    SuiteReport report = runSuiteWidthsReport(suite, widths, base, ropts);
+    const std::vector<SuiteResult> &per_width = report.results;
 
     for (size_t b = 0; b < suite.size(); ++b) {
         std::vector<std::string> cells = {suite[b].name};
         for (size_t w = 0; w < widths.size(); ++w) {
             const SeedSummary &row = per_width[w].rows[b];
-            cells.push_back(TablePrinter::fmt(
-                best_input ? row.bestSpeedupPct : row.meanSpeedupPct));
+            if (row.failedSeeds >= kNumRefSeeds)
+                cells.push_back("FAIL");
+            else
+                cells.push_back(TablePrinter::fmt(
+                    best_input ? row.bestSpeedupPct
+                               : row.meanSpeedupPct));
         }
         table.addRow(std::move(cells));
     }
@@ -70,7 +77,25 @@ renderSpeedupFigure(const std::string &title,
     }
     table.addRow(std::move(geo));
 
+    if (!report.failures.empty()) {
+        std::fprintf(stderr, "[%s] %zu job(s) failed:\n%s",
+                     title.c_str(), report.failures.size(),
+                     renderFailureTable(report.failures).c_str());
+    }
+    if (failures_out != nullptr)
+        *failures_out = std::move(report.failures);
+
     return title + "\n" + table.render();
+}
+
+std::string
+renderSpeedupFigure(const std::string &title,
+                    const std::vector<BenchmarkSpec> &suite,
+                    const std::vector<unsigned> &widths,
+                    const VanguardOptions &base, bool best_input)
+{
+    return renderSpeedupFigure(title, suite, widths, base, best_input,
+                               RunnerOptions{}, nullptr);
 }
 
 } // namespace vanguard

@@ -1,11 +1,15 @@
 #include "core/runner.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
+#include <cinttypes>
 #include <cstdio>
-#include <mutex>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 
+#include "core/replay.hh"
+#include "support/logging.hh"
+#include "support/progress.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 
@@ -13,52 +17,131 @@ namespace vanguard {
 
 namespace {
 
-/**
- * Mutex-guarded, rate-limited stderr progress. Worker threads call
- * jobDone() after every simulation; at most one line per interval is
- * emitted (plus the final one), so a large sweep cannot flood the
- * terminal and two threads never interleave a line.
- */
-class ProgressReporter
+std::string
+hexU64(uint64_t v)
 {
-  public:
-    ProgressReporter(std::string tag, size_t total,
-                     std::chrono::milliseconds interval =
-                         std::chrono::milliseconds(500))
-        : tag_(std::move(tag)), total_(total), interval_(interval),
-          last_(std::chrono::steady_clock::now())
-    {}
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+    return buf;
+}
 
-    void
-    jobDone()
-    {
-        size_t done = ++done_;
-        if (tag_.empty())
-            return;
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto now = std::chrono::steady_clock::now();
-        if (done != total_ && now - last_ < interval_)
-            return;
-        last_ = now;
-        std::fprintf(stderr, "[%s] %zu/%zu simulations\n",
-                     tag_.c_str(), done, total_);
+/**
+ * Run one job body under fault isolation: any exception becomes a
+ * JobFailure instead of escaping to the pool. Transient kinds retry
+ * up to ropts.maxAttempts total tries — deterministically, because
+ * every job is a pure function of its inputs.
+ */
+std::optional<JobFailure>
+runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
+           const std::function<void()> &body)
+{
+    unsigned max_attempts = std::max(1u, ropts.maxAttempts);
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            if (ropts.faultInjection)
+                ropts.faultInjection(id);
+            body();
+            return std::nullopt;
+        } catch (const SimError &e) {
+            if (SimError::isTransient(e.kind()) &&
+                attempt < max_attempts)
+                continue;
+            JobFailure f;
+            f.id = id;
+            f.kind = e.kind();
+            f.message = e.detail();
+            f.attempts = attempt;
+            return f;
+        } catch (const std::exception &e) {
+            JobFailure f;
+            f.id = id;
+            f.kind = SimError::Kind::Internal;
+            f.message = e.what();
+            f.attempts = attempt;
+            return f;
+        }
+    }
+}
+
+/** Write a replay bundle for a root-cause failure (best effort). */
+void
+writeBundle(JobFailure &f, const BenchmarkSpec &spec,
+            const VanguardOptions &opts, const RunnerOptions &ropts)
+{
+    if (ropts.replayDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(ropts.replayDir, ec);
+    if (ec) {
+        vg_warn("cannot create replay dir %s: %s",
+                ropts.replayDir.c_str(), ec.message().c_str());
+        return;
     }
 
-  private:
-    std::string tag_;
-    size_t total_;
-    std::chrono::milliseconds interval_;
-    std::atomic<size_t> done_{0};
-    std::mutex mutex_;
-    std::chrono::steady_clock::time_point last_;
-};
+    ReplayBundle b;
+    b.benchmark = spec.name;
+    b.phase = f.id.phase;
+    b.width = f.id.width != 0 ? f.id.width : opts.width;
+    b.config = f.id.config >= 0 ? f.id.config : 1;
+    b.seed = f.id.seed;
+    b.iterations = spec.iterations;
+    b.options = opts;
+    b.options.width = b.width;
+    b.errorKind = SimError::kindName(f.kind);
+    b.errorMessage = f.message;
+
+    std::string name = std::string(spec.name) + "-" + f.id.phase;
+    if (f.id.width != 0)
+        name += "-w" + std::to_string(f.id.width);
+    if (f.id.config >= 0)
+        name += f.id.config == 0 ? "-base" : "-exp";
+    if (f.id.seed != 0)
+        name += "-s" + hexU64(f.id.seed);
+    std::string path = ropts.replayDir + "/" + name + ".vgr";
+
+    std::ofstream out(path);
+    if (!out) {
+        vg_warn("cannot write replay bundle %s", path.c_str());
+        return;
+    }
+    out << serializeReplayBundle(b);
+    f.bundlePath = path;
+}
+
+/** Append phase failures to the report in job-index order. */
+void
+collectPhase(std::vector<std::optional<JobFailure>> &slots,
+             SuiteReport &report)
+{
+    for (auto &slot : slots) {
+        if (slot.has_value())
+            report.failures.push_back(std::move(*slot));
+    }
+}
 
 } // namespace
 
-std::vector<SuiteResult>
-runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
-               const std::vector<unsigned> &widths,
-               const VanguardOptions &base, const RunnerOptions &ropts)
+std::string
+JobIdentity::describe() const
+{
+    std::string out = benchmark;
+    if (width != 0)
+        out += " w" + std::to_string(width);
+    if (config >= 0)
+        out += config == 0 ? " base" : " exp";
+    if (seed != 0)
+        out += " seed " + hexU64(seed);
+    out += " (";
+    out += phase;
+    out += ")";
+    return out;
+}
+
+SuiteReport
+runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
+                     const std::vector<unsigned> &widths,
+                     const VanguardOptions &base,
+                     const RunnerOptions &ropts)
 {
     const size_t B = suite.size();
     const size_t W = widths.size();
@@ -72,62 +155,140 @@ runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
         wopts.push_back(o);
     }
 
+    SuiteReport report;
+    report.totalJobs = B + B * W + B * W * S * 2;
+
     ThreadPool pool(ropts.jobs);
 
     // Phase 1: train each benchmark once (width-independent).
     std::vector<TrainArtifacts> trains(B);
+    std::vector<std::optional<JobFailure>> train_fail(B);
     pool.parallelFor(B, [&](size_t b) {
-        trains[b] = trainBenchmark(suite[b], base);
+        JobIdentity id;
+        id.phase = "train";
+        id.benchmark = suite[b].name;
+        id.index = b;
+        train_fail[b] = runGuarded(id, ropts, [&] {
+            trains[b] = trainBenchmark(suite[b], base);
+        });
+        if (train_fail[b].has_value())
+            writeBundle(*train_fail[b], suite[b], base, ropts);
     });
+    collectPhase(train_fail, report);
 
-    // Phase 2: compile each (benchmark, width) pair once.
+    // Phase 2: compile each (benchmark, width) pair once. Compiles of
+    // a failed train are skipped: the root cause is already recorded.
     std::vector<BenchmarkArtifacts> arts(B * W);
+    std::vector<std::optional<JobFailure>> compile_fail(B * W);
     pool.parallelFor(B * W, [&](size_t i) {
-        arts[i] = compileBenchmark(suite[i / W], trains[i / W],
-                                   wopts[i % W]);
+        size_t b = i / W;
+        size_t w = i % W;
+        if (train_fail[b].has_value())
+            return;
+        JobIdentity id;
+        id.phase = "compile";
+        id.benchmark = suite[b].name;
+        id.width = widths[w];
+        id.index = i;
+        compile_fail[i] = runGuarded(id, ropts, [&] {
+            arts[i] = compileBenchmark(suite[b], trains[b], wopts[w]);
+        });
+        if (compile_fail[i].has_value())
+            writeBundle(*compile_fail[i], suite[b], wopts[w], ropts);
     });
+    collectPhase(compile_fail, report);
 
     // Phase 3: one job per (benchmark, width, config, seed). Slot
     // layout: ((b*W + w)*S + s)*2 + cfg with cfg 0 = baseline
     // (collecting per-branch stalls, as the serial path does) and
     // cfg 1 = experimental.
     std::vector<SimStats> sims(B * W * S * 2);
+    std::vector<std::optional<JobFailure>> sim_fail(sims.size());
     ProgressReporter progress(ropts.tag, sims.size());
     pool.parallelFor(sims.size(), [&](size_t i) {
         size_t cfg = i % 2;
         size_t s = (i / 2) % S;
         size_t bw = i / (2 * S);
+        size_t b = bw / W;
+        size_t w = bw % W;
+        if (train_fail[b].has_value() ||
+            compile_fail[bw].has_value()) {
+            progress.jobDone(); // skipped, but the sweep advanced
+            return;
+        }
         const BenchmarkArtifacts &art = arts[bw];
-        const BenchmarkSpec &spec = suite[bw / W];
-        const VanguardOptions &opts = wopts[bw % W];
-        sims[i] = cfg == 0
-            ? simulateConfig(spec, art.base, opts, kRefSeeds[s],
-                             /*collect_branch_stalls=*/true)
-            : simulateConfig(spec, art.exp, opts, kRefSeeds[s]);
-        progress.jobDone();
+        const BenchmarkSpec &spec = suite[b];
+        const VanguardOptions &opts = wopts[w];
+        JobIdentity id;
+        id.phase = "simulate";
+        id.benchmark = spec.name;
+        id.width = widths[w];
+        id.config = static_cast<int>(cfg);
+        id.seed = kRefSeeds[s];
+        id.index = i;
+        sim_fail[i] = runGuarded(id, ropts, [&] {
+            sims[i] = cfg == 0
+                ? simulateConfig(spec, art.base, opts, kRefSeeds[s],
+                                 /*collect_branch_stalls=*/true)
+                : simulateConfig(spec, art.exp, opts, kRefSeeds[s]);
+        });
+        if (sim_fail[i].has_value()) {
+            writeBundle(*sim_fail[i], spec, opts, ropts);
+            progress.jobFailed();
+        } else {
+            progress.jobDone();
+        }
     });
+    collectPhase(sim_fail, report);
 
-    // Phase 4: deterministic assembly in index order.
-    std::vector<SuiteResult> results(W);
+    // Phase 4: deterministic assembly in index order. A seed whose
+    // baseline or experimental simulation failed is dropped from the
+    // benchmark's mean/best; a benchmark whose train/compile failed
+    // keeps its row (alignment across widths) but contributes nothing
+    // to the suite geomeans.
+    report.results.resize(W);
     for (size_t w = 0; w < W; ++w) {
         std::vector<double> means;
         std::vector<double> bests;
         for (size_t b = 0; b < B; ++b) {
             SeedSummary summary;
             summary.name = suite[b].name;
+            size_t bw = b * W + w;
+            if (train_fail[b].has_value() ||
+                compile_fail[bw].has_value()) {
+                summary.failedSeeds = static_cast<unsigned>(S);
+                if (ropts.verbose) {
+                    std::fprintf(stderr, "  %-18s FAILED (%s)\n",
+                                 summary.name.c_str(),
+                                 train_fail[b].has_value() ? "train"
+                                                           : "compile");
+                }
+                report.results[w].rows.push_back(std::move(summary));
+                continue;
+            }
             std::vector<double> ratios;
             double best = -1e9;
             for (size_t s = 0; s < S; ++s) {
-                size_t i = ((b * W + w) * S + s) * 2;
+                size_t i = (bw * S + s) * 2;
+                if (sim_fail[i].has_value() ||
+                    sim_fail[i + 1].has_value()) {
+                    ++summary.failedSeeds;
+                    continue;
+                }
                 BenchmarkOutcome outcome = assembleOutcome(
-                    suite[b], arts[b * W + w], std::move(sims[i]),
+                    suite[b], arts[bw], std::move(sims[i]),
                     std::move(sims[i + 1]));
                 ratios.push_back(1.0 + outcome.speedupPct / 100.0);
                 best = std::max(best, outcome.speedupPct);
                 summary.perSeed.push_back(std::move(outcome));
             }
-            summary.meanSpeedupPct = (geomean(ratios) - 1.0) * 100.0;
-            summary.bestSpeedupPct = best;
+            if (!ratios.empty()) {
+                summary.meanSpeedupPct =
+                    (geomean(ratios) - 1.0) * 100.0;
+                summary.bestSpeedupPct = best;
+                means.push_back(summary.meanSpeedupPct);
+                bests.push_back(summary.bestSpeedupPct);
+            }
             if (ropts.verbose) {
                 std::fprintf(stderr,
                              "  %-18s mean %+6.1f%%  best %+6.1f%%\n",
@@ -135,14 +296,52 @@ runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
                              summary.meanSpeedupPct,
                              summary.bestSpeedupPct);
             }
-            means.push_back(summary.meanSpeedupPct);
-            bests.push_back(summary.bestSpeedupPct);
-            results[w].rows.push_back(std::move(summary));
+            report.results[w].rows.push_back(std::move(summary));
         }
-        results[w].geomeanMeanPct = geomeanPct(means);
-        results[w].geomeanBestPct = geomeanPct(bests);
+        report.results[w].geomeanMeanPct =
+            means.empty() ? 0.0 : geomeanPct(means);
+        report.results[w].geomeanBestPct =
+            bests.empty() ? 0.0 : geomeanPct(bests);
     }
-    return results;
+    return report;
+}
+
+std::vector<SuiteResult>
+runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
+               const std::vector<unsigned> &widths,
+               const VanguardOptions &base, const RunnerOptions &ropts)
+{
+    SuiteReport report =
+        runSuiteWidthsReport(suite, widths, base, ropts);
+    if (!report.failures.empty()) {
+        const JobFailure &f = report.failures.front();
+        std::string why = f.message;
+        if (report.failures.size() > 1) {
+            why += " (+" +
+                   std::to_string(report.failures.size() - 1) +
+                   " more failures)";
+        }
+        throw SimError(f.kind, std::move(why), f.id.describe());
+    }
+    return std::move(report.results);
+}
+
+std::string
+renderFailureTable(const std::vector<JobFailure> &failures)
+{
+    if (failures.empty())
+        return "";
+    TablePrinter table({"job", "kind", "tries", "error", "replay"});
+    for (const JobFailure &f : failures) {
+        std::string msg = f.message;
+        constexpr size_t kMaxMsg = 56;
+        if (msg.size() > kMaxMsg)
+            msg = msg.substr(0, kMaxMsg - 3) + "...";
+        table.addRow({f.id.describe(), SimError::kindName(f.kind),
+                      std::to_string(f.attempts), std::move(msg),
+                      f.bundlePath.empty() ? "-" : f.bundlePath});
+    }
+    return table.render();
 }
 
 } // namespace vanguard

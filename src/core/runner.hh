@@ -2,7 +2,7 @@
  * @file
  * Parallel experiment engine: flattens a (benchmark x width x config
  * x REF-seed) sweep into independent simulation jobs on a shared
- * thread pool.
+ * thread pool, with per-job fault isolation.
  *
  * Phases (each a pool-wide barrier):
  *   1. train   — one job per benchmark (training is width-independent),
@@ -12,22 +12,67 @@
  *      CompiledConfig strictly read-only,
  *   4. assemble — single-threaded, in index order.
  *
+ * Fault isolation: every job runs under a try/catch that converts a
+ * SimError (or any exception) into a JobFailure slot instead of
+ * killing the sweep. Jobs downstream of a failure (compiles of a
+ * failed train, simulations of a failed compile) are skipped without
+ * generating their own records, so the failure list holds root causes
+ * only, in deterministic job-index order. Transient kinds
+ * (SimError::isTransient) are retried up to maxAttempts times —
+ * deterministically, since each job is a pure function of its inputs.
+ * The suite completes with partial results: failed seeds are dropped
+ * from a benchmark's mean/best (SeedSummary::failedSeeds counts
+ * them), fully-failed rows are excluded from suite geomeans.
+ *
+ * Failure replay: with a non-empty replayDir, each root-cause failure
+ * writes a deterministic replay bundle (core/replay.hh) that
+ * `vanguard_cli --replay <bundle>` re-executes solo under the
+ * lockstep oracle.
+ *
  * Determinism contract: jobs write into pre-sized slots keyed by job
  * index, never by completion order, and every job is a pure function
  * of its (spec, options, seed) inputs — so results are bit-identical
- * to the serial path at any worker count, including VANGUARD_JOBS=1.
- * Progress lines go to stderr through a mutex-guarded, rate-limited
- * reporter and are the only nondeterministic output.
+ * to the serial path at any worker count, including VANGUARD_JOBS=1,
+ * and every non-failed slot of a partially-failed sweep is
+ * bit-identical to the same slot of a clean run. Progress lines go to
+ * stderr through a mutex-guarded, rate-limited reporter and are the
+ * only nondeterministic output.
  */
 
 #ifndef VANGUARD_CORE_RUNNER_HH
 #define VANGUARD_CORE_RUNNER_HH
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "support/error.hh"
 
 namespace vanguard {
+
+/** Which experiment job is (or was) running; attached to failures. */
+struct JobIdentity
+{
+    const char *phase = "";     ///< "train" | "compile" | "simulate"
+    std::string benchmark;
+    unsigned width = 0;         ///< 0 for width-independent phases
+    int config = -1;            ///< 0 baseline, 1 experimental, -1 n/a
+    uint64_t seed = 0;          ///< 0 when not seed-specific
+    size_t index = 0;           ///< job index within its phase
+
+    std::string describe() const;
+};
+
+/** One failed job: identity plus the structured error it raised. */
+struct JobFailure
+{
+    JobIdentity id;
+    SimError::Kind kind = SimError::Kind::Internal;
+    std::string message;        ///< SimError::detail (undecorated)
+    unsigned attempts = 1;      ///< tries consumed (retries included)
+    std::string bundlePath;     ///< replay bundle, "" if not written
+};
 
 struct RunnerOptions
 {
@@ -40,18 +85,66 @@ struct RunnerOptions
 
     /** Prefix for rate-limited progress lines ("" disables them). */
     std::string tag;
+
+    /** Total tries per job for transient failure kinds (>= 1);
+     *  non-transient kinds never retry. */
+    unsigned maxAttempts = 2;
+
+    /** Failures tolerated before SuiteReport::exceededThreshold()
+     *  reports the sweep itself as failed. */
+    size_t failureThreshold = 0;
+
+    /** Directory for replay bundles ("" disables writing them). */
+    std::string replayDir;
+
+    /**
+     * Test-only fault injection: invoked at the top of every job
+     * attempt with the job's identity; throwing from it fails the
+     * attempt exactly as if the job body threw.
+     */
+    std::function<void(const JobIdentity &)> faultInjection;
+};
+
+/** Everything a fault-tolerant sweep produced. */
+struct SuiteReport
+{
+    /** One SuiteResult per width (partial where jobs failed). */
+    std::vector<SuiteResult> results;
+
+    /** Root-cause failures, in deterministic job-index order. */
+    std::vector<JobFailure> failures;
+
+    size_t totalJobs = 0;
+
+    bool
+    exceededThreshold(size_t threshold) const
+    {
+        return failures.size() > threshold;
+    }
 };
 
 /**
- * Evaluate a suite at every requested width through one pool.
- * Returns one SuiteResult per width, in the widths' order, each
- * bit-identical to a serial per-width runSuite pass.
+ * Evaluate a suite at every requested width through one pool,
+ * surviving and recording individual job failures.
+ */
+SuiteReport runSuiteWidthsReport(
+    const std::vector<BenchmarkSpec> &suite,
+    const std::vector<unsigned> &widths, const VanguardOptions &base,
+    const RunnerOptions &ropts = {});
+
+/**
+ * Strict variant: identical results, but any job failure rethrows the
+ * first root cause (annotated with its job identity) after the sweep
+ * completes. Callers that want partial results use the Report form.
  */
 std::vector<SuiteResult>
 runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
                const std::vector<unsigned> &widths,
                const VanguardOptions &base,
                const RunnerOptions &ropts = {});
+
+/** Render the failure summary table ("" when no failures). */
+std::string renderFailureTable(const std::vector<JobFailure> &failures);
 
 } // namespace vanguard
 

@@ -1,8 +1,10 @@
 #include "core/vanguard.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "bpred/factory.hh"
+#include "exec/interpreter.hh"
 #include "compiler/hoist.hh"
 #include "compiler/layout.hh"
 #include "compiler/scheduler.hh"
@@ -98,9 +100,35 @@ simulateConfig(const BenchmarkSpec &spec, const CompiledConfig &config,
 
     SimOptions sopts;
     sopts.maxInsts = opts.simMaxInsts;
+    sopts.cycleBudget = opts.simCycleBudget;
+    sopts.progressWindow = opts.simProgressWindow;
     sopts.collectBranchStalls = collect_branch_stalls;
     if (!config.hoistedMask.empty())
         sopts.hoistedMask = &config.hoistedMask;
+
+    // Lockstep oracle: a golden functional run of the *original*
+    // kernel (the transformation contract: any compiled configuration
+    // retires the same store stream and final arch registers). The
+    // timing run below is then checked against it online.
+    std::unique_ptr<LockstepChecker> checker;
+    if (opts.lockstep) {
+        Memory golden_mem = *ref.mem; // timing run mutates *ref.mem
+        Interpreter oracle(ref.fn, golden_mem);
+        oracle.recordStores(true);
+        RunResult gr = oracle.run(opts.simMaxInsts * 2);
+        if (gr.status == RunStatus::Fault) {
+            vg_throw(Fault,
+                     "lockstep golden run faulted at inst %u",
+                     gr.faultingInst);
+        }
+        LockstepOracle golden;
+        golden.stores = oracle.storeLog();
+        golden.halted = gr.status == RunStatus::Halted;
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            golden.archRegs[r] = oracle.reg(static_cast<RegId>(r));
+        checker = std::make_unique<LockstepChecker>(std::move(golden));
+        sopts.lockstep = checker.get();
+    }
 
     std::vector<bool> outcomes;
     bool needs_oracle = opts.predictor.rfind("ideal:", 0) == 0;

@@ -40,6 +40,24 @@ struct VanguardOptions
     uint64_t profileMaxInsts = 100'000'000;
     uint64_t simMaxInsts = 100'000'000;
 
+    /**
+     * Opt-in lockstep differential oracle: each simulation also runs
+     * the functional interpreter on the original kernel and checks
+     * the timing model's retired state (store stream + final arch
+     * registers) online, raising SimError(Divergence) on the first
+     * mismatch. Roughly doubles per-job cost.
+     */
+    bool lockstep = false;
+
+    /** Cycle-budget watchdog forwarded to SimOptions::cycleBudget
+     *  (0 disables). The default is far above any legitimate run:
+     *  simMaxInsts at the worst observed IPC stays under ~1e9. */
+    uint64_t simCycleBudget = 2'000'000'000;
+
+    /** Per-commit clock-advance watchdog forwarded to
+     *  SimOptions::progressWindow (0 disables). */
+    uint64_t simProgressWindow = 1'000'000;
+
     MachineConfig machine() const;
 };
 
@@ -157,9 +175,13 @@ BenchmarkOutcome assembleOutcome(const BenchmarkSpec &spec,
 struct SeedSummary
 {
     std::string name;
-    double meanSpeedupPct = 0.0;   ///< geomean over REF inputs
+    double meanSpeedupPct = 0.0;   ///< geomean over surviving REF inputs
     double bestSpeedupPct = 0.0;   ///< best single REF input
-    std::vector<BenchmarkOutcome> perSeed;
+    std::vector<BenchmarkOutcome> perSeed; ///< surviving seeds, in order
+
+    /** REF inputs whose jobs failed (see core/runner.hh); kNumRefSeeds
+     *  when the benchmark's train/compile failed outright. */
+    unsigned failedSeeds = 0;
 };
 
 SeedSummary evaluateBenchmarkAllRefs(const BenchmarkSpec &spec,

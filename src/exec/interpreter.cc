@@ -44,7 +44,11 @@ Interpreter::run(uint64_t max_insts)
     BlockId bb = 0;
     size_t idx = 0;
 
-    while (result.dynamicInsts < max_insts) {
+    uint64_t limit = max_insts;
+    if (step_budget_ != 0 && step_budget_ < limit)
+        limit = step_budget_;
+
+    while (result.dynamicInsts < limit) {
         const BasicBlock &blk = fn_.block(bb);
         vg_assert(idx < blk.insts.size(), "ran off end of block %u", bb);
         const Instruction &inst = blk.insts[idx];
@@ -100,6 +104,13 @@ Interpreter::run(uint64_t max_insts)
         ++idx;
     }
 
+    if (step_budget_ != 0 && result.dynamicInsts >= step_budget_) {
+        vg_throw(Hang,
+                 "functional step budget exhausted after %llu insts "
+                 "without reaching HALT (block %u)",
+                 static_cast<unsigned long long>(result.dynamicInsts),
+                 bb);
+    }
     result.status = RunStatus::InstLimit;
     return result;
 }

@@ -75,6 +75,15 @@ class Interpreter
     /** Reset control state (registers preserved) to the entry block. */
     void restart();
 
+    /**
+     * Forward-progress watchdog: when nonzero, exhausting this many
+     * steps without reaching HALT throws SimError(Hang) instead of
+     * returning RunStatus::InstLimit — a livelocked functional run
+     * (e.g. an IR loop that never exits) surfaces as a structured,
+     * catchable failure rather than a silently-truncated result.
+     */
+    void setStepBudget(uint64_t steps) { step_budget_ = steps; }
+
     /** Run until HALT, fault, or the dynamic instruction limit. */
     RunResult run(uint64_t max_insts = 100'000'000);
 
@@ -88,6 +97,7 @@ class Interpreter
     InstHook inst_hook_;
 
     bool record_stores_ = false;
+    uint64_t step_budget_ = 0;
     std::vector<std::pair<uint64_t, int64_t>> store_log_;
 };
 

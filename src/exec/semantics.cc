@@ -134,7 +134,7 @@ evaluate(const Instruction &inst, const int64_t *regs, const Memory &mem)
       case Opcode::NOP:
         break;
       default:
-        vg_panic("evaluate: bad opcode");
+        vg_throw(Invariant, "evaluate: bad opcode");
     }
     return r;
 }

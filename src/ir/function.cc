@@ -59,7 +59,7 @@ Function::successors(BlockId id) const
       case Opcode::HALT:
         return {};
       default:
-        vg_panic("non-terminator at block end");
+        vg_throw(Invariant, "non-terminator at block end");
     }
 }
 

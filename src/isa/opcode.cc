@@ -85,7 +85,7 @@ opcodeName(Opcode op)
       case Opcode::HALT: return "halt";
       case Opcode::NOP: return "nop";
       default:
-        vg_panic("bad opcode %d", static_cast<int>(op));
+        vg_throw(Invariant, "bad opcode %d", static_cast<int>(op));
     }
 }
 

@@ -77,8 +77,10 @@ profileFunction(const Function &fn, Memory &mem,
     });
 
     RunResult result = interp.run(opts.maxInsts);
-    vg_assert(result.status != RunStatus::Fault,
-              "profiled program faulted at inst %u", result.faultingInst);
+    if (result.status == RunStatus::Fault) {
+        vg_throw(Fault, "profiled program faulted at inst %u",
+                 result.faultingInst);
+    }
 
     profile.totalDynamicInsts = result.dynamicInsts;
     profile.totalDynamicBranches = result.dynamicBranches;

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Structured simulator errors.
+ *
+ * Library code never aborts or exits the process: anything that goes
+ * wrong inside the simulator throws a SimError carrying a machine-
+ * readable kind, the throw site, and (once a job layer has seen it)
+ * the identity of the experiment job that was running. The experiment
+ * engine catches SimErrors per job and turns them into JobFailure
+ * records; only CLI boundaries (main functions) translate them into
+ * exit codes. This mirrors how mipt-mips/flexus treat simulator
+ * exceptions as first-class values rather than crashes.
+ *
+ * Kinds:
+ *   Config     — unusable user input (unknown benchmark/predictor,
+ *                bad option value). Not retryable; fix the invocation.
+ *   Invariant  — an internal invariant was violated (a bug in this
+ *                library). vg_assert throws this.
+ *   Fault      — the simulated program performed an architecturally
+ *                invalid operation (out-of-bounds access, div by 0).
+ *   Hang       — a forward-progress watchdog fired: cycle budget
+ *                exceeded, no retired-instruction progress, or the
+ *                functional step budget ran out.
+ *   Divergence — the lockstep differential oracle observed retired
+ *                state (store stream / final arch registers) that
+ *                disagrees with the golden functional model.
+ *   Io         — a filesystem interaction failed (profile/bundle
+ *                read/write). Classified transient: the engine may
+ *                retry it deterministically.
+ *   Internal   — a non-SimError exception escaped a job.
+ */
+
+#ifndef VANGUARD_SUPPORT_ERROR_HH
+#define VANGUARD_SUPPORT_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vanguard {
+
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Config,
+        Invariant,
+        Fault,
+        Hang,
+        Divergence,
+        Io,
+        Internal,
+    };
+
+    SimError(Kind kind, std::string detail, std::string context = "")
+        : std::runtime_error(compose(kind, context, detail)),
+          kind_(kind), detail_(std::move(detail)),
+          context_(std::move(context))
+    {}
+
+    Kind kind() const { return kind_; }
+
+    /** The bare message, without kind/context decoration. */
+    const std::string &detail() const { return detail_; }
+
+    /** Accumulated context ("file:line", job identity, ...). */
+    const std::string &context() const { return context_; }
+
+    /** A copy with extra context appended (job identity, phase). */
+    SimError
+    annotated(const std::string &extra) const
+    {
+        std::string ctx = context_.empty()
+            ? extra
+            : context_ + ", " + extra;
+        return SimError(kind_, detail_, std::move(ctx));
+    }
+
+    static const char *
+    kindName(Kind kind)
+    {
+        switch (kind) {
+          case Kind::Config:     return "Config";
+          case Kind::Invariant:  return "Invariant";
+          case Kind::Fault:      return "Fault";
+          case Kind::Hang:       return "Hang";
+          case Kind::Divergence: return "Divergence";
+          case Kind::Io:         return "Io";
+          case Kind::Internal:   return "Internal";
+        }
+        return "Unknown";
+    }
+
+    /** Parse a kindName() back; Internal for unknown strings. */
+    static Kind
+    kindFromName(const std::string &name)
+    {
+        for (Kind k : {Kind::Config, Kind::Invariant, Kind::Fault,
+                       Kind::Hang, Kind::Divergence, Kind::Io,
+                       Kind::Internal}) {
+            if (name == kindName(k))
+                return k;
+        }
+        return Kind::Internal;
+    }
+
+    /**
+     * Transient kinds may succeed on a deterministic re-run (today:
+     * only filesystem trouble); everything else is a property of the
+     * (spec, options, seed) inputs and will recur identically.
+     */
+    static bool
+    isTransient(Kind kind)
+    {
+        return kind == Kind::Io;
+    }
+
+  private:
+    static std::string
+    compose(Kind kind, const std::string &context,
+            const std::string &detail)
+    {
+        std::string out = "SimError(";
+        out += kindName(kind);
+        out += ")";
+        if (!context.empty()) {
+            out += " [";
+            out += context;
+            out += "]";
+        }
+        out += ": ";
+        out += detail;
+        return out;
+    }
+
+    Kind kind_;
+    std::string detail_;
+    std::string context_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_ERROR_HH

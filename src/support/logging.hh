@@ -2,11 +2,18 @@
  * @file
  * Error/status reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic()  — an internal invariant was violated (a bug in this library);
- *            aborts so a debugger/core dump can capture state.
- * fatal()  — the *user's* configuration or input is unusable; exits with
- *            an error code.
- * warn()/inform() — non-fatal status messages.
+ * vg_throw()  — library code signals a structured, catchable SimError
+ *               (see support/error.hh); the experiment engine turns
+ *               these into per-job failures instead of losing a sweep.
+ * vg_assert() — an internal invariant was violated (a bug in this
+ *               library); throws SimError(Invariant) so one bad job
+ *               cannot abort a whole suite run.
+ * panic()/fatal() — abort/exit the *process*; reserved for CLI
+ *               boundaries (main functions), never library code.
+ * warn()/inform() — non-fatal status messages, serialized through one
+ *               process-wide console mutex so worker threads never
+ *               interleave partial lines (shared with the engine's
+ *               ProgressReporter).
  */
 
 #ifndef VANGUARD_SUPPORT_LOGGING_HH
@@ -14,12 +21,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <utility>
+
+#include "support/error.hh"
 
 namespace vanguard {
 
 namespace detail {
+
+/** One mutex for every stderr status line the library emits. */
+inline std::mutex &
+consoleMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Emit one whole line atomically with respect to other emitters. */
+inline void
+emitLine(std::FILE *to, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(consoleMutex());
+    std::fprintf(to, "%s\n", line.c_str());
+    std::fflush(to);
+}
 
 [[noreturn]] inline void
 logAndAbort(const char *kind, const char *file, int line,
@@ -35,6 +62,14 @@ logAndExit(const char *kind, const char *file, int line,
 {
     std::fprintf(stderr, "%s: %s:%d: %s\n", kind, file, line, msg.c_str());
     std::exit(1);
+}
+
+[[noreturn]] inline void
+throwSimError(SimError::Kind kind, const char *file, int line,
+              const std::string &msg)
+{
+    throw SimError(kind, msg,
+                   std::string(file) + ":" + std::to_string(line));
 }
 
 /** Minimal printf-style formatter returning a std::string. */
@@ -58,30 +93,42 @@ csprintf(const char *fmt, Args &&...args)
 
 } // namespace vanguard
 
+/** Throw a SimError of the given kind (Config, Hang, ...). */
+#define vg_throw(kind, ...)                                                 \
+    ::vanguard::detail::throwSimError(                                      \
+        ::vanguard::SimError::Kind::kind, __FILE__, __LINE__,               \
+        ::vanguard::detail::csprintf(__VA_ARGS__))
+
+/** Process-aborting panic: CLI boundaries only. */
 #define vg_panic(...)                                                       \
     ::vanguard::detail::logAndAbort(                                        \
         "panic", __FILE__, __LINE__,                                        \
         ::vanguard::detail::csprintf(__VA_ARGS__))
 
+/** Process-exiting fatal: CLI boundaries only. */
 #define vg_fatal(...)                                                       \
     ::vanguard::detail::logAndExit(                                         \
         "fatal", __FILE__, __LINE__,                                        \
         ::vanguard::detail::csprintf(__VA_ARGS__))
 
 #define vg_warn(...)                                                        \
-    std::fprintf(stderr, "warn: %s\n",                                      \
-                 ::vanguard::detail::csprintf(__VA_ARGS__).c_str())
+    ::vanguard::detail::emitLine(                                           \
+        stderr,                                                             \
+        "warn: " + ::vanguard::detail::csprintf(__VA_ARGS__))
 
 #define vg_inform(...)                                                      \
-    std::fprintf(stderr, "info: %s\n",                                      \
-                 ::vanguard::detail::csprintf(__VA_ARGS__).c_str())
+    ::vanguard::detail::emitLine(                                           \
+        stderr,                                                             \
+        "info: " + ::vanguard::detail::csprintf(__VA_ARGS__))
 
 #define vg_assert(cond, ...)                                                \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            ::vanguard::detail::logAndAbort(                                \
-                "panic(assert: " #cond ")", __FILE__, __LINE__,             \
-                ::vanguard::detail::csprintf("" __VA_ARGS__));              \
+            ::vanguard::detail::throwSimError(                              \
+                ::vanguard::SimError::Kind::Invariant, __FILE__,            \
+                __LINE__,                                                   \
+                "assert(" #cond "): " +                                     \
+                    ::vanguard::detail::csprintf("" __VA_ARGS__));          \
         }                                                                   \
     } while (0)
 

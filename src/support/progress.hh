@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Mutex-guarded, rate-limited stderr progress reporting for the
+ * experiment engine. Worker threads call jobDone()/jobFailed() after
+ * every simulation; at most one line per interval is emitted (plus
+ * the final one), so a large sweep cannot flood the terminal. Lines
+ * go through the same console mutex as vg_warn/vg_inform
+ * (support/logging.hh), so a worker's warning can never interleave
+ * mid-line with a progress update:
+ *
+ *   [fig08] 312/4800 simulations, 2 failed
+ */
+
+#ifndef VANGUARD_SUPPORT_PROGRESS_HH
+#define VANGUARD_SUPPORT_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::string tag, size_t total,
+                     std::chrono::milliseconds interval =
+                         std::chrono::milliseconds(500))
+        : tag_(std::move(tag)), total_(total), interval_(interval),
+          last_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    jobDone()
+    {
+        report(++done_);
+    }
+
+    /** A job failed: counted both as done and in the failure tally. */
+    void
+    jobFailed()
+    {
+        ++failed_;
+        report(++done_);
+    }
+
+    size_t failures() const { return failed_.load(); }
+
+  private:
+    void
+    report(size_t done)
+    {
+        if (tag_.empty())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto now = std::chrono::steady_clock::now();
+        if (done != total_ && now - last_ < interval_)
+            return;
+        last_ = now;
+        size_t failed = failed_.load();
+        std::string line = "[" + tag_ + "] " + std::to_string(done) +
+                           "/" + std::to_string(total_) +
+                           " simulations";
+        if (failed != 0)
+            line += ", " + std::to_string(failed) + " failed";
+        detail::emitLine(stderr, line);
+    }
+
+    std::string tag_;
+    size_t total_;
+    std::chrono::milliseconds interval_;
+    std::atomic<size_t> done_{0};
+    std::atomic<size_t> failed_{0};
+    std::mutex mutex_;
+    std::chrono::steady_clock::time_point last_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_PROGRESS_HH

@@ -3,10 +3,14 @@
  * Minimal work-queue thread pool for the parallel experiment engine.
  *
  * N worker threads (default: hardware_concurrency, overridable with
- * the VANGUARD_JOBS environment variable) drain a FIFO of
- * std::function jobs. wait() blocks until every submitted job has
- * finished and rethrows the first exception any job raised, so
- * callers get normal error propagation across the thread boundary.
+ * the VANGUARD_JOBS environment variable, clamped to 4x the hardware
+ * thread count) drain a FIFO of std::function jobs. wait() blocks
+ * until every submitted job has finished; every exception any job
+ * raised is collected (not just the first), so multi-failure sweeps
+ * can report each distinct cause. wait() rethrows a lone failure
+ * verbatim and aggregates several into one SimError(Internal) whose
+ * message lists the first few causes; callers that want the full set
+ * use waitCollect().
  *
  * The pool is deliberately dumb — no futures, no stealing, no
  * priorities. Experiment jobs are coarse (one full simulation each),
@@ -24,8 +28,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "support/error.hh"
 
 namespace vanguard {
 
@@ -36,20 +43,25 @@ class ThreadPool
      * Worker-count policy: an explicit request wins, then the
      * VANGUARD_JOBS environment variable, then hardware_concurrency
      * (minimum 1). Unparsable or zero VANGUARD_JOBS values are
-     * ignored.
+     * ignored; absurd ones (a typo like VANGUARD_JOBS=100000 would
+     * otherwise try to spawn that many threads) are clamped to 4x
+     * the hardware thread count.
      */
     static unsigned
     resolveWorkerCount(unsigned requested = 0)
     {
         if (requested > 0)
             return requested;
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
         if (const char *env = std::getenv("VANGUARD_JOBS")) {
             unsigned long v = std::strtoul(env, nullptr, 10);
             if (v > 0)
-                return static_cast<unsigned>(v);
+                return static_cast<unsigned>(
+                    v > 4ul * hw ? 4ul * hw : v);
         }
-        unsigned hw = std::thread::hardware_concurrency();
-        return hw > 0 ? hw : 1;
+        return hw;
     }
 
     explicit ThreadPool(unsigned workers = 0)
@@ -94,21 +106,58 @@ class ThreadPool
     }
 
     /**
-     * Block until every submitted job has finished, then rethrow the
-     * first exception any job raised (remaining jobs still ran: a
-     * failure never wedges the queue). The pool is reusable after
-     * wait() returns or throws.
+     * Block until every submitted job has finished, then return every
+     * exception jobs raised since the last wait, in completion order
+     * (remaining jobs still ran: a failure never wedges the queue).
+     * The pool is reusable afterwards.
+     */
+    std::vector<std::exception_ptr>
+    waitCollect()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+        std::vector<std::exception_ptr> errors;
+        errors.swap(errors_);
+        return errors;
+    }
+
+    /**
+     * waitCollect(), then rethrow: a single failure propagates
+     * verbatim; several are folded into one SimError(Internal)
+     * listing the count and the first few messages.
      */
     void
     wait()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
-        if (error_) {
-            std::exception_ptr e = error_;
-            error_ = nullptr;
-            std::rethrow_exception(e);
+        std::vector<std::exception_ptr> errors = waitCollect();
+        if (errors.empty())
+            return;
+        if (errors.size() == 1)
+            std::rethrow_exception(errors.front());
+
+        constexpr size_t kMaxListed = 4;
+        std::string msg =
+            std::to_string(errors.size()) + " jobs failed:";
+        for (size_t i = 0; i < errors.size() && i < kMaxListed; ++i) {
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const std::exception &e) {
+                msg += "\n  [";
+                msg += std::to_string(i);
+                msg += "] ";
+                msg += e.what();
+            } catch (...) {
+                msg += "\n  [";
+                msg += std::to_string(i);
+                msg += "] (non-standard exception)";
+            }
         }
+        if (errors.size() > kMaxListed) {
+            msg += "\n  ... and " +
+                   std::to_string(errors.size() - kMaxListed) +
+                   " more";
+        }
+        throw SimError(SimError::Kind::Internal, std::move(msg));
     }
 
     /** Run fn(0) .. fn(n-1) as n independent jobs and wait for all. */
@@ -140,8 +189,7 @@ class ThreadPool
                 job();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex_);
-                if (!error_)
-                    error_ = std::current_exception();
+                errors_.push_back(std::current_exception());
             }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -157,7 +205,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     size_t outstanding_ = 0;
-    std::exception_ptr error_;
+    std::vector<std::exception_ptr> errors_;
     bool stopping_ = false;
 };
 

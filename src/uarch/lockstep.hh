@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lockstep differential oracle for the timing simulator.
+ *
+ * The functional Interpreter (exec/interpreter.hh) is the golden
+ * model: the transformation contract says a compiled configuration
+ * retires exactly the original kernel's committed store stream and
+ * final architectural registers, for any PREDICT answer. The checker
+ * holds a golden run's retired state and is fed the timing
+ * simulator's retirement events online; the first mismatching store
+ * — or a final-register mismatch at HALT — raises
+ * SimError(Divergence) naming the divergence point. This is the
+ * mipt-mips/flexus "perf model vs functional model" lockstep check:
+ * it catches subtle model-vs-oracle drift (the failure class the
+ * timing-non-predictability literature warns about) at the retired
+ * instruction where it first becomes architectural, not at the end
+ * of a million-cycle run.
+ *
+ * Budget asymmetry: if the golden run hit its own instruction limit
+ * before HALT, stores past the recorded prefix are not comparable and
+ * are accepted; final registers are only compared when both runs
+ * halted.
+ */
+
+#ifndef VANGUARD_UARCH_LOCKSTEP_HH
+#define VANGUARD_UARCH_LOCKSTEP_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/reg.hh"
+#include "support/logging.hh"
+
+namespace vanguard {
+
+/** Retired state of a golden functional run. */
+struct LockstepOracle
+{
+    std::vector<std::pair<uint64_t, int64_t>> stores;
+    int64_t archRegs[kNumArchRegs] = {};
+    bool halted = false;   ///< golden run reached HALT (not InstLimit)
+};
+
+class LockstepChecker
+{
+  public:
+    explicit LockstepChecker(LockstepOracle oracle)
+        : oracle_(std::move(oracle))
+    {}
+
+    /** Compare one committed store against the golden stream. */
+    void
+    onStore(uint64_t addr, int64_t value)
+    {
+        size_t i = next_++;
+        if (i >= oracle_.stores.size()) {
+            if (oracle_.halted) {
+                vg_throw(Divergence,
+                         "store #%zu (addr 0x%llx value %lld) beyond "
+                         "golden stream of %zu stores",
+                         i, static_cast<unsigned long long>(addr),
+                         static_cast<long long>(value),
+                         oracle_.stores.size());
+            }
+            return; // golden run was truncated; prefix exhausted
+        }
+        const auto &want = oracle_.stores[i];
+        if (addr != want.first || value != want.second) {
+            vg_throw(Divergence,
+                     "store #%zu mismatch: retired addr 0x%llx value "
+                     "%lld, golden addr 0x%llx value %lld",
+                     i, static_cast<unsigned long long>(addr),
+                     static_cast<long long>(value),
+                     static_cast<unsigned long long>(want.first),
+                     static_cast<long long>(want.second));
+        }
+    }
+
+    /** Compare final architectural registers once the sim halts. */
+    void
+    onHalt(const int64_t *regs)
+    {
+        if (!oracle_.halted)
+            return;
+        if (next_ < oracle_.stores.size()) {
+            vg_throw(Divergence,
+                     "halted after %zu stores; golden stream has %zu",
+                     next_, oracle_.stores.size());
+        }
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            if (regs[r] != oracle_.archRegs[r]) {
+                vg_throw(Divergence,
+                         "final r%u mismatch: retired %lld, golden "
+                         "%lld",
+                         r, static_cast<long long>(regs[r]),
+                         static_cast<long long>(oracle_.archRegs[r]));
+            }
+        }
+    }
+
+    size_t comparedStores() const { return next_; }
+
+  private:
+    LockstepOracle oracle_;
+    size_t next_ = 0;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_UARCH_LOCKSTEP_HH

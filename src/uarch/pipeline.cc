@@ -26,6 +26,11 @@ class TimingModel
         exec_.setPredictHook([this](const LaidInst &li) {
             return onPredictFetch(li);
         });
+        if (opts_.lockstep != nullptr) {
+            exec_.setStoreHook([this](uint64_t addr, int64_t value) {
+                opts_.lockstep->onStore(addr, value);
+            });
+        }
 
         // Dense per-branch stall accumulators, sized once up front so
         // the hot loop never touches the hash map (and does nothing at
@@ -477,6 +482,7 @@ SimStats
 TimingModel::run()
 {
     uint64_t inst_seq = 0;
+    uint64_t last_commit_cycle = 0;
     while (!exec_.halted() && stats_.dynamicInsts < opts_.maxInsts) {
         auto info = exec_.step();
         if (info.inst == nullptr)
@@ -484,13 +490,50 @@ TimingModel::run()
         ++stats_.dynamicInsts;
         if (info.fault) {
             stats_.faulted = true;
-            break;
+            vg_throw(Fault,
+                     "simulated program faulted at pc 0x%llx (inst %u, "
+                     "%llu insts retired)",
+                     static_cast<unsigned long long>(info.inst->pc),
+                     info.inst->inst.id,
+                     static_cast<unsigned long long>(
+                         stats_.dynamicInsts));
         }
         timeInst(info, inst_seq);
         ++inst_seq;
+
+        // Forward-progress watchdogs: a runaway program (cycle budget)
+        // or a timing-model bug that stops retiring work (progress
+        // window) surfaces as a structured Hang instead of wedging the
+        // experiment pool.
+        if (opts_.cycleBudget != 0 && max_done_ > opts_.cycleBudget) {
+            vg_throw(Hang,
+                     "cycle budget exceeded: %llu cycles > budget %llu "
+                     "after %llu retired insts (pc 0x%llx)",
+                     static_cast<unsigned long long>(max_done_),
+                     static_cast<unsigned long long>(opts_.cycleBudget),
+                     static_cast<unsigned long long>(
+                         stats_.dynamicInsts),
+                     static_cast<unsigned long long>(info.inst->pc));
+        }
+        if (opts_.progressWindow != 0 &&
+            max_done_ - last_commit_cycle > opts_.progressWindow) {
+            vg_throw(Hang,
+                     "no retired-instruction progress: clock advanced "
+                     "%llu cycles across one commit (window %llu, pc "
+                     "0x%llx)",
+                     static_cast<unsigned long long>(
+                         max_done_ - last_commit_cycle),
+                     static_cast<unsigned long long>(
+                         opts_.progressWindow),
+                     static_cast<unsigned long long>(info.inst->pc));
+        }
+        last_commit_cycle = max_done_;
+
         if (stats_.halted)
             break;
     }
+    if (opts_.lockstep != nullptr && stats_.halted)
+        opts_.lockstep->onHalt(exec_.regs());
     stats_.cycles = max_done_ + 1;
 
     // One pass builds the per-branch map callers expect; sized to the

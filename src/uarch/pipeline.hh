@@ -38,6 +38,7 @@
 #include "uarch/cache.hh"
 #include "uarch/config.hh"
 #include "uarch/dbb.hh"
+#include "uarch/lockstep.hh"
 #include "uarch/trace.hh"
 
 namespace vanguard {
@@ -45,6 +46,31 @@ namespace vanguard {
 struct SimOptions
 {
     uint64_t maxInsts = 50'000'000;
+
+    /**
+     * Forward-progress watchdog: total-cycle budget. A simulation
+     * whose cycle count exceeds this raises SimError(Hang) instead of
+     * grinding on (e.g. an IR loop that never reaches HALT wedging a
+     * worker for the full instruction budget). 0 disables.
+     */
+    uint64_t cycleBudget = 0;
+
+    /**
+     * Forward-progress watchdog: maximum cycles the clock may advance
+     * across one retired instruction. A single in-order commit is
+     * bounded by the memory round-trip plus queueing (hundreds of
+     * cycles), so a gap this large means the timing model itself lost
+     * forward progress; raises SimError(Hang). 0 disables.
+     */
+    uint64_t progressWindow = 1'000'000;
+
+    /**
+     * Optional lockstep differential oracle: every committed store
+     * (and the final architectural registers at HALT) is checked
+     * against a golden functional run; the first mismatch raises
+     * SimError(Divergence). See uarch/lockstep.hh.
+     */
+    LockstepChecker *lockstep = nullptr;
 
     /**
      * Pre-recorded original-branch outcomes for each dynamic PREDICT,

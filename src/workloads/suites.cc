@@ -144,7 +144,7 @@ findBenchmark(const std::string &name)
             if (name == spec.name)
                 return spec;
     }
-    vg_fatal("unknown benchmark '%s'", name.c_str());
+    vg_throw(Config, "unknown benchmark '%s'", name.c_str());
 }
 
 } // namespace vanguard
