@@ -33,9 +33,17 @@
  *                          jobs before exiting 3
  *     --replay FILE        re-execute a failure bundle solo (under
  *                          lockstep) and report whether it reproduced
+ *     --checkpoint-dir DIR with --all-refs: journal every completed
+ *                          job (crash-safe ledger + TRAIN profiles)
+ *     --resume             continue a checkpointed sweep: replay
+ *                          journaled jobs, run only the missing ones
+ *     --inject SPEC        arm the deterministic fault injector,
+ *                          e.g. "io:0.01,hang:0.005,seed=7"
+ *     --help               print usage and exit 0
  *
  * Exit codes: 0 success, 1 simulator error, 2 usage,
- * 3 sweep failures exceeded --fail-threshold.
+ * 3 sweep failures exceeded --fail-threshold, 4 sweep interrupted by
+ * SIGINT/SIGTERM (checkpointed work is resumable with --resume).
  */
 
 #include <cstdio>
@@ -53,6 +61,8 @@
 #include "core/runner.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
+#include "support/fault_inject.hh"
+#include "support/shutdown.hh"
 #include "support/stats.hh"
 #include "uarch/trace.hh"
 #include "workloads/suites.hh"
@@ -93,19 +103,48 @@ dumpStats(const char *label, const SimStats &s)
     std::printf("%s", set.dump(std::string(label) + ".").c_str());
 }
 
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: vanguard_cli [--benchmark NAME] [--list] "
+        "[--width N] [--predictor NAME] [--iterations N] "
+        "[--seed N] [--all-refs] [--jobs N] "
+        "[--no-decompose] [--no-superblock] "
+        "[--no-shadow-commit] [--dbb N] [--threshold P] "
+        "[--save-profile F] [--load-profile F] "
+        "[--dump-ir] [--dump-asm] [--timeline] [--stats] "
+        "[--lockstep] [--cycle-budget N] [--replay-dir D] "
+        "[--fail-threshold N] [--replay FILE] "
+        "[--checkpoint-dir D] [--resume] [--inject SPEC] [--help]\n"
+        "\n"
+        "crash safety (with --all-refs):\n"
+        "  --checkpoint-dir D  journal every completed job into "
+        "D/journal.vgj\n"
+        "  --resume            continue D's journal: replay completed "
+        "jobs,\n"
+        "                      re-run only missing/corrupt ones "
+        "(bit-identical)\n"
+        "  --inject SPEC       deterministic fault injector, e.g.\n"
+        "                      \"io:0.01,hang:0.005,fault:0.002,"
+        "seed=7\"\n"
+        "                      (also via VANGUARD_FAULT_PLAN)\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  simulator error (SimError: config, fault, hang, "
+        "divergence, io, ...)\n"
+        "  2  usage error (unknown flag or missing argument)\n"
+        "  3  sweep job failures exceeded --fail-threshold\n"
+        "  4  sweep interrupted by SIGINT/SIGTERM; checkpointed work "
+        "is\n"
+        "     resumable with --resume\n");
+}
+
 [[noreturn]] void
 usageAndExit()
 {
-    std::fprintf(stderr,
-                 "usage: vanguard_cli [--benchmark NAME] [--list] "
-                 "[--width N] [--predictor NAME] [--iterations N] "
-                 "[--seed N] [--all-refs] [--jobs N] "
-                 "[--no-decompose] [--no-superblock] "
-                 "[--no-shadow-commit] [--dbb N] [--threshold P] "
-                 "[--save-profile F] [--load-profile F] "
-                 "[--dump-ir] [--dump-asm] [--timeline] [--stats] "
-                 "[--lockstep] [--cycle-budget N] [--replay-dir D] "
-                 "[--fail-threshold N] [--replay FILE]\n");
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -178,16 +217,25 @@ runCli(int argc, char **argv)
     unsigned jobs = 0;
     std::string save_profile, load_profile;
     std::string replay_path, replay_dir;
+    std::string checkpoint_dir, inject_spec;
+    bool resume = false;
     size_t fail_threshold = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "vanguard_cli: %s needs an argument\n",
+                             arg.c_str());
                 usageAndExit();
+            }
             return argv[++i];
         };
-        if (arg == "--benchmark") {
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (arg == "--benchmark") {
             benchmark = next();
         } else if (arg == "--list") {
             for (const auto &suite :
@@ -233,6 +281,12 @@ runCli(int argc, char **argv)
             fail_threshold = strtoull(next(), nullptr, 10);
         } else if (arg == "--replay") {
             replay_path = next();
+        } else if (arg == "--checkpoint-dir") {
+            checkpoint_dir = next();
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--inject") {
+            inject_spec = next();
         } else if (arg == "--dump-ir") {
             dump_ir = true;
         } else if (arg == "--dump-asm") {
@@ -242,9 +296,29 @@ runCli(int argc, char **argv)
         } else if (arg == "--stats") {
             stats = true;
         } else {
+            std::fprintf(stderr, "vanguard_cli: unknown flag '%s'\n",
+                         arg.c_str());
             usageAndExit();
         }
     }
+
+    if (resume && checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --resume needs --checkpoint-dir\n");
+        usageAndExit();
+    }
+    if (!checkpoint_dir.empty() && !all_refs) {
+        std::fprintf(stderr, "vanguard_cli: --checkpoint-dir only "
+                             "applies to --all-refs sweeps\n");
+        usageAndExit();
+    }
+
+    // Deterministic fault injection: an explicit --inject wins over
+    // the VANGUARD_FAULT_PLAN environment variable.
+    if (!inject_spec.empty())
+        faultinject::arm(parseFaultPlan(inject_spec));
+    else
+        faultinject::maybeArmFromEnv();
 
     if (!replay_path.empty())
         return runReplay(replay_path, /*lockstep=*/true);
@@ -261,8 +335,38 @@ runCli(int argc, char **argv)
         RunnerOptions ropts;
         ropts.jobs = jobs;
         ropts.replayDir = replay_dir;
+        ropts.checkpointDir = checkpoint_dir;
+        ropts.resume = resume;
+
+        // Graceful shutdown: SIGINT/SIGTERM drain the pool instead of
+        // killing the process mid-write; in-flight jobs finish and
+        // checkpoint, and we exit 4 with a --resume hint.
+        installShutdownHandlers();
+
         SuiteReport report =
             runSuiteWidthsReport({spec}, {opts.width}, opts, ropts);
+        if (report.replayedJobs != 0) {
+            std::fprintf(stderr,
+                         "resumed: %zu of %zu jobs replayed from "
+                         "the journal\n",
+                         report.replayedJobs, report.totalJobs);
+        }
+        if (report.interrupted) {
+            std::fprintf(stderr,
+                         "sweep interrupted by signal %d; ",
+                         shutdownSignal());
+            if (!checkpoint_dir.empty()) {
+                std::fprintf(stderr,
+                             "completed jobs are journaled in %s — "
+                             "re-run with --resume to continue\n",
+                             checkpoint_dir.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "re-run with --checkpoint-dir to make "
+                             "sweeps resumable\n");
+            }
+            return 4;
+        }
         const SeedSummary &row = report.results[0].rows[0];
         for (size_t s = 0; s < row.perSeed.size(); ++s) {
             const BenchmarkOutcome &o = row.perSeed[s];
@@ -305,10 +409,8 @@ runCli(int argc, char **argv)
                          parsed.error.c_str());
             return 1;
         }
-        train.profile = std::move(parsed.profile);
-        BuiltKernel shape = buildKernel(spec, kTrainSeed);
-        train.selected =
-            selectBranches(shape.fn, train.profile, opts.selection);
+        train = trainFromProfile(spec, std::move(parsed.profile),
+                                 opts);
         std::printf("loaded profile from %s\n", load_profile.c_str());
     } else {
         train = trainBenchmark(spec, opts);

@@ -54,6 +54,18 @@ renderSpeedupFigure(const std::string &title,
                  title.c_str(), suite.size(), widths.size(),
                  kNumRefSeeds, ThreadPool::resolveWorkerCount());
     SuiteReport report = runSuiteWidthsReport(suite, widths, base, ropts);
+    if (report.interrupted) {
+        // Nothing was assembled; rendering rows would index into an
+        // empty results vector. The journal (if any) holds what
+        // completed; the caller decides how to surface the interrupt.
+        std::fprintf(stderr,
+                     "[%s] sweep interrupted before completion "
+                     "(%zu failures recorded)\n",
+                     title.c_str(), report.failures.size());
+        if (failures_out != nullptr)
+            *failures_out = std::move(report.failures);
+        return title + "\n(interrupted before completion)\n";
+    }
     const std::vector<SuiteResult> &per_width = report.results;
 
     for (size_t b = 0; b < suite.size(); ++b) {

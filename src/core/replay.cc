@@ -6,11 +6,14 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "support/versioned_format.hh"
 #include "workloads/suites.hh"
 
 namespace vanguard {
 
 namespace {
+
+constexpr unsigned kReplayVersion = 1;
 
 std::string
 hexU64(uint64_t v)
@@ -23,17 +26,9 @@ hexU64(uint64_t v)
 } // namespace
 
 std::string
-serializeReplayBundle(const ReplayBundle &b)
+serializeOptionsLines(const VanguardOptions &o)
 {
     std::ostringstream os;
-    const VanguardOptions &o = b.options;
-    os << "vanguard-replay v1\n";
-    os << "benchmark " << b.benchmark << "\n";
-    os << "phase " << b.phase << "\n";
-    os << "width " << b.width << "\n";
-    os << "config " << (b.config == 0 ? "base" : "exp") << "\n";
-    os << "seed " << hexU64(b.seed) << "\n";
-    os << "iterations " << b.iterations << "\n";
     os << "opt predictor " << o.predictor << "\n";
     os << "opt superblock " << (o.applySuperblock ? 1 : 0) << "\n";
     os << "opt decompose " << (o.applyDecomposition ? 1 : 0) << "\n";
@@ -57,6 +52,21 @@ serializeReplayBundle(const ReplayBundle &b)
     os << "opt sim-max-insts " << o.simMaxInsts << "\n";
     os << "opt cycle-budget " << o.simCycleBudget << "\n";
     os << "opt progress-window " << o.simProgressWindow << "\n";
+    return os.str();
+}
+
+std::string
+serializeReplayBundle(const ReplayBundle &b)
+{
+    std::ostringstream os;
+    os << "vanguard-replay v" << kReplayVersion << "\n";
+    os << "benchmark " << b.benchmark << "\n";
+    os << "phase " << b.phase << "\n";
+    os << "width " << b.width << "\n";
+    os << "config " << (b.config == 0 ? "base" : "exp") << "\n";
+    os << "seed " << hexU64(b.seed) << "\n";
+    os << "iterations " << b.iterations << "\n";
+    os << serializeOptionsLines(b.options);
     os << "error-kind " << b.errorKind << "\n";
     os << "error-msg " << b.errorMessage << "\n";
     return os.str();
@@ -80,7 +90,12 @@ parseReplayBundle(const std::string &text)
         if (line.empty() || line[0] == '#')
             continue;
         if (!saw_header) {
-            if (line != "vanguard-replay v1")
+            // Versioned header: an unknown/future "vanguard-replay
+            // vN" raises SimError(Io) naming the version (shared
+            // policy with the journal format); a line that is not a
+            // replay header at all is an ordinary parse failure.
+            if (!parseVersionedHeader(line, "vanguard-replay",
+                                      kReplayVersion, nullptr))
                 return fail("missing 'vanguard-replay v1' header");
             saw_header = true;
             continue;

@@ -54,6 +54,13 @@ struct ReplayBundle
 
 std::string serializeReplayBundle(const ReplayBundle &bundle);
 
+/**
+ * The `opt <name> <value>` lines shared by the replay-bundle format
+ * and the journal's canonical sweep-spec string — the one place the
+ * full VanguardOptions vector is spelled out as text.
+ */
+std::string serializeOptionsLines(const VanguardOptions &opts);
+
 struct ReplayParseResult
 {
     ReplayBundle bundle;

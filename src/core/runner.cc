@@ -1,15 +1,25 @@
 #include "core/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
 
+#include "core/journal.hh"
 #include "core/replay.hh"
+#include "profile/profile_io.hh"
+#include "support/atomic_file.hh"
+#include "support/checksum.hh"
+#include "support/fault_inject.hh"
 #include "support/logging.hh"
 #include "support/progress.hh"
+#include "support/shutdown.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 
@@ -26,6 +36,21 @@ hexU64(uint64_t v)
 }
 
 /**
+ * Deterministic fault-injection scope key for one job attempt: a pure
+ * function of (phase, job index, attempt), never of thread identity
+ * or scheduling, so an armed injector reproduces the same faults at
+ * any worker count.
+ */
+uint64_t
+jobScopeKey(const JobIdentity &id, unsigned attempt)
+{
+    uint64_t h = fnv1a64(id.phase, std::strlen(id.phase));
+    h = (h ^ (id.index + 1)) * 0x100000001b3ull;
+    h = (h ^ attempt) * 0x100000001b3ull;
+    return h;
+}
+
+/**
  * Run one job body under fault isolation: any exception becomes a
  * JobFailure instead of escaping to the pool. Transient kinds retry
  * up to ropts.maxAttempts total tries — deterministically, because
@@ -38,6 +63,8 @@ runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
     unsigned max_attempts = std::max(1u, ropts.maxAttempts);
     for (unsigned attempt = 1;; ++attempt) {
         try {
+            faultinject::Scope attempt_scope(jobScopeKey(id, attempt));
+            faultinject::site("job.attempt", SimError::Kind::Io);
             if (ropts.faultInjection)
                 ropts.faultInjection(id);
             body();
@@ -99,12 +126,13 @@ writeBundle(JobFailure &f, const BenchmarkSpec &spec,
         name += "-s" + hexU64(f.id.seed);
     std::string path = ropts.replayDir + "/" + name + ".vgr";
 
-    std::ofstream out(path);
-    if (!out) {
-        vg_warn("cannot write replay bundle %s", path.c_str());
+    try {
+        writeFileAtomic(path, serializeReplayBundle(b));
+    } catch (const SimError &e) {
+        vg_warn("cannot write replay bundle %s: %s", path.c_str(),
+                e.detail().c_str());
         return;
     }
-    out << serializeReplayBundle(b);
     f.bundlePath = path;
 }
 
@@ -117,6 +145,124 @@ collectPhase(std::vector<std::optional<JobFailure>> &slots,
         if (slot.has_value())
             report.failures.push_back(std::move(*slot));
     }
+}
+
+/**
+ * Per-sweep checkpoint state: the journal writer plus, on resume, the
+ * prior journal's contents. Lives behind a unique_ptr; null when
+ * RunnerOptions::checkpointDir is empty.
+ */
+struct Checkpoint
+{
+    std::string dir;
+    JournalContents prior;  ///< empty maps on a fresh sweep
+    JournalWriter writer;
+    std::atomic<size_t> replayed{0};
+
+    std::string
+    trainProfilePath(const std::string &benchmark) const
+    {
+        return dir + "/train-" + benchmark + ".vgp";
+    }
+
+    void
+    countReplay()
+    {
+        replayed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Best-effort durable append: an Io failure (disk full, injected
+     *  fault) only means this record re-runs on resume — it must
+     *  never fail the sweep itself. */
+    void
+    append(const JournalRecord &rec)
+    {
+        try {
+            writer.append(rec);
+        } catch (const SimError &e) {
+            vg_warn("journal append failed (%s); %c %zu is not "
+                    "durable and will re-run on resume",
+                    e.detail().c_str(), rec.phase, rec.index);
+        }
+    }
+};
+
+JobFailure
+failureFromRecord(const JobIdentity &id, const JournalRecord &rec)
+{
+    JobFailure f;
+    f.id = id;
+    f.kind = rec.kind;
+    f.message = rec.message;
+    f.attempts = rec.attempts;
+    f.bundlePath = rec.bundlePath;
+    return f;
+}
+
+JournalRecord
+recordFromFailure(char phase, size_t index, const JobFailure &f)
+{
+    JournalRecord rec;
+    rec.phase = phase;
+    rec.index = index;
+    rec.ok = false;
+    rec.kind = f.kind;
+    rec.attempts = f.attempts;
+    rec.message = f.message;
+    rec.bundlePath = f.bundlePath;
+    return rec;
+}
+
+/**
+ * Build the checkpoint state for this sweep, or null when journaling
+ * is off. Fresh sweeps write a new journal header (warning if one is
+ * being overwritten); resume validates the existing journal's spec
+ * fingerprint and refuses with SimError(Config) when the journal is
+ * missing, headerless, or belongs to a different sweep.
+ */
+std::unique_ptr<Checkpoint>
+openCheckpoint(const RunnerOptions &ropts,
+               const std::vector<BenchmarkSpec> &suite,
+               const std::vector<unsigned> &widths,
+               const VanguardOptions &base, size_t total_jobs)
+{
+    if (ropts.checkpointDir.empty())
+        return nullptr;
+    auto ckpt = std::make_unique<Checkpoint>();
+    ckpt->dir = ropts.checkpointDir;
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt->dir, ec);
+    if (ec) {
+        vg_throw(Io, "cannot create checkpoint dir %s: %s",
+                 ckpt->dir.c_str(), ec.message().c_str());
+    }
+    std::string path = ckpt->dir + "/journal.vgj";
+    std::string hash = sweepSpecHash(suite, widths, base);
+    if (ropts.resume) {
+        JournalContents prior = loadJournalFile(path);
+        if (!prior.ok) {
+            vg_throw(Config, "cannot resume from %s: %s",
+                     path.c_str(), prior.error.c_str());
+        }
+        if (prior.specHash != hash) {
+            vg_throw(Config,
+                     "journal %s was written by a different sweep "
+                     "(spec %s, this sweep is %s); refusing to mix "
+                     "checkpoints across sweeps",
+                     path.c_str(), prior.specHash.c_str(),
+                     hash.c_str());
+        }
+        ckpt->prior = std::move(prior);
+        ckpt->writer.openAppend(path);
+    } else {
+        if (std::filesystem::exists(path, ec)) {
+            vg_warn("overwriting existing journal %s "
+                    "(pass --resume to continue it instead)",
+                    path.c_str());
+        }
+        ckpt->writer.create(path, hash, total_jobs);
+    }
+    return ckpt;
 }
 
 } // namespace
@@ -158,9 +304,24 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     SuiteReport report;
     report.totalJobs = B + B * W + B * W * S * 2;
 
-    ThreadPool pool(ropts.jobs);
+    std::unique_ptr<Checkpoint> ckpt =
+        openCheckpoint(ropts, suite, widths, base, report.totalJobs);
+    auto stampReplayed = [&report, &ckpt] {
+        if (ckpt != nullptr)
+            report.replayedJobs =
+                ckpt->replayed.load(std::memory_order_relaxed);
+    };
 
-    // Phase 1: train each benchmark once (width-independent).
+    // Graceful drain: once a shutdown is requested, queued jobs are
+    // discarded (leaving no result and no journal record — exactly
+    // "incomplete, re-run on --resume") while in-flight jobs finish
+    // and checkpoint normally.
+    ThreadPool pool(ropts.jobs, [] { return shutdownRequested(); });
+
+    // Phase 1: train each benchmark once (width-independent). With a
+    // journal, a completed slot replays: failures rematerialize, ok
+    // records reload the checkpointed TRAIN profile (falling back to
+    // retraining — and re-journaling — if the profile file rotted).
     std::vector<TrainArtifacts> trains(B);
     std::vector<std::optional<JobFailure>> train_fail(B);
     pool.parallelFor(B, [&](size_t b) {
@@ -168,16 +329,71 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         id.phase = "train";
         id.benchmark = suite[b].name;
         id.index = b;
+        faultinject::Scope job_scope(jobScopeKey(id, 0));
+        if (ckpt != nullptr) {
+            auto it = ckpt->prior.train.find(b);
+            if (it != ckpt->prior.train.end()) {
+                if (!it->second.ok) {
+                    train_fail[b] = failureFromRecord(id, it->second);
+                    ckpt->countReplay();
+                    return;
+                }
+                std::string path =
+                    ckpt->trainProfilePath(suite[b].name);
+                std::ifstream in(path);
+                std::stringstream buf;
+                if (in)
+                    buf << in.rdbuf();
+                ProfileParseResult parsed =
+                    deserializeProfile(buf.str());
+                if (in && parsed.ok) {
+                    trains[b] = trainFromProfile(
+                        suite[b], std::move(parsed.profile), base);
+                    ckpt->countReplay();
+                    return;
+                }
+                vg_warn("checkpointed profile %s is unreadable; "
+                        "retraining %s", path.c_str(),
+                        suite[b].name);
+            }
+        }
         train_fail[b] = runGuarded(id, ropts, [&] {
             trains[b] = trainBenchmark(suite[b], base);
         });
         if (train_fail[b].has_value())
             writeBundle(*train_fail[b], suite[b], base, ropts);
+        if (ckpt == nullptr)
+            return;
+        if (train_fail[b].has_value()) {
+            ckpt->append(recordFromFailure('T', b, *train_fail[b]));
+        } else {
+            try {
+                writeFileAtomic(ckpt->trainProfilePath(suite[b].name),
+                                serializeProfile(trains[b].profile));
+            } catch (const SimError &e) {
+                vg_warn("cannot checkpoint TRAIN profile for %s "
+                        "(%s); resume will retrain",
+                        suite[b].name, e.detail().c_str());
+            }
+            JournalRecord rec;
+            rec.phase = 'T';
+            rec.index = b;
+            rec.ok = true;
+            ckpt->append(rec);
+        }
     });
     collectPhase(train_fail, report);
+    if (shutdownRequested()) {
+        report.interrupted = true;
+        stampReplayed();
+        return report;
+    }
 
     // Phase 2: compile each (benchmark, width) pair once. Compiles of
     // a failed train are skipped: the root cause is already recorded.
+    // Journal records here are completion markers — artifacts must
+    // exist in memory anyway, so a marked slot recompiles (pure and
+    // cheap) without re-recording.
     std::vector<BenchmarkArtifacts> arts(B * W);
     std::vector<std::optional<JobFailure>> compile_fail(B * W);
     pool.parallelFor(B * W, [&](size_t i) {
@@ -190,13 +406,45 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         id.benchmark = suite[b].name;
         id.width = widths[w];
         id.index = i;
+        faultinject::Scope job_scope(jobScopeKey(id, 0));
+        bool journaled = false;
+        if (ckpt != nullptr) {
+            auto it = ckpt->prior.compile.find(i);
+            if (it != ckpt->prior.compile.end()) {
+                if (!it->second.ok) {
+                    compile_fail[i] =
+                        failureFromRecord(id, it->second);
+                    ckpt->countReplay();
+                    return;
+                }
+                journaled = true;
+                ckpt->countReplay();
+            }
+        }
         compile_fail[i] = runGuarded(id, ropts, [&] {
             arts[i] = compileBenchmark(suite[b], trains[b], wopts[w]);
         });
         if (compile_fail[i].has_value())
             writeBundle(*compile_fail[i], suite[b], wopts[w], ropts);
+        if (ckpt == nullptr || journaled)
+            return;
+        if (compile_fail[i].has_value()) {
+            ckpt->append(
+                recordFromFailure('C', i, *compile_fail[i]));
+        } else {
+            JournalRecord rec;
+            rec.phase = 'C';
+            rec.index = i;
+            rec.ok = true;
+            ckpt->append(rec);
+        }
     });
     collectPhase(compile_fail, report);
+    if (shutdownRequested()) {
+        report.interrupted = true;
+        stampReplayed();
+        return report;
+    }
 
     // Phase 3: one job per (benchmark, width, config, seed). Slot
     // layout: ((b*W + w)*S + s)*2 + cfg with cfg 0 = baseline
@@ -226,6 +474,21 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         id.config = static_cast<int>(cfg);
         id.seed = kRefSeeds[s];
         id.index = i;
+        faultinject::Scope job_scope(jobScopeKey(id, 0));
+        if (ckpt != nullptr) {
+            auto it = ckpt->prior.sim.find(i);
+            if (it != ckpt->prior.sim.end()) {
+                ckpt->countReplay();
+                if (!it->second.ok) {
+                    sim_fail[i] = failureFromRecord(id, it->second);
+                    progress.jobFailed();
+                } else {
+                    sims[i] = it->second.stats;
+                    progress.jobDone();
+                }
+                return;
+            }
+        }
         sim_fail[i] = runGuarded(id, ropts, [&] {
             sims[i] = cfg == 0
                 ? simulateConfig(spec, art.base, opts, kRefSeeds[s],
@@ -238,8 +501,26 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         } else {
             progress.jobDone();
         }
+        if (ckpt != nullptr) {
+            if (sim_fail[i].has_value()) {
+                ckpt->append(
+                    recordFromFailure('S', i, *sim_fail[i]));
+            } else {
+                JournalRecord rec;
+                rec.phase = 'S';
+                rec.index = i;
+                rec.ok = true;
+                rec.stats = sims[i];
+                ckpt->append(rec);
+            }
+        }
     });
     collectPhase(sim_fail, report);
+    if (shutdownRequested()) {
+        report.interrupted = true;
+        stampReplayed();
+        return report;
+    }
 
     // Phase 4: deterministic assembly in index order. A seed whose
     // baseline or experimental simulation failed is dropped from the
@@ -303,6 +584,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         report.results[w].geomeanBestPct =
             bests.empty() ? 0.0 : geomeanPct(bests);
     }
+    stampReplayed();
     return report;
 }
 
@@ -313,6 +595,11 @@ runSuiteWidths(const std::vector<BenchmarkSpec> &suite,
 {
     SuiteReport report =
         runSuiteWidthsReport(suite, widths, base, ropts);
+    if (report.interrupted) {
+        throw SimError(SimError::Kind::Internal,
+                       "sweep interrupted by shutdown request "
+                       "before completion");
+    }
     if (!report.failures.empty()) {
         const JobFailure &f = report.failures.front();
         std::string why = f.message;

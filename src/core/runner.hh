@@ -37,6 +37,19 @@
  * bit-identical to the same slot of a clean run. Progress lines go to
  * stderr through a mutex-guarded, rate-limited reporter and are the
  * only nondeterministic output.
+ *
+ * Crash safety: with RunnerOptions::checkpointDir set, every
+ * completed job appends a checksummed record to a `vanguard-journal
+ * v1` ledger (core/journal.hh) — simulate records carry the full
+ * SimStats, train records pair with an atomically-written profile
+ * checkpoint, failures record their JobFailure. A later run with
+ * `resume = true` validates the journal against the sweep spec and
+ * replays completed slots without re-executing them, re-running only
+ * missing/corrupt entries; because jobs are pure, the resumed report
+ * is bit-identical to an uninterrupted run. Graceful shutdown
+ * (support/shutdown.hh; SIGINT/SIGTERM in the CLI) drains the pool —
+ * queued jobs are discarded, in-flight jobs finish and checkpoint —
+ * and the report comes back with `interrupted` set.
  */
 
 #ifndef VANGUARD_CORE_RUNNER_HH
@@ -98,6 +111,19 @@ struct RunnerOptions
     std::string replayDir;
 
     /**
+     * Directory for the crash-safety journal and TRAIN-profile
+     * checkpoints ("" disables journaling). Created if missing.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Resume from checkpointDir's journal: validate its spec
+     * fingerprint against this sweep (SimError(Config) on mismatch),
+     * replay completed slots, re-run only missing/corrupt ones.
+     */
+    bool resume = false;
+
+    /**
      * Test-only fault injection: invoked at the top of every job
      * attempt with the job's identity; throwing from it fails the
      * attempt exactly as if the job body threw.
@@ -115,6 +141,16 @@ struct SuiteReport
     std::vector<JobFailure> failures;
 
     size_t totalJobs = 0;
+
+    /** Jobs satisfied from the journal instead of re-executed. */
+    size_t replayedJobs = 0;
+
+    /**
+     * A shutdown request drained the sweep before it finished;
+     * `results` is empty (nothing was assembled) and, when
+     * journaling, completed jobs are checkpointed for --resume.
+     */
+    bool interrupted = false;
 
     bool
     exceededThreshold(size_t threshold) const

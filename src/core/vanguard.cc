@@ -41,6 +41,18 @@ trainBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts)
     return out;
 }
 
+TrainArtifacts
+trainFromProfile(const BenchmarkSpec &spec, BranchProfile profile,
+                 const VanguardOptions &opts)
+{
+    TrainArtifacts out;
+    out.profile = std::move(profile);
+    BuiltKernel shape = buildKernel(spec, kTrainSeed);
+    out.selected =
+        selectBranches(shape.fn, out.profile, opts.selection);
+    return out;
+}
+
 CompiledConfig
 compileConfig(const BenchmarkSpec &spec, const TrainArtifacts &train,
               bool decomposed, const VanguardOptions &opts,

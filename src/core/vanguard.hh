@@ -108,6 +108,17 @@ TrainArtifacts trainBenchmark(const BenchmarkSpec &spec,
                               const VanguardOptions &opts);
 
 /**
+ * Reconstruct TrainArtifacts from an existing profile (a saved PGO
+ * artifact or a checkpointed TRAIN result) instead of re-profiling.
+ * Branch selection is a pure function of (kernel shape, profile,
+ * selection options), so the result is bit-identical to the
+ * trainBenchmark call that produced the profile.
+ */
+TrainArtifacts trainFromProfile(const BenchmarkSpec &spec,
+                                BranchProfile profile,
+                                const VanguardOptions &opts);
+
+/**
  * Everything that is computed once per (benchmark, width) and shared
  * read-only across all REF-seed simulations: the TRAIN profile and
  * selection, both compiled configurations, and the static-shape

@@ -1,5 +1,6 @@
 #include "exec/interpreter.hh"
 
+#include "support/fault_inject.hh"
 #include "support/logging.hh"
 
 namespace vanguard {
@@ -56,6 +57,13 @@ Interpreter::run(uint64_t max_insts)
         ++result.dynamicInsts;
         if (inst_hook_)
             inst_hook_(inst, bb);
+
+        // Deterministic fault-injection site, gated to one draw per
+        // 4096 insts so an armed injector barely perturbs profiling.
+        if (faultinject::armed() &&
+            (result.dynamicInsts & 4095) == 0) {
+            faultinject::site("interp.step", SimError::Kind::Hang);
+        }
 
         // Control flow is handled directly; data ops via evaluate().
         switch (inst.op) {

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Crash-safe whole-file writes: write-temp + fsync + rename.
+ *
+ * writeFileAtomic() guarantees that readers (including a resumed
+ * process after a crash) see either the complete old contents or the
+ * complete new contents, never a torn file: the bytes go to a
+ * temporary sibling, are fsync'd to stable storage, and only then
+ * rename()d over the destination (atomic within a filesystem per
+ * POSIX). The containing directory is fsync'd afterwards so the
+ * rename itself survives power loss. Used for journal headers,
+ * checkpointed TRAIN profiles, and replay bundles — everything the
+ * checkpoint/resume layer must be able to trust after a SIGKILL.
+ */
+
+#ifndef VANGUARD_SUPPORT_ATOMIC_FILE_HH
+#define VANGUARD_SUPPORT_ATOMIC_FILE_HH
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.hh"
+#include "support/fault_inject.hh"
+
+namespace vanguard {
+
+namespace detail {
+
+inline void
+fsyncDirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+        ? std::string(".")
+        : path.substr(0, slash == 0 ? 1 : slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort: some filesystems reject dir fsync
+        ::close(dfd);
+    }
+}
+
+} // namespace detail
+
+/**
+ * Atomically replace `path` with `content`. Throws SimError(Io) on
+ * any failure; on failure the destination is untouched (the temp
+ * file, if created, is unlinked).
+ */
+inline void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    faultinject::site("atomic-file.write", SimError::Kind::Io);
+
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        throw SimError(SimError::Kind::Io,
+                       "cannot create '" + tmp +
+                           "': " + std::strerror(errno));
+    }
+
+    auto fail = [&](const char *what) {
+        int saved = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw SimError(SimError::Kind::Io,
+                       std::string(what) + " '" + tmp +
+                           "': " + std::strerror(saved));
+    };
+
+    size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fail("cannot write");
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0)
+        fail("cannot fsync");
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw SimError(SimError::Kind::Io,
+                       "cannot close '" + tmp +
+                           "': " + std::strerror(errno));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int saved = errno;
+        ::unlink(tmp.c_str());
+        throw SimError(SimError::Kind::Io,
+                       "cannot rename '" + tmp + "' to '" + path +
+                           "': " + std::strerror(saved));
+    }
+    detail::fsyncDirOf(path);
+}
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_ATOMIC_FILE_HH

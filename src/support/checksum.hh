@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small checksums for the on-disk text formats.
+ *
+ * crc32() guards individual journal records against torn writes and
+ * bit rot (a record whose CRC does not match is treated as absent and
+ * its job re-runs); fnv1a64() hashes the canonical sweep-spec string
+ * so a journal can refuse to resume under a different sweep. Both are
+ * tiny, dependency-free, and stable across platforms — the values are
+ * part of the `vanguard-journal v1` format.
+ */
+
+#ifndef VANGUARD_SUPPORT_CHECKSUM_HH
+#define VANGUARD_SUPPORT_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vanguard {
+
+/** CRC-32 (IEEE 802.3 polynomial, bit-reflected), no table. */
+inline uint32_t
+crc32(const char *data, size_t len)
+{
+    uint32_t crc = 0xffffffffu;
+    for (size_t i = 0; i < len; ++i) {
+        crc ^= static_cast<unsigned char>(data[i]);
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+    return crc ^ 0xffffffffu;
+}
+
+inline uint32_t
+crc32(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+/** FNV-1a 64-bit hash (spec fingerprints, fault-site keys). */
+inline uint64_t
+fnv1a64(const char *data, size_t len)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+inline uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_CHECKSUM_HH

@@ -1,0 +1,185 @@
+#include "support/fault_inject.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/checksum.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** The one plan; written only by arm()/disarm() while quiescent. */
+FaultPlan g_plan;
+
+std::atomic<uint64_t> g_injected[FaultPlan::kNumKinds] = {};
+
+thread_local uint64_t tl_scope_key = 0;
+thread_local uint64_t tl_draw_count = 0;
+
+/** splitmix64 finalizer: full-avalanche mixing of the draw inputs. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+SimError::Kind
+kindFromLower(const std::string &name)
+{
+    for (size_t k = 0; k < FaultPlan::kNumKinds; ++k) {
+        std::string lower =
+            SimError::kindName(static_cast<SimError::Kind>(k));
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        if (name == lower)
+            return static_cast<SimError::Kind>(k);
+    }
+    throw SimError(SimError::Kind::Config,
+                   "unknown fault kind '" + name +
+                       "' in fault plan (expected config|invariant|"
+                       "fault|hang|divergence|io|internal)");
+}
+
+} // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &spec_in)
+{
+    std::string spec = spec_in;
+    if (spec.rfind("faults=", 0) == 0)
+        spec = spec.substr(7);
+
+    FaultPlan plan;
+    bool any_token = false;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty())
+            continue;
+        any_token = true;
+
+        size_t sep = tok.find_first_of(":=");
+        if (sep == std::string::npos) {
+            throw SimError(SimError::Kind::Config,
+                           "bad fault-plan token '" + tok +
+                               "' (expected kind:rate or seed=N)");
+        }
+        std::string key = tok.substr(0, sep);
+        std::string val = tok.substr(sep + 1);
+        if (key == "seed") {
+            char *end = nullptr;
+            plan.seed = std::strtoull(val.c_str(), &end, 0);
+            if (end == nullptr || *end != '\0') {
+                throw SimError(SimError::Kind::Config,
+                               "bad fault-plan seed '" + val + "'");
+            }
+            continue;
+        }
+        char *end = nullptr;
+        double rate = std::strtod(val.c_str(), &end);
+        if (end == nullptr || *end != '\0' || rate < 0.0 ||
+            rate > 1.0) {
+            throw SimError(SimError::Kind::Config,
+                           "bad fault rate '" + val + "' for '" + key +
+                               "' (expected a number in [0, 1])");
+        }
+        plan.rateFor(kindFromLower(key)) = rate;
+    }
+    if (!any_token) {
+        throw SimError(SimError::Kind::Config,
+                       "empty fault plan '" + spec_in + "'");
+    }
+    return plan;
+}
+
+namespace faultinject {
+
+void
+arm(const FaultPlan &plan)
+{
+    g_plan = plan;
+    for (auto &c : g_injected)
+        c.store(0, std::memory_order_relaxed);
+    detail::g_armed.store(true, std::memory_order_seq_cst);
+}
+
+void
+disarm()
+{
+    detail::g_armed.store(false, std::memory_order_seq_cst);
+}
+
+uint64_t
+injectedCount(SimError::Kind kind)
+{
+    return g_injected[static_cast<size_t>(kind)].load(
+        std::memory_order_relaxed);
+}
+
+bool
+maybeArmFromEnv()
+{
+    const char *env = std::getenv("VANGUARD_FAULT_PLAN");
+    if (env == nullptr || *env == '\0')
+        return false;
+    arm(parseFaultPlan(env));
+    return true;
+}
+
+Scope::Scope(uint64_t key)
+    : prev_key_(tl_scope_key), prev_count_(tl_draw_count)
+{
+    tl_scope_key = key;
+    tl_draw_count = 0;
+}
+
+Scope::~Scope()
+{
+    tl_scope_key = prev_key_;
+    tl_draw_count = prev_count_;
+}
+
+void
+detail::fire(const char *site_name, SimError::Kind kind)
+{
+    double rate = g_plan.rateFor(kind);
+    if (rate <= 0.0)
+        return;
+    uint64_t draw = tl_draw_count++;
+    uint64_t x = mix64(g_plan.seed ^
+                       mix64(fnv1a64(site_name,
+                                     std::strlen(site_name)) ^
+                             mix64(tl_scope_key)) ^
+                       mix64(draw));
+    // 53-bit uniform in [0, 1).
+    double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    if (u >= rate)
+        return;
+    g_injected[static_cast<size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    throw SimError(kind,
+                   std::string("injected ") + SimError::kindName(kind) +
+                       " at site '" + site_name + "' (scope 0x" +
+                       [&] {
+                           char buf[24];
+                           std::snprintf(buf, sizeof(buf), "%llx",
+                                         static_cast<unsigned long long>(
+                                             tl_scope_key));
+                           return std::string(buf);
+                       }() +
+                       ", draw " + std::to_string(draw) + ")");
+}
+
+} // namespace faultinject
+
+} // namespace vanguard

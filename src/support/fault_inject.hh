@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic, site-keyed fault injection.
+ *
+ * Production experiment engines prove their recovery logic (retry,
+ * isolation, journaling, resume) by injecting faults on purpose. This
+ * injector is seeded and *reproducible*: whether a given site call
+ * fires depends only on (plan seed, scope key, site name, draw index
+ * within the scope) — never on thread scheduling — so a "fault storm"
+ * sweep fails the exact same jobs in the exact same way on every run
+ * at any worker count.
+ *
+ * Sites are named probes threaded through the code base; each raises
+ * the matching SimError kind when its draw fires. Catalog:
+ *
+ *   site               kind   where
+ *   ----               ----   -----
+ *   job.attempt        Io     top of every experiment-job attempt
+ *                             (transient: exercises the retry path)
+ *   journal.append     Io     each checkpoint-journal record write
+ *   atomic-file.write  Io     writeFileAtomic (journal header, TRAIN
+ *                             profile checkpoints, replay bundles)
+ *   interp.step        Hang   functional interpreter, every 4096 insts
+ *   pipeline.cycle     Hang   timing model, every 4096 retired insts
+ *   pipeline.commit    Fault  timing model, every 4096 retired insts
+ *
+ * Scoping: the experiment runner wraps each job attempt in a
+ * faultinject::Scope keyed by (phase, job index, attempt), which
+ * resets the thread-local draw counter — the draw sequence inside a
+ * job is single-threaded and therefore deterministic. Site calls
+ * outside any scope (e.g. CLI-level writes) use the ambient scope 0.
+ *
+ * Disarmed (the default), site() is one relaxed atomic load; nothing
+ * else in the simulator changes. Arm via parseFaultPlan +
+ * faultinject::arm (CLI: `--inject io:0.01,hang:0.005,seed=42`, or
+ * the VANGUARD_FAULT_PLAN environment variable), and only while no
+ * jobs are in flight.
+ */
+
+#ifndef VANGUARD_SUPPORT_FAULT_INJECT_HH
+#define VANGUARD_SUPPORT_FAULT_INJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hh"
+
+namespace vanguard {
+
+/** Per-kind firing probabilities plus the storm seed. */
+struct FaultPlan
+{
+    static constexpr size_t kNumKinds = 7;
+
+    double rates[kNumKinds] = {};   ///< indexed by SimError::Kind
+    uint64_t seed = 0;
+
+    double &
+    rateFor(SimError::Kind kind)
+    {
+        return rates[static_cast<size_t>(kind)];
+    }
+
+    double
+    rateFor(SimError::Kind kind) const
+    {
+        return rates[static_cast<size_t>(kind)];
+    }
+
+    bool
+    any() const
+    {
+        for (double r : rates)
+            if (r > 0.0)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Parse "io:0.01,hang:0.005,seed=42" (an optional leading "faults="
+ * is accepted, matching the --inject flag's long form). Kind names
+ * are lower-cased SimError kind names; rates must lie in [0, 1].
+ * Throws SimError(Config) on anything unrecognized.
+ */
+FaultPlan parseFaultPlan(const std::string &spec);
+
+namespace faultinject {
+
+namespace detail {
+
+inline std::atomic<bool> g_armed{false};
+
+/** Slow path: draw and maybe throw. Defined in fault_inject.cc. */
+void fire(const char *site_name, SimError::Kind kind);
+
+} // namespace detail
+
+/** Arm the injector. Call only while no jobs are in flight. */
+void arm(const FaultPlan &plan);
+
+/** Disarm and keep the injection counters readable. */
+void disarm();
+
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * The probe: throws SimError(kind) if the deterministic draw for this
+ * (seed, scope, site, draw-index) fires. A no-op unless armed.
+ */
+inline void
+site(const char *name, SimError::Kind kind)
+{
+    if (armed())
+        detail::fire(name, kind);
+}
+
+/**
+ * RAII scope key: resets the thread-local draw counter so the draw
+ * sequence is a pure function of the scope, not of what ran earlier
+ * on this worker thread. Nests (restores the outer scope's counter).
+ */
+class Scope
+{
+  public:
+    explicit Scope(uint64_t key);
+    ~Scope();
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    uint64_t prev_key_;
+    uint64_t prev_count_;
+};
+
+/** Injections of `kind` actually thrown since the last arm(). */
+uint64_t injectedCount(SimError::Kind kind);
+
+/** Arm from VANGUARD_FAULT_PLAN if set; returns whether it armed. */
+bool maybeArmFromEnv();
+
+} // namespace faultinject
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_FAULT_INJECT_HH

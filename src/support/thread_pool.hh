@@ -17,6 +17,14 @@
  * so a single mutex-guarded queue is nowhere near contention.
  * Determinism is the caller's job: jobs must write results into
  * pre-sized slots keyed by job index, never by completion order.
+ *
+ * Graceful drain: an optional drain predicate (the experiment engine
+ * passes shutdownRequested) is checked before each dequeued job runs.
+ * Once it returns true the pool stops *executing* — queued jobs are
+ * discarded (still counted toward wait()'s completion, so nothing
+ * wedges) while in-flight jobs finish normally. Discarded jobs leave
+ * no result and no journal record, which is exactly what lets a
+ * checkpointed sweep treat them as "incomplete, re-run on --resume".
  */
 
 #ifndef VANGUARD_SUPPORT_THREAD_POOL_HH
@@ -64,7 +72,14 @@ class ThreadPool
         return hw;
     }
 
-    explicit ThreadPool(unsigned workers = 0)
+    /**
+     * @param drain polled before each dequeued job runs; once true,
+     *        remaining queued jobs are discarded unrun (must be
+     *        thread-safe and cheap, e.g. an atomic load).
+     */
+    explicit ThreadPool(unsigned workers = 0,
+                        std::function<bool()> drain = {})
+        : drain_(std::move(drain))
     {
         unsigned n = resolveWorkerCount(workers);
         workers_.reserve(n);
@@ -185,11 +200,13 @@ class ThreadPool
                 job = std::move(queue_.front());
                 queue_.pop_front();
             }
-            try {
-                job();
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                errors_.push_back(std::current_exception());
+            if (!drain_ || !drain_()) {
+                try {
+                    job();
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    errors_.push_back(std::current_exception());
+                }
             }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -199,6 +216,7 @@ class ThreadPool
         }
     }
 
+    std::function<bool()> drain_;
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;

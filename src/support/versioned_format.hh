@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared header parsing for the versioned on-disk text formats
+ * (`vanguard-replay vN`, `vanguard-journal vN`, `vanguard-profile
+ * vN`). One policy point: a header whose magic matches but whose
+ * version is unknown raises SimError(Io) naming the offending version
+ * string, so a future writer's file fails loudly instead of being
+ * half-parsed; a header that does not even carry the magic is the
+ * caller's ordinary "not this format" parse error.
+ */
+
+#ifndef VANGUARD_SUPPORT_VERSIONED_FORMAT_HH
+#define VANGUARD_SUPPORT_VERSIONED_FORMAT_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hh"
+
+namespace vanguard {
+
+/**
+ * Match `line` against "<magic> v<version>".
+ *
+ * @return false when the line does not start with `magic` (caller
+ *         reports its usual parse error). Returns true with the
+ *         parsed version when the magic matches and the version is
+ *         one of [1, max_supported].
+ * @throws SimError(Io) when the magic matches but the version is
+ *         missing, malformed, or above max_supported — the file *is*
+ *         this format, just one this build cannot read.
+ */
+inline bool
+parseVersionedHeader(const std::string &line, const std::string &magic,
+                     unsigned max_supported, unsigned *version_out)
+{
+    if (line.rfind(magic, 0) != 0)
+        return false;
+    std::string rest = line.substr(magic.size());
+    // Require " v<digits>" exactly; anything else is a version this
+    // reader does not understand.
+    bool well_formed = rest.size() >= 3 && rest[0] == ' ' &&
+                       rest[1] == 'v';
+    unsigned version = 0;
+    if (well_formed) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(rest.c_str() + 2, &end, 10);
+        well_formed = end != nullptr && *end == '\0' && v > 0;
+        version = static_cast<unsigned>(v);
+    }
+    if (!well_formed || version > max_supported) {
+        throw SimError(SimError::Kind::Io,
+                       "unsupported " + magic + " version '" +
+                           (rest.empty() ? rest : rest.substr(1)) +
+                           "' (this build reads v1..v" +
+                           std::to_string(max_supported) + ")");
+    }
+    if (version_out != nullptr)
+        *version_out = version;
+    return true;
+}
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_VERSIONED_FORMAT_HH

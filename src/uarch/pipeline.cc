@@ -5,6 +5,7 @@
 #include <set>
 
 #include "bpred/btb.hh"
+#include "support/fault_inject.hh"
 #include "support/logging.hh"
 
 namespace vanguard {
@@ -500,6 +501,16 @@ TimingModel::run()
         }
         timeInst(info, inst_seq);
         ++inst_seq;
+
+        // Deterministic fault-injection sites, gated so an armed
+        // injector costs one relaxed load per commit and a draw only
+        // every 4096 insts (keyed by inst_seq, so the faulting point
+        // is reproducible at any worker count).
+        if (faultinject::armed() && (inst_seq & 4095) == 0) {
+            faultinject::site("pipeline.cycle", SimError::Kind::Hang);
+            faultinject::site("pipeline.commit",
+                              SimError::Kind::Fault);
+        }
 
         // Forward-progress watchdogs: a runaway program (cycle budget)
         // or a timing-model bug that stops retiring work (progress

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The full crash drill, out of process: launch a checkpointed
+ * vanguard_cli sweep, SIGKILL it mid-simulate (no handler can run, no
+ * destructor fires — the journal alone must carry the state), resume
+ * from the journal, and require stdout bit-identical to a clean run
+ * with no duplicate journal entries. Labeled tier2/tier2_crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/journal.hh"
+
+#ifndef VANGUARD_CLI_BIN
+#error "VANGUARD_CLI_BIN must point at the vanguard_cli binary"
+#endif
+
+namespace vanguard {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** fork/exec vanguard_cli with stdout > out_path; returns the pid. */
+pid_t
+launch(const std::vector<std::string> &args,
+       const std::string &out_path)
+{
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    int fd = ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    ::dup2(fd, STDOUT_FILENO);
+    int errfd = ::open("/dev/null", O_WRONLY);
+    ::dup2(errfd, STDERR_FILENO);
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(VANGUARD_CLI_BIN));
+    for (const std::string &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(VANGUARD_CLI_BIN, argv.data());
+    std::_Exit(127); // exec failed
+}
+
+int
+runToCompletion(const std::vector<std::string> &args,
+                const std::string &out_path)
+{
+    pid_t pid = launch(args, out_path);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CrashKill, SigkilledSweepResumesBitIdentical)
+{
+    std::string dir = ::testing::TempDir() + "kill-drill";
+    std::filesystem::remove_all(dir);
+    std::string journal = dir + "/journal.vgj";
+
+    // Iterations chosen so one sweep takes several seconds: plenty of
+    // window to observe simulate-phase records and shoot the process.
+    std::vector<std::string> sweep = {
+        "--benchmark", "h264ref-like", "--all-refs",
+        "--iterations", "60000",       "--jobs", "2",
+        "--checkpoint-dir", dir,
+    };
+
+    // Clean reference run (separate checkpoint dir, same spec).
+    std::string ref_dir = ::testing::TempDir() + "kill-ref";
+    std::filesystem::remove_all(ref_dir);
+    std::vector<std::string> ref_args = sweep;
+    ref_args.back() = ref_dir;
+    ASSERT_EQ(runToCompletion(ref_args, ref_dir + ".out"), 0);
+
+    // Victim run: poll the journal until a simulate record lands,
+    // then SIGKILL — the journal's fsync'd records are all that
+    // survives.
+    pid_t victim = launch(sweep, dir + "/victim.out");
+    bool saw_sim = false;
+    for (int spin = 0; spin < 600 && !saw_sim; ++spin) {
+        ::usleep(20'000);
+        std::string text = readFile(journal);
+        saw_sim = text.find("\nS ") != std::string::npos;
+        int status = 0;
+        ASSERT_EQ(::waitpid(victim, &status, WNOHANG), 0)
+            << "sweep finished before it could be killed; raise "
+               "--iterations";
+    }
+    ASSERT_TRUE(saw_sim) << "no simulate record within the window";
+    ::kill(victim, SIGKILL);
+    int status = 0;
+    ::waitpid(victim, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The torn journal must parse: completed records intact, at most
+    // debris from the final in-flight append, no duplicates.
+    JournalContents torn = loadJournalFile(journal);
+    ASSERT_TRUE(torn.ok) << torn.error;
+    EXPECT_GT(torn.records(), 0u);
+    EXPECT_LT(torn.records(), torn.totalJobs);
+    EXPECT_EQ(torn.duplicates, 0u);
+
+    // Resume and require stdout bit-identical to the clean run.
+    std::vector<std::string> resume = sweep;
+    resume.push_back("--resume");
+    ASSERT_EQ(runToCompletion(resume, dir + "/resume.out"), 0);
+    std::string ref_out = readFile(ref_dir + ".out");
+    std::string res_out = readFile(dir + "/resume.out");
+    ASSERT_FALSE(ref_out.empty());
+    EXPECT_EQ(res_out, ref_out);
+
+    // The healed journal is complete and still duplicate-free: the
+    // resume re-ran only the jobs the kill lost.
+    JournalContents healed = loadJournalFile(journal);
+    ASSERT_TRUE(healed.ok) << healed.error;
+    EXPECT_EQ(healed.records(), healed.totalJobs);
+    EXPECT_EQ(healed.duplicates, 0u);
+    EXPECT_GE(healed.records(), torn.records());
+}
+
+TEST(CrashKill, InterruptExitsWithResumableCode)
+{
+    // SIGTERM (the graceful path) must exit 4 — distinct from both
+    // success and error — and leave a resumable journal behind.
+    std::string dir = ::testing::TempDir() + "term-drill";
+    std::filesystem::remove_all(dir);
+    std::vector<std::string> sweep = {
+        "--benchmark", "bzip2-like", "--all-refs",
+        "--iterations", "60000",     "--jobs", "2",
+        "--checkpoint-dir", dir,
+    };
+    pid_t victim = launch(sweep, dir + "/victim.out");
+    // Give the sweep a moment to start, then request the drain.
+    ::usleep(500'000);
+    ::kill(victim, SIGTERM);
+    int status = 0;
+    ::waitpid(victim, &status, 0);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 4);
+
+    JournalContents j =
+        loadJournalFile(dir + "/journal.vgj");
+    EXPECT_TRUE(j.ok) << j.error;
+
+    std::vector<std::string> resume = sweep;
+    resume.push_back("--resume");
+    EXPECT_EQ(runToCompletion(resume, dir + "/resume.out"), 0);
+}
+
+} // namespace
+} // namespace vanguard

@@ -447,6 +447,27 @@ TEST(Replay, BundleRoundTripsThroughText)
         parseReplayBundle("vanguard-replay v1\nwidth 4\n").ok);
 }
 
+TEST(Replay, UnknownFutureVersionRaisesIoNamingIt)
+{
+    // A bundle written by a newer build must refuse loudly — naming
+    // the version it saw — rather than misparse the payload.
+    try {
+        parseReplayBundle("vanguard-replay v2\nbenchmark x\n");
+        FAIL() << "future bundle version accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.kind(), SimError::Kind::Io);
+        EXPECT_NE(e.detail().find("v2"), std::string::npos);
+        EXPECT_NE(e.detail().find("vanguard-replay"),
+                  std::string::npos);
+    }
+    // Malformed version tails refuse the same way.
+    EXPECT_THROW(parseReplayBundle("vanguard-replay vX\n"), SimError);
+    EXPECT_THROW(parseReplayBundle("vanguard-replay\n"), SimError);
+    // A file that is not a replay bundle at all is an ordinary parse
+    // failure, not an exception.
+    EXPECT_FALSE(parseReplayBundle("something else v2\n").ok);
+}
+
 TEST(Replay, GenuineFailureWritesReproducibleBundle)
 {
     // A starvation-level cycle budget makes every simulation job fail
