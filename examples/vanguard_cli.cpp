@@ -24,7 +24,14 @@
  *     --dump-ir            print the transformed IR
  *     --dump-asm           print the laid-out program
  *     --timeline           print a steady-state pipeline timeline
+ *     --gantt-window N     timeline window size in instructions
+ *                          (default 256; overflow is reported)
  *     --stats              print the full counter set
+ *     --metrics-out FILE   write the metrics-registry dump
+ *                          (vanguard-metrics v1; .csv suffix selects
+ *                          CSV, anything else JSON)
+ *     --trace-out FILE     write a Chrome trace-event JSON timeline
+ *                          (open in Perfetto / chrome://tracing)
  *     --lockstep           run the functional-oracle differential
  *                          check alongside every simulation
  *     --cycle-budget N     watchdog cycle budget (0 disables)
@@ -46,6 +53,7 @@
  * SIGINT/SIGTERM (checkpointed work is resumable with --resume).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,9 +69,12 @@
 #include "core/runner.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
+#include "support/atomic_file.hh"
 #include "support/fault_inject.hh"
+#include "support/metrics.hh"
 #include "support/shutdown.hh"
 #include "support/stats.hh"
+#include "support/tracing.hh"
 #include "uarch/trace.hh"
 #include "workloads/suites.hh"
 
@@ -74,33 +85,34 @@ namespace {
 void
 dumpStats(const char *label, const SimStats &s)
 {
-    StatSet set;
-    set.set("cycles", static_cast<double>(s.cycles));
-    set.set("insts", static_cast<double>(s.dynamicInsts));
-    set.set("ipc", s.ipc());
-    set.set("fetched", static_cast<double>(s.fetched));
-    set.set("issued", static_cast<double>(s.issued));
-    set.set("br.cond", static_cast<double>(s.condBranches));
-    set.set("br.mispredicts", static_cast<double>(s.brMispredicts));
-    set.set("dbb.predicts", static_cast<double>(s.predictsExecuted));
-    set.set("dbb.resolves", static_cast<double>(s.resolvesExecuted));
-    set.set("dbb.redirects", static_cast<double>(s.resolveRedirects));
-    set.set("dbb.maxOccupancy",
-            static_cast<double>(s.dbbMaxOccupancy));
-    set.set("mppki", s.mppki());
-    set.set("icache.misses", static_cast<double>(s.icacheMisses));
-    set.set("l1d.accesses", static_cast<double>(s.l1dAccesses));
-    set.set("l1d.misses", static_cast<double>(s.l1dMisses));
-    set.set("l2.misses", static_cast<double>(s.l2Misses));
-    set.set("l3.misses", static_cast<double>(s.l3Misses));
-    set.set("stall.branchCycles",
-            static_cast<double>(s.branchStallCycles));
-    set.set("stall.fetchBuffer",
-            static_cast<double>(s.fetchBufferStalls));
-    set.set("stall.mshr", static_cast<double>(s.mshrStalls));
-    set.set("commit.foldedMovs",
-            static_cast<double>(s.foldedCommitMovs));
-    std::printf("%s", set.dump(std::string(label) + ".").c_str());
+    // The same canonical counter set the metrics registry exports
+    // (uarch.* plus the predictor-internal bpred.* counters), printed
+    // one per line, plus the two derived rates.
+    MetricSnapshot snap = simStatsSnapshot(s);
+    for (const auto &e : snap.entries) {
+        std::printf("%s.%s = %llu\n", label, e.path.c_str(),
+                    static_cast<unsigned long long>(e.value));
+    }
+    std::printf("%s.derived.ipc = %.4f\n", label, s.ipc());
+    std::printf("%s.derived.mppki = %.4f\n", label, s.mppki());
+}
+
+/** Dump format by suffix: .csv selects CSV, anything else JSON. */
+void
+writeMetricsFile(const std::string &path, const MetricsRegistry &reg)
+{
+    bool csv = path.size() >= 4 &&
+               path.compare(path.size() - 4, 4, ".csv") == 0;
+    writeFileAtomic(path, csv ? reg.toCsv() : reg.toJson());
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
+
+void
+writeTraceFile(const std::string &path, const Tracer &tracer)
+{
+    writeFileAtomic(path, tracer.toChromeJson());
+    std::fprintf(stderr, "trace written to %s (open in Perfetto)\n",
+                 path.c_str());
 }
 
 void
@@ -113,10 +125,19 @@ printUsage(std::FILE *to)
         "[--no-decompose] [--no-superblock] "
         "[--no-shadow-commit] [--dbb N] [--threshold P] "
         "[--save-profile F] [--load-profile F] "
-        "[--dump-ir] [--dump-asm] [--timeline] [--stats] "
+        "[--dump-ir] [--dump-asm] [--timeline] [--gantt-window N] "
+        "[--stats] [--metrics-out F] [--trace-out F] "
         "[--lockstep] [--cycle-budget N] [--replay-dir D] "
         "[--fail-threshold N] [--replay FILE] "
         "[--checkpoint-dir D] [--resume] [--inject SPEC] [--help]\n"
+        "\n"
+        "telemetry:\n"
+        "  --metrics-out F     write the unified metrics dump "
+        "(vanguard-metrics v1;\n"
+        "                      .csv suffix selects CSV, else JSON)\n"
+        "  --trace-out F       write a Chrome trace-event timeline "
+        "(Perfetto)\n"
+        "  --gantt-window N    --timeline window size (default 256)\n"
         "\n"
         "crash safety (with --all-refs):\n"
         "  --checkpoint-dir D  journal every completed job into "
@@ -218,12 +239,27 @@ runCli(int argc, char **argv)
     std::string save_profile, load_profile;
     std::string replay_path, replay_dir;
     std::string checkpoint_dir, inject_spec;
+    std::string metrics_out, trace_out;
+    size_t gantt_window = 256;
     bool resume = false;
     size_t fail_threshold = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Both "--flag VALUE" and "--flag=VALUE" spellings work.
+        std::string inline_val;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_val = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> const char * {
+            if (has_inline)
+                return inline_val.c_str();
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
                              "vanguard_cli: %s needs an argument\n",
@@ -293,8 +329,14 @@ runCli(int argc, char **argv)
             dump_asm = true;
         } else if (arg == "--timeline") {
             timeline = true;
+        } else if (arg == "--gantt-window") {
+            gantt_window = strtoull(next(), nullptr, 10);
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else {
             std::fprintf(stderr, "vanguard_cli: unknown flag '%s'\n",
                          arg.c_str());
@@ -338,6 +380,15 @@ runCli(int argc, char **argv)
         ropts.checkpointDir = checkpoint_dir;
         ropts.resume = resume;
 
+        // Telemetry sinks: the registry is wired in unconditionally
+        // (the engine asserts snapshot bit-identity through it either
+        // way); the tracer only when a timeline was requested.
+        MetricsRegistry registry;
+        Tracer tracer;
+        ropts.metrics = &registry;
+        if (!trace_out.empty())
+            ropts.tracer = &tracer;
+
         // Graceful shutdown: SIGINT/SIGTERM drain the pool instead of
         // killing the process mid-write; in-flight jobs finish and
         // checkpoint, and we exit 4 with a --resume hint.
@@ -345,6 +396,15 @@ runCli(int argc, char **argv)
 
         SuiteReport report =
             runSuiteWidthsReport({spec}, {opts.width}, opts, ropts);
+
+        // Telemetry dumps are written even for an interrupted sweep —
+        // a partial timeline is exactly what explains the
+        // interruption.
+        if (!metrics_out.empty())
+            writeMetricsFile(metrics_out, registry);
+        if (!trace_out.empty())
+            writeTraceFile(trace_out, tracer);
+
         if (report.replayedJobs != 0) {
             std::fprintf(stderr,
                          "resumed: %zu of %zu jobs replayed from "
@@ -393,6 +453,11 @@ runCli(int argc, char **argv)
         return 0;
     }
 
+    // Single-run telemetry: the ambient tracer picks up the coarse
+    // compile.config / sim.* sub-spans inside core/vanguard.cc.
+    Tracer tracer;
+    ScopedCurrentTracer ambient(trace_out.empty() ? nullptr : &tracer);
+
     TrainArtifacts train;
     if (!load_profile.empty()) {
         std::ifstream in(load_profile);
@@ -438,33 +503,45 @@ runCli(int argc, char **argv)
                         "dumps)\n");
     }
 
-    PipelineTrace trace(timeline ? 2000 : 0);
-    SimStats sb = simulateConfig(spec, base, opts, seed);
+    // Capture enough beyond the steady-state skip point to fill the
+    // requested Gantt window.
+    PipelineTrace trace(
+        timeline ? std::max<size_t>(2000, 1400 + gantt_window) : 0);
+    SimStats sb;
+    {
+        TraceSpan span(currentTracer(), "run.base");
+        sb = simulateConfig(spec, base, opts, seed);
+    }
 
     SimStats se;
-    if (!timeline) {
-        // The standard path: watchdogs and the optional lockstep
-        // oracle apply to both configurations.
-        se = simulateConfig(spec, exp, opts, seed);
-    } else {
-        // Tracing needs a hand-built SimOptions (simulateConfig has
-        // no trace hook); watchdogs still apply.
-        BuiltKernel ref = buildKernel(spec, seed);
-        auto pred = makePredictor(opts.predictor, seed);
-        SimOptions sopts;
-        sopts.maxInsts = opts.simMaxInsts;
-        sopts.cycleBudget = opts.simCycleBudget;
-        sopts.progressWindow = opts.simProgressWindow;
-        sopts.trace = &trace;
-        std::vector<bool> outcomes;
-        if (opts.predictor.rfind("ideal:", 0) == 0 && exp.decomposed) {
-            outcomes = prerecordPredictOutcomes(exp.prog, *ref.mem,
-                                                opts.simMaxInsts * 2);
-            sopts.predictOutcomes = &outcomes;
+    {
+        TraceSpan exp_span(currentTracer(), "run.exp");
+        if (!timeline) {
+            // The standard path: watchdogs and the optional lockstep
+            // oracle apply to both configurations.
+            se = simulateConfig(spec, exp, opts, seed);
+        } else {
+            // Tracing needs a hand-built SimOptions (simulateConfig
+            // has no trace hook); watchdogs still apply.
+            BuiltKernel ref = buildKernel(spec, seed);
+            auto pred = makePredictor(opts.predictor, seed);
+            SimOptions sopts;
+            sopts.maxInsts = opts.simMaxInsts;
+            sopts.cycleBudget = opts.simCycleBudget;
+            sopts.progressWindow = opts.simProgressWindow;
+            sopts.trace = &trace;
+            std::vector<bool> outcomes;
+            if (opts.predictor.rfind("ideal:", 0) == 0 &&
+                exp.decomposed) {
+                outcomes = prerecordPredictOutcomes(
+                    exp.prog, *ref.mem, opts.simMaxInsts * 2);
+                sopts.predictOutcomes = &outcomes;
+            }
+            if (!exp.hoistedMask.empty())
+                sopts.hoistedMask = &exp.hoistedMask;
+            se = simulate(exp.prog, *ref.mem, *pred, opts.machine(),
+                          sopts);
         }
-        if (!exp.hoistedMask.empty())
-            sopts.hoistedMask = &exp.hoistedMask;
-        se = simulate(exp.prog, *ref.mem, *pred, opts.machine(), sopts);
     }
 
     std::printf("baseline   : %12llu cycles  IPC %.3f\n",
@@ -480,14 +557,26 @@ runCli(int argc, char **argv)
         dumpStats("exp", se);
     }
     if (timeline) {
-        PipelineTrace window(48);
+        PipelineTrace window(gantt_window);
         const auto &all = trace.entries();
         size_t start = all.size() > 1500 ? 1400 : all.size() / 2;
-        for (size_t i = start; i < all.size() && window.wants(); ++i)
+        // Offer every remaining entry: the window counts what it had
+        // to drop and render() reports it in the footer.
+        for (size_t i = start; i < all.size(); ++i)
             window.record(all[i]);
         std::printf("\nsteady-state timeline (experiment):\n%s",
                     window.render(110).c_str());
     }
+    if (!metrics_out.empty()) {
+        // Single-run dumps carry the two simulations as their own
+        // scopes, the same uarch.* counter names the sweep exports.
+        MetricsRegistry registry;
+        registry.mergeJobSnapshot("run.base", simStatsSnapshot(sb));
+        registry.mergeJobSnapshot("run.exp", simStatsSnapshot(se));
+        writeMetricsFile(metrics_out, registry);
+    }
+    if (!trace_out.empty())
+        writeTraceFile(trace_out, tracer);
     return 0;
 }
 

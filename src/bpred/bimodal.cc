@@ -28,7 +28,7 @@ BimodalPredictor::index(uint64_t pc) const
 }
 
 bool
-BimodalPredictor::predict(uint64_t pc, PredMeta &meta)
+BimodalPredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t idx = index(pc);
     meta.v[0] = idx;
@@ -37,19 +37,19 @@ BimodalPredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-BimodalPredictor::updateHistory(bool)
+BimodalPredictor::doUpdateHistory(bool)
 {
     // Bimodal keeps no history.
 }
 
 void
-BimodalPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+BimodalPredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
 {
     table_[meta.v[0]].update(taken);
 }
 
 void
-BimodalPredictor::reset()
+BimodalPredictor::doReset()
 {
     for (auto &ctr : table_)
         ctr.set(1);

@@ -30,7 +30,7 @@ GsharePredictor::index(uint64_t pc) const
 }
 
 bool
-GsharePredictor::predict(uint64_t pc, PredMeta &meta)
+GsharePredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t idx = index(pc);
     meta.v[0] = idx;
@@ -39,19 +39,19 @@ GsharePredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-GsharePredictor::updateHistory(bool taken)
+GsharePredictor::doUpdateHistory(bool taken)
 {
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }
 
 void
-GsharePredictor::update(uint64_t, bool taken, const PredMeta &meta)
+GsharePredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
 {
     table_[meta.v[0]].update(taken);
 }
 
 void
-GsharePredictor::reset()
+GsharePredictor::doReset()
 {
     history_ = 0;
     for (auto &ctr : table_)
@@ -96,13 +96,18 @@ CombiningPredictor::gshareIndex(uint64_t pc) const
 }
 
 bool
-CombiningPredictor::predict(uint64_t pc, PredMeta &meta)
+CombiningPredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t bi = pcIndex(pc);
     uint32_t gi = gshareIndex(pc);
     bool bim_dir = bimodal_[bi].predictTaken();
     bool gsh_dir = gshare_[gi].predictTaken();
     bool use_gshare = chooser_[bi].predictTaken();
+
+    if (use_gshare)
+        ++gshare_picks_;
+    else
+        ++bimodal_picks_;
 
     meta.v[0] = bi;
     meta.v[1] = gi;
@@ -112,13 +117,13 @@ CombiningPredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-CombiningPredictor::updateHistory(bool taken)
+CombiningPredictor::doUpdateHistory(bool taken)
 {
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }
 
 void
-CombiningPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+CombiningPredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
 {
     uint32_t bi = meta.v[0];
     uint32_t gi = meta.v[1];
@@ -134,7 +139,7 @@ CombiningPredictor::update(uint64_t, bool taken, const PredMeta &meta)
 }
 
 void
-CombiningPredictor::reset()
+CombiningPredictor::doReset()
 {
     history_ = 0;
     for (auto &ctr : bimodal_)
@@ -143,6 +148,16 @@ CombiningPredictor::reset()
         ctr.set(1);
     for (auto &ctr : chooser_)
         ctr.set(1);
+    gshare_picks_ = 0;
+    bimodal_picks_ = 0;
+}
+
+void
+CombiningPredictor::exportMetricsExtra(MetricSnapshot &out,
+                                       const std::string &prefix) const
+{
+    out.add(prefix + "gsharePicks", gshare_picks_);
+    out.add(prefix + "bimodalPicks", bimodal_picks_);
 }
 
 } // namespace vanguard

@@ -27,14 +27,17 @@ class GsharePredictor : public DirectionPredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void updateHistory(bool taken) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
 
     bool supportsCheckpoint() const override { return true; }
     uint64_t checkpointHistory() const override { return history_; }
     void restoreHistory(uint64_t h) override { history_ = h; }
+
+  protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdateHistory(bool taken) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
 
   private:
     uint32_t index(uint64_t pc) const;
@@ -58,14 +61,19 @@ class CombiningPredictor : public DirectionPredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void updateHistory(bool taken) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
 
     bool supportsCheckpoint() const override { return true; }
     uint64_t checkpointHistory() const override { return history_; }
     void restoreHistory(uint64_t h) override { history_ = h; }
+
+  protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdateHistory(bool taken) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
+    void exportMetricsExtra(MetricSnapshot &out,
+                            const std::string &prefix) const override;
 
   private:
     uint32_t pcIndex(uint64_t pc) const;
@@ -77,6 +85,8 @@ class CombiningPredictor : public DirectionPredictor
     std::vector<SatCounter> bimodal_;
     std::vector<SatCounter> gshare_;
     std::vector<SatCounter> chooser_;
+    uint64_t gshare_picks_ = 0;     ///< chooser selected gshare
+    uint64_t bimodal_picks_ = 0;    ///< chooser selected bimodal
 };
 
 } // namespace vanguard

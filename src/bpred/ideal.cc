@@ -19,14 +19,15 @@ IdealPredictor::name() const
 }
 
 bool
-IdealPredictor::predict(uint64_t, PredMeta &meta)
+IdealPredictor::doPredict(uint64_t, PredMeta &meta)
 {
     meta.dir = true;
     return true;
 }
 
 bool
-IdealPredictor::predictWithOracle(uint64_t, bool actual, PredMeta &meta)
+IdealPredictor::doPredictWithOracle(uint64_t, bool actual,
+                                    PredMeta &meta)
 {
     bool correct = rng_.chance(accuracy_);
     meta.dir = correct ? actual : !actual;
@@ -34,7 +35,7 @@ IdealPredictor::predictWithOracle(uint64_t, bool actual, PredMeta &meta)
 }
 
 void
-IdealPredictor::reset()
+IdealPredictor::doReset()
 {
     rng_.reseed(seed_);
 }

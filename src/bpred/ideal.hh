@@ -24,15 +24,16 @@ class IdealPredictor : public DirectionPredictor
     std::string name() const override;
     size_t storageBits() const override { return 0; }
 
+  protected:
     /** Without an oracle, fall back to predicting taken. */
-    bool predict(uint64_t pc, PredMeta &meta) override;
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
 
-    bool predictWithOracle(uint64_t pc, bool actual,
-                           PredMeta &meta) override;
+    bool doPredictWithOracle(uint64_t pc, bool actual,
+                             PredMeta &meta) override;
 
-    void updateHistory(bool) override {}
-    void update(uint64_t, bool, const PredMeta &) override {}
-    void reset() override;
+    void doUpdateHistory(bool) override {}
+    void doUpdate(uint64_t, bool, const PredMeta &) override {}
+    void doReset() override;
 
   private:
     double accuracy_;

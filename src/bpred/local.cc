@@ -24,7 +24,7 @@ LocalHistoryPredictor::storageBits() const
 }
 
 bool
-LocalHistoryPredictor::predict(uint64_t pc, PredMeta &meta)
+LocalHistoryPredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t hidx =
         static_cast<uint32_t>((pc >> 2) & ((1u << pc_bits_) - 1));
@@ -36,13 +36,14 @@ LocalHistoryPredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-LocalHistoryPredictor::updateHistory(bool)
+LocalHistoryPredictor::doUpdateHistory(bool)
 {
     // Local histories are advanced in update(), keyed by PC.
 }
 
 void
-LocalHistoryPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+LocalHistoryPredictor::doUpdate(uint64_t, bool taken,
+                                const PredMeta &meta)
 {
     pattern_[meta.v[1]].update(taken);
     uint32_t hidx = meta.v[0];
@@ -52,7 +53,7 @@ LocalHistoryPredictor::update(uint64_t, bool taken, const PredMeta &meta)
 }
 
 void
-LocalHistoryPredictor::reset()
+LocalHistoryPredictor::doReset()
 {
     std::fill(histories_.begin(), histories_.end(), 0);
     for (auto &ctr : pattern_)

@@ -23,10 +23,13 @@ class LocalHistoryPredictor : public DirectionPredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void updateHistory(bool taken) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
+
+  protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdateHistory(bool taken) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
 
   private:
     unsigned pc_bits_;

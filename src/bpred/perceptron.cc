@@ -62,7 +62,7 @@ PerceptronPredictor::dotProduct(uint32_t idx, uint64_t history) const
 }
 
 bool
-PerceptronPredictor::predict(uint64_t pc, PredMeta &meta)
+PerceptronPredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t idx = index(pc);
     int y = dotProduct(idx, history_);
@@ -75,19 +75,21 @@ PerceptronPredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-PerceptronPredictor::updateHistory(bool taken)
+PerceptronPredictor::doUpdateHistory(bool taken)
 {
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }
 
 void
-PerceptronPredictor::update(uint64_t, bool taken, const PredMeta &meta)
+PerceptronPredictor::doUpdate(uint64_t, bool taken,
+                              const PredMeta &meta)
 {
     bool predicted = meta.dir;
     int magnitude = static_cast<int>(meta.v[3]);
     if (predicted == taken && magnitude > threshold_)
         return; // confident and correct: no training
 
+    ++train_events_;
     uint64_t history = static_cast<uint64_t>(meta.v[1]) |
                        (static_cast<uint64_t>(meta.v[2]) << 32);
     int16_t *w = &weights_[size_t{meta.v[0]} * (history_len_ + 1)];
@@ -109,10 +111,18 @@ PerceptronPredictor::update(uint64_t, bool taken, const PredMeta &meta)
 }
 
 void
-PerceptronPredictor::reset()
+PerceptronPredictor::doReset()
 {
     std::fill(weights_.begin(), weights_.end(), 0);
     history_ = 0;
+    train_events_ = 0;
+}
+
+void
+PerceptronPredictor::exportMetricsExtra(MetricSnapshot &out,
+                                        const std::string &prefix) const
+{
+    out.add(prefix + "trainEvents", train_events_);
 }
 
 } // namespace vanguard

@@ -33,14 +33,19 @@ class PerceptronPredictor : public DirectionPredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void updateHistory(bool taken) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
 
     bool supportsCheckpoint() const override { return true; }
     uint64_t checkpointHistory() const override { return history_; }
     void restoreHistory(uint64_t h) override { history_ = h; }
+
+  protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdateHistory(bool taken) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
+    void exportMetricsExtra(MetricSnapshot &out,
+                            const std::string &prefix) const override;
 
   private:
     uint32_t index(uint64_t pc) const;
@@ -51,6 +56,7 @@ class PerceptronPredictor : public DirectionPredictor
     int threshold_;
     std::vector<int16_t> weights_; ///< (history_len_+1) per perceptron
     uint64_t history_ = 0;
+    uint64_t train_events_ = 0;    ///< updates that adjusted weights
 };
 
 } // namespace vanguard

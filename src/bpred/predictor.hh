@@ -21,6 +21,15 @@
  * trace simulation; gshare-family predictors additionally support
  * explicit checkpoint/restore to demonstrate the hardware recovery
  * mechanism (unit-tested).
+ *
+ * Telemetry: the public entry points are non-virtual (NVI) so the
+ * base class counts lookups and table-training events exactly once
+ * for every implementation; subclasses implement the protected
+ * do*() hooks and append model-specific counters (TAGE provider
+ * attribution, perceptron training rate, ...) via
+ * exportMetricsExtra(). exportMetrics() summarizes one run into a
+ * MetricSnapshot under a caller-chosen path prefix; the pipeline
+ * publishes it as `bpred.<name>.<counter>` in SimStats.
  */
 
 #ifndef VANGUARD_BPRED_PREDICTOR_HH
@@ -29,6 +38,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "support/metrics.hh"
 
 namespace vanguard {
 
@@ -50,32 +61,98 @@ class DirectionPredictor
     virtual size_t storageBits() const = 0;
 
     /** Predict the branch at pc; records lookup state into meta. */
-    virtual bool predict(uint64_t pc, PredMeta &meta) = 0;
+    bool
+    predict(uint64_t pc, PredMeta &meta)
+    {
+        ++stat_lookups_;
+        return doPredict(pc, meta);
+    }
 
     /**
      * Oracle-assisted variant for idealized predictors; real
-     * predictors ignore `actual` and defer to predict().
+     * predictors ignore `actual` and defer to doPredict().
      */
-    virtual bool
+    bool
     predictWithOracle(uint64_t pc, bool actual, PredMeta &meta)
     {
-        (void)actual;
-        return predict(pc, meta);
+        ++stat_lookups_;
+        return doPredictWithOracle(pc, actual, meta);
     }
 
     /** Advance branch history by one outcome. */
-    virtual void updateHistory(bool taken) = 0;
+    void
+    updateHistory(bool taken)
+    {
+        doUpdateHistory(taken);
+    }
 
     /** Train tables for the branch at pc given its actual outcome. */
-    virtual void update(uint64_t pc, bool taken, const PredMeta &meta) = 0;
+    void
+    update(uint64_t pc, bool taken, const PredMeta &meta)
+    {
+        ++stat_updates_;
+        if (meta.dir != taken)
+            ++stat_mispredicts_;
+        doUpdate(pc, taken, meta);
+    }
 
-    /** Restore all tables/history to power-on state. */
-    virtual void reset() = 0;
+    /** Restore all tables/history/telemetry to power-on state. */
+    void
+    reset()
+    {
+        stat_lookups_ = 0;
+        stat_updates_ = 0;
+        stat_mispredicts_ = 0;
+        doReset();
+    }
+
+    /**
+     * Summarize this run's predictor activity under `prefix`
+     * (e.g. "bpred.tage-6x4096."): base lookup/update/mispredict
+     * counters plus whatever the model adds in exportMetricsExtra().
+     */
+    void
+    exportMetrics(MetricSnapshot &out, const std::string &prefix) const
+    {
+        out.add(prefix + "lookups", stat_lookups_);
+        out.add(prefix + "updates", stat_updates_);
+        out.add(prefix + "mispredicts", stat_mispredicts_);
+        exportMetricsExtra(out, prefix);
+    }
 
     /** History checkpoint support (gshare family). */
     virtual bool supportsCheckpoint() const { return false; }
     virtual uint64_t checkpointHistory() const { return 0; }
     virtual void restoreHistory(uint64_t) {}
+
+  protected:
+    virtual bool doPredict(uint64_t pc, PredMeta &meta) = 0;
+
+    virtual bool
+    doPredictWithOracle(uint64_t pc, bool actual, PredMeta &meta)
+    {
+        (void)actual;
+        return doPredict(pc, meta);
+    }
+
+    virtual void doUpdateHistory(bool taken) = 0;
+    virtual void doUpdate(uint64_t pc, bool taken,
+                          const PredMeta &meta) = 0;
+    virtual void doReset() = 0;
+
+    /** Model-specific counters appended after the base set. */
+    virtual void
+    exportMetricsExtra(MetricSnapshot &out,
+                       const std::string &prefix) const
+    {
+        (void)out;
+        (void)prefix;
+    }
+
+  private:
+    uint64_t stat_lookups_ = 0;     ///< predict + predictWithOracle
+    uint64_t stat_updates_ = 0;     ///< table-training events
+    uint64_t stat_mispredicts_ = 0; ///< trained with dir != outcome
 };
 
 } // namespace vanguard

@@ -130,7 +130,7 @@ TagePredictor::tableTag(uint64_t pc, unsigned table) const
 }
 
 bool
-TagePredictor::predict(uint64_t pc, PredMeta &meta)
+TagePredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
     uint32_t base_idx = baseIndex(pc);
     bool base_dir = base_[base_idx].predictTaken();
@@ -150,6 +150,7 @@ TagePredictor::predict(uint64_t pc, PredMeta &meta)
     bool alt_dir = base_dir;
     bool provider_weak = false;
     if (provider != kBaseProvider) {
+        ++provider_hits_;
         const TaggedEntry &e = tables_[provider][meta.v[provider]];
         provider_dir = e.ctr.positive();
         provider_weak = (e.useful.value() == 0) &&
@@ -158,6 +159,8 @@ TagePredictor::predict(uint64_t pc, PredMeta &meta)
             alt_dir =
                 tables_[alt_provider][meta.v[alt_provider]].ctr.positive();
         }
+    } else {
+        ++base_hits_;
     }
 
     // Newly-allocated provider entries are unreliable; optionally trust
@@ -166,6 +169,7 @@ TagePredictor::predict(uint64_t pc, PredMeta &meta)
     if (provider != kBaseProvider && provider_weak &&
         use_alt_on_na_.positive()) {
         dir = alt_dir;
+        ++alt_overrides_;
     }
 
     meta.v[12] = provider;
@@ -179,7 +183,7 @@ TagePredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-TagePredictor::updateHistory(bool taken)
+TagePredictor::doUpdateHistory(bool taken)
 {
     ghead_ = (ghead_ + kGhistSize - 1) % kGhistSize;
     ghist_[ghead_] = taken ? 1 : 0;
@@ -192,7 +196,7 @@ TagePredictor::updateHistory(bool taken)
 }
 
 void
-TagePredictor::update(uint64_t, bool taken, const PredMeta &meta)
+TagePredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
 {
     uint32_t provider = meta.v[12];
     bool alt_dir = meta.v[14] & kFlagAltDir;
@@ -245,7 +249,10 @@ TagePredictor::update(uint64_t, bool taken, const PredMeta &meta)
                 allocated = true;
             }
         }
-        if (!allocated) {
+        if (allocated) {
+            ++allocations_;
+        } else {
+            ++alloc_failures_;
             for (unsigned t = start; t < cfg_.numTables; ++t)
                 tables_[t][meta.v[t]].useful.decrement();
         }
@@ -260,7 +267,7 @@ TagePredictor::update(uint64_t, bool taken, const PredMeta &meta)
 }
 
 void
-TagePredictor::reset()
+TagePredictor::doReset()
 {
     for (auto &table : tables_)
         for (auto &e : table)
@@ -278,6 +285,22 @@ TagePredictor::reset()
     use_alt_on_na_.set(0);
     alloc_rng_ = 0x2545f4914f6cdd1dULL;
     update_count_ = 0;
+    provider_hits_ = 0;
+    base_hits_ = 0;
+    alt_overrides_ = 0;
+    allocations_ = 0;
+    alloc_failures_ = 0;
+}
+
+void
+TagePredictor::exportMetricsExtra(MetricSnapshot &out,
+                                  const std::string &prefix) const
+{
+    out.add(prefix + "providerHits", provider_hits_);
+    out.add(prefix + "baseHits", base_hits_);
+    out.add(prefix + "altOverrides", alt_overrides_);
+    out.add(prefix + "allocations", allocations_);
+    out.add(prefix + "allocFailures", alloc_failures_);
 }
 
 TagePredictor::Config
@@ -349,9 +372,9 @@ IslTagePredictor::scIndex(uint64_t pc, uint32_t local_hist) const
 }
 
 bool
-IslTagePredictor::predict(uint64_t pc, PredMeta &meta)
+IslTagePredictor::doPredict(uint64_t pc, PredMeta &meta)
 {
-    bool tage_dir = TagePredictor::predict(pc, meta);
+    bool tage_dir = TagePredictor::doPredict(pc, meta);
     bool provider_weak = meta.v[14] & kFlagProviderWeak;
     bool dir = tage_dir;
     uint32_t isl = 0;
@@ -366,6 +389,7 @@ IslTagePredictor::predict(uint64_t pc, PredMeta &meta)
         dir = loop_pred;
         isl |= kIslLoopHit | kIslLoopUsed |
                (loop_pred ? kIslLoopDir : 0);
+        ++loop_overrides_;
     }
 
     // Local-history statistical corrector: overrides when confident.
@@ -378,6 +402,7 @@ IslTagePredictor::predict(uint64_t pc, PredMeta &meta)
                           sc.value() < -2 * kScThreshold)) {
             dir = sc.positive();
             isl |= kIslScUsed;
+            ++sc_overrides_;
         }
     }
     (void)provider_weak;
@@ -389,7 +414,8 @@ IslTagePredictor::predict(uint64_t pc, PredMeta &meta)
 }
 
 void
-IslTagePredictor::update(uint64_t pc, bool taken, const PredMeta &meta)
+IslTagePredictor::doUpdate(uint64_t pc, bool taken,
+                           const PredMeta &meta)
 {
     // Loop predictor training.
     LoopEntry &e = loop_[loopIndex(pc)];
@@ -427,18 +453,29 @@ IslTagePredictor::update(uint64_t pc, bool taken, const PredMeta &meta)
     local_hist_[lidx] = static_cast<uint16_t>(
         ((lh << 1) | (taken ? 1 : 0)) & ((1u << kLocalHistLen) - 1));
 
-    TagePredictor::update(pc, taken, meta);
+    TagePredictor::doUpdate(pc, taken, meta);
 }
 
 void
-IslTagePredictor::reset()
+IslTagePredictor::doReset()
 {
-    TagePredictor::reset();
+    TagePredictor::doReset();
     for (auto &e : loop_)
         e = LoopEntry{};
     for (auto &c : sc_)
         c.set(0);
     std::fill(local_hist_.begin(), local_hist_.end(), 0);
+    loop_overrides_ = 0;
+    sc_overrides_ = 0;
+}
+
+void
+IslTagePredictor::exportMetricsExtra(MetricSnapshot &out,
+                                     const std::string &prefix) const
+{
+    TagePredictor::exportMetricsExtra(out, prefix);
+    out.add(prefix + "loopOverrides", loop_overrides_);
+    out.add(prefix + "scOverrides", sc_overrides_);
 }
 
 } // namespace vanguard

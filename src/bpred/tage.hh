@@ -45,12 +45,16 @@ class TagePredictor : public DirectionPredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void updateHistory(bool taken) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
 
   protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdateHistory(bool taken) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
+    void exportMetricsExtra(MetricSnapshot &out,
+                            const std::string &prefix) const override;
+
     struct TaggedEntry
     {
         uint16_t tag = 0;
@@ -93,6 +97,13 @@ class TagePredictor : public DirectionPredictor
     SignedSatCounter use_alt_on_na_{4, 0};
     uint64_t update_count_ = 0;
     uint64_t alloc_rng_ = 0x2545f4914f6cdd1dULL;
+
+    // Provider attribution + allocator health telemetry.
+    uint64_t provider_hits_ = 0;   ///< a tagged component provided
+    uint64_t base_hits_ = 0;       ///< fell through to the bimodal base
+    uint64_t alt_overrides_ = 0;   ///< USE_ALT_ON_NA picked the alternate
+    uint64_t allocations_ = 0;     ///< new tagged entries claimed
+    uint64_t alloc_failures_ = 0;  ///< mispredict found no free entry
 };
 
 /** TAGE + loop predictor + statistical corrector. */
@@ -107,9 +118,14 @@ class IslTagePredictor : public TagePredictor
 
     std::string name() const override;
     size_t storageBits() const override;
-    bool predict(uint64_t pc, PredMeta &meta) override;
-    void update(uint64_t pc, bool taken, const PredMeta &meta) override;
-    void reset() override;
+
+  protected:
+    bool doPredict(uint64_t pc, PredMeta &meta) override;
+    void doUpdate(uint64_t pc, bool taken,
+                  const PredMeta &meta) override;
+    void doReset() override;
+    void exportMetricsExtra(MetricSnapshot &out,
+                            const std::string &prefix) const override;
 
   private:
     struct LoopEntry
@@ -139,6 +155,8 @@ class IslTagePredictor : public TagePredictor
      *  history components fragment. */
     std::vector<SignedSatCounter> sc_;
     std::vector<uint16_t> local_hist_;
+    uint64_t loop_overrides_ = 0;  ///< loop predictor took the branch
+    uint64_t sc_overrides_ = 0;    ///< statistical corrector overrode
 };
 
 } // namespace vanguard

@@ -22,7 +22,10 @@ namespace vanguard {
 
 namespace {
 
-constexpr unsigned kJournalVersion = 1;
+// v2 adds an optional trailing " bpred <n> <key>:<val>..." section to
+// 'S' records (predictor-internal counters); v1 records parse as
+// having none.
+constexpr unsigned kJournalVersion = 2;
 constexpr const char *kJournalMagic = "vanguard-journal";
 
 /**
@@ -119,6 +122,12 @@ appendStats(std::ostringstream &os, const SimStats &stats)
         os << ' ' << static_cast<uint64_t>(id) << ':' << ce.first
            << ':' << ce.second;
     }
+
+    if (!stats.bpredCounters.empty()) {
+        os << " bpred " << stats.bpredCounters.size();
+        for (const auto &[key, val] : stats.bpredCounters)
+            os << ' ' << key << ':' << val;
+    }
 }
 
 bool
@@ -147,6 +156,29 @@ parseStats(std::istringstream &is, SimStats *out)
                         &ev) != 3)
             return false;
         out->branchStalls[static_cast<InstId>(id)] = {cyc, ev};
+    }
+
+    // Optional v2 predictor-counter section; absent in v1 records.
+    std::string marker2;
+    if (!(is >> marker2))
+        return true;
+    size_t nb = 0;
+    if (marker2 != "bpred" || !(is >> nb))
+        return false;
+    out->bpredCounters.reserve(nb);
+    for (size_t i = 0; i < nb; ++i) {
+        std::string tok;
+        if (!(is >> tok))
+            return false;
+        size_t colon = tok.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        uint64_t val = std::strtoull(tok.c_str() + colon + 1, &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0')
+            return false;
+        out->bpredCounters.emplace_back(tok.substr(0, colon), val);
     }
     return true;
 }
@@ -237,7 +269,7 @@ parseJournal(const std::string &text)
     if (!parseVersionedHeader(line, kJournalMagic, kJournalVersion,
                               &out.version)) {
         out.error = "missing '" + std::string(kJournalMagic) +
-                    " v1' header";
+                    "' header";
         return out;
     }
 

@@ -1,18 +1,19 @@
 /**
  * @file
- * Crash-safe sweep journal: the `vanguard-journal v1` format.
+ * Crash-safe sweep journal: the `vanguard-journal v2` format.
  *
  * A journal is an append-only, per-record-checksummed ledger of
  * completed experiment jobs, written next to a sweep so that an
  * OOM-kill, Ctrl-C, disk-full, or reboot at job 4700/4800 loses at
  * most the jobs that were literally in flight. Layout:
  *
- *   vanguard-journal v1
+ *   vanguard-journal v2
  *   spec 4f2a9c01d3e8b7a6      # FNV-1a of the canonical sweep spec
  *   jobs 4800                  # total jobs in the sweep
  *   T 0 ok @1a2b3c4d
  *   C 3 ok @...
- *   S 17 ok <counters...> stalls <n> <id:cyc:ev>... @...
+ *   S 17 ok <counters...> stalls <n> <id:cyc:ev>...
+ *       bpred <n> <key>:<val>... @...    # (one line; v2 section)
  *   S 18 fail Hang 1 <bundle> <message> @...
  *
  * One line per record: phase letter (T=train, C=compile, S=simulate),
@@ -25,7 +26,8 @@
  * exactly as durable as the filesystem allows.
  *
  * `ok` simulate records carry the full SimStats counter set
- * (including the per-branch stall map backing ASPCB), so a resumed
+ * (including the per-branch stall map backing ASPCB and, since v2,
+ * the predictor-internal `bpred.*` counters), so a resumed
  * sweep replays them bit-identically without re-simulating. `ok`
  * train records pair with a checkpointed TRAIN profile file
  * (`train-<benchmark>.vgp`, the profile_io v1 format); compile

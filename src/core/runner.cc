@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -54,10 +55,13 @@ jobScopeKey(const JobIdentity &id, unsigned attempt)
  * Run one job body under fault isolation: any exception becomes a
  * JobFailure instead of escaping to the pool. Transient kinds retry
  * up to ropts.maxAttempts total tries — deterministically, because
- * every job is a pure function of its inputs.
+ * every job is a pure function of its inputs. Retries tick the
+ * engine.jobs.retries counter and emit a trace instant; final
+ * failures emit one too, so the timeline shows where a sweep bled.
  */
 std::optional<JobFailure>
 runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
+           Tracer *tracer, Counter &retries,
            const std::function<void()> &body)
 {
     unsigned max_attempts = std::max(1u, ropts.maxAttempts);
@@ -71,13 +75,32 @@ runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
             return std::nullopt;
         } catch (const SimError &e) {
             if (SimError::isTransient(e.kind()) &&
-                attempt < max_attempts)
+                attempt < max_attempts) {
+                retries.add();
+                if (tracer != nullptr) {
+                    tracer->instant(
+                        "job.retry",
+                        Tracer::args(
+                            {{"job", id.describe()},
+                             {"kind", SimError::kindName(e.kind())},
+                             {"attempt",
+                              std::to_string(attempt)}}));
+                }
                 continue;
+            }
             JobFailure f;
             f.id = id;
             f.kind = e.kind();
             f.message = e.detail();
             f.attempts = attempt;
+            if (tracer != nullptr) {
+                tracer->instant(
+                    "job.failure",
+                    Tracer::args(
+                        {{"job", id.describe()},
+                         {"kind", SimError::kindName(f.kind)},
+                         {"attempts", std::to_string(attempt)}}));
+            }
             return f;
         } catch (const std::exception &e) {
             JobFailure f;
@@ -85,6 +108,14 @@ runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
             f.kind = SimError::Kind::Internal;
             f.message = e.what();
             f.attempts = attempt;
+            if (tracer != nullptr) {
+                tracer->instant(
+                    "job.failure",
+                    Tracer::args(
+                        {{"job", id.describe()},
+                         {"kind", "Internal"},
+                         {"attempts", std::to_string(attempt)}}));
+            }
             return f;
         }
     }
@@ -158,6 +189,7 @@ struct Checkpoint
     JournalContents prior;  ///< empty maps on a fresh sweep
     JournalWriter writer;
     std::atomic<size_t> replayed{0};
+    Tracer *tracer = nullptr;
 
     std::string
     trainProfilePath(const std::string &benchmark) const
@@ -179,6 +211,14 @@ struct Checkpoint
     {
         try {
             writer.append(rec);
+            if (tracer != nullptr) {
+                tracer->instant(
+                    "journal.checkpoint",
+                    Tracer::args(
+                        {{"phase", std::string(1, rec.phase)},
+                         {"index", std::to_string(rec.index)},
+                         {"ok", rec.ok ? "true" : "false"}}));
+            }
         } catch (const SimError &e) {
             vg_warn("journal append failed (%s); %c %zu is not "
                     "durable and will re-run on resume",
@@ -304,12 +344,59 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     SuiteReport report;
     report.totalJobs = B + B * W + B * W * S * 2;
 
+    // Metrics + tracing sinks. A null RunnerOptions::metrics still
+    // runs against a private registry so the merge-time bit-identity
+    // assertion protects every sweep, not just instrumented ones.
+    MetricsRegistry local_registry;
+    MetricsRegistry &reg =
+        ropts.metrics != nullptr ? *ropts.metrics : local_registry;
+    Tracer *tracer = ropts.tracer;
+
+    Counter &jobs_total = reg.counter("engine.jobs.total");
+    Counter &jobs_completed = reg.counter("engine.jobs.completed");
+    Counter &jobs_failed = reg.counter("engine.jobs.failed");
+    Counter &jobs_skipped = reg.counter("engine.jobs.skipped");
+    Counter &jobs_retries = reg.counter("engine.jobs.retries");
+    Counter &jobs_replayed = reg.counter("engine.jobs.replayed");
+    Counter &train_done = reg.counter("engine.phase.train.completed");
+    Counter &train_failed = reg.counter("engine.phase.train.failed");
+    Counter &compile_done =
+        reg.counter("engine.phase.compile.completed");
+    Counter &compile_failed =
+        reg.counter("engine.phase.compile.failed");
+    Counter &sim_done = reg.counter("engine.phase.simulate.completed");
+    Counter &sim_failed = reg.counter("engine.phase.simulate.failed");
+    // Per-simulation cycle counts: deterministic observations into
+    // fixed power-of-two buckets, so the histogram (and its
+    // percentiles) is worker-count independent.
+    std::vector<uint64_t> cycle_bounds;
+    for (unsigned shift = 10; shift <= 30; shift += 2)
+        cycle_bounds.push_back(uint64_t{1} << shift);
+    Histogram &sim_cycles =
+        reg.histogram("engine.sim.cycles", cycle_bounds);
+    jobs_total.add(report.totalJobs);
+
     std::unique_ptr<Checkpoint> ckpt =
         openCheckpoint(ropts, suite, widths, base, report.totalJobs);
+    if (ckpt != nullptr)
+        ckpt->tracer = tracer;
     auto stampReplayed = [&report, &ckpt] {
         if (ckpt != nullptr)
             report.replayedJobs =
                 ckpt->replayed.load(std::memory_order_relaxed);
+    };
+    auto stampFaultGauges = [&reg] {
+        for (size_t k = 0; k < FaultPlan::kNumKinds; ++k) {
+            auto kind = static_cast<SimError::Kind>(k);
+            std::string key = sanitizeMetricKey(
+                SimError::kindName(kind));
+            for (char &c : key)
+                c = static_cast<char>(std::tolower(
+                    static_cast<unsigned char>(c)));
+            reg.gauge("engine.faults.injected." + key)
+                .set(static_cast<double>(
+                    faultinject::injectedCount(kind)));
+        }
     };
 
     // Graceful drain: once a shutdown is requested, queued jobs are
@@ -324,68 +411,125 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // retraining — and re-journaling — if the profile file rotted).
     std::vector<TrainArtifacts> trains(B);
     std::vector<std::optional<JobFailure>> train_fail(B);
-    pool.parallelFor(B, [&](size_t b) {
-        JobIdentity id;
-        id.phase = "train";
-        id.benchmark = suite[b].name;
-        id.index = b;
-        faultinject::Scope job_scope(jobScopeKey(id, 0));
-        if (ckpt != nullptr) {
-            auto it = ckpt->prior.train.find(b);
-            if (it != ckpt->prior.train.end()) {
-                if (!it->second.ok) {
-                    train_fail[b] = failureFromRecord(id, it->second);
-                    ckpt->countReplay();
-                    return;
+    auto mergeTrain = [&](size_t b) {
+        MetricSnapshot snap;
+        const BranchProfile &p = trains[b].profile;
+        snap.add("profile.dynamicInsts", p.totalDynamicInsts);
+        snap.add("profile.dynamicBranches", p.totalDynamicBranches);
+        snap.add("profile.mispredicts", p.totalMispredicts);
+        snap.add("compiler.selectedBranches",
+                 trains[b].selected.size());
+        reg.mergeJobSnapshot("train." + std::string(suite[b].name),
+                             snap);
+    };
+    ProgressReporter train_progress(ropts.tag, "train", B);
+    train_progress.observeFailures(&train_failed);
+    train_progress.observeRetries(&jobs_retries);
+    {
+        TraceSpan phase_span(tracer, "phase.train");
+        pool.parallelFor(B, [&](size_t b) {
+            ScopedCurrentTracer ambient(tracer);
+            JobIdentity id;
+            id.phase = "train";
+            id.benchmark = suite[b].name;
+            id.index = b;
+            faultinject::Scope job_scope(jobScopeKey(id, 0));
+            if (ckpt != nullptr) {
+                auto it = ckpt->prior.train.find(b);
+                if (it != ckpt->prior.train.end()) {
+                    if (!it->second.ok) {
+                        train_fail[b] =
+                            failureFromRecord(id, it->second);
+                        ckpt->countReplay();
+                        jobs_replayed.add();
+                        jobs_failed.add();
+                        train_failed.add();
+                        train_progress.jobFailed();
+                        return;
+                    }
+                    std::string path =
+                        ckpt->trainProfilePath(suite[b].name);
+                    std::ifstream in(path);
+                    std::stringstream buf;
+                    if (in)
+                        buf << in.rdbuf();
+                    ProfileParseResult parsed =
+                        deserializeProfile(buf.str());
+                    if (in && parsed.ok) {
+                        trains[b] = trainFromProfile(
+                            suite[b], std::move(parsed.profile),
+                            base);
+                        ckpt->countReplay();
+                        jobs_replayed.add();
+                        jobs_completed.add();
+                        train_done.add();
+                        mergeTrain(b);
+                        if (tracer != nullptr) {
+                            tracer->instant(
+                                "job.replayed",
+                                Tracer::args(
+                                    {{"job", id.describe()}}));
+                        }
+                        train_progress.jobDone();
+                        return;
+                    }
+                    vg_warn("checkpointed profile %s is unreadable; "
+                            "retraining %s", path.c_str(),
+                            suite[b].name);
                 }
-                std::string path =
-                    ckpt->trainProfilePath(suite[b].name);
-                std::ifstream in(path);
-                std::stringstream buf;
-                if (in)
-                    buf << in.rdbuf();
-                ProfileParseResult parsed =
-                    deserializeProfile(buf.str());
-                if (in && parsed.ok) {
-                    trains[b] = trainFromProfile(
-                        suite[b], std::move(parsed.profile), base);
-                    ckpt->countReplay();
-                    return;
-                }
-                vg_warn("checkpointed profile %s is unreadable; "
-                        "retraining %s", path.c_str(),
-                        suite[b].name);
             }
-        }
-        train_fail[b] = runGuarded(id, ropts, [&] {
-            trains[b] = trainBenchmark(suite[b], base);
+            {
+                TraceSpan span(
+                    tracer, "train",
+                    tracer == nullptr
+                        ? std::string()
+                        : Tracer::args(
+                              {{"benchmark", suite[b].name},
+                               {"index", std::to_string(b)}}));
+                train_fail[b] = runGuarded(
+                    id, ropts, tracer, jobs_retries, [&] {
+                        trains[b] = trainBenchmark(suite[b], base);
+                    });
+            }
+            if (train_fail[b].has_value()) {
+                writeBundle(*train_fail[b], suite[b], base, ropts);
+                jobs_failed.add();
+                train_failed.add();
+                train_progress.jobFailed();
+            } else {
+                jobs_completed.add();
+                train_done.add();
+                mergeTrain(b);
+                train_progress.jobDone();
+            }
+            if (ckpt == nullptr)
+                return;
+            if (train_fail[b].has_value()) {
+                ckpt->append(
+                    recordFromFailure('T', b, *train_fail[b]));
+            } else {
+                try {
+                    writeFileAtomic(
+                        ckpt->trainProfilePath(suite[b].name),
+                        serializeProfile(trains[b].profile));
+                } catch (const SimError &e) {
+                    vg_warn("cannot checkpoint TRAIN profile for %s "
+                            "(%s); resume will retrain",
+                            suite[b].name, e.detail().c_str());
+                }
+                JournalRecord rec;
+                rec.phase = 'T';
+                rec.index = b;
+                rec.ok = true;
+                ckpt->append(rec);
+            }
         });
-        if (train_fail[b].has_value())
-            writeBundle(*train_fail[b], suite[b], base, ropts);
-        if (ckpt == nullptr)
-            return;
-        if (train_fail[b].has_value()) {
-            ckpt->append(recordFromFailure('T', b, *train_fail[b]));
-        } else {
-            try {
-                writeFileAtomic(ckpt->trainProfilePath(suite[b].name),
-                                serializeProfile(trains[b].profile));
-            } catch (const SimError &e) {
-                vg_warn("cannot checkpoint TRAIN profile for %s "
-                        "(%s); resume will retrain",
-                        suite[b].name, e.detail().c_str());
-            }
-            JournalRecord rec;
-            rec.phase = 'T';
-            rec.index = b;
-            rec.ok = true;
-            ckpt->append(rec);
-        }
-    });
+    }
     collectPhase(train_fail, report);
     if (shutdownRequested()) {
         report.interrupted = true;
         stampReplayed();
+        stampFaultGauges();
         return report;
     }
 
@@ -396,53 +540,104 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // cheap) without re-recording.
     std::vector<BenchmarkArtifacts> arts(B * W);
     std::vector<std::optional<JobFailure>> compile_fail(B * W);
-    pool.parallelFor(B * W, [&](size_t i) {
-        size_t b = i / W;
-        size_t w = i % W;
-        if (train_fail[b].has_value())
-            return;
-        JobIdentity id;
-        id.phase = "compile";
-        id.benchmark = suite[b].name;
-        id.width = widths[w];
-        id.index = i;
-        faultinject::Scope job_scope(jobScopeKey(id, 0));
-        bool journaled = false;
-        if (ckpt != nullptr) {
-            auto it = ckpt->prior.compile.find(i);
-            if (it != ckpt->prior.compile.end()) {
-                if (!it->second.ok) {
-                    compile_fail[i] =
-                        failureFromRecord(id, it->second);
-                    ckpt->countReplay();
-                    return;
-                }
-                journaled = true;
-                ckpt->countReplay();
+    auto mergeCompile = [&](size_t i, size_t b, size_t w) {
+        MetricSnapshot snap;
+        snap.add("compiler.staticInsts.base",
+                 arts[i].base.staticInsts);
+        snap.add("compiler.staticInsts.exp", arts[i].exp.staticInsts);
+        snap.add("compiler.selectedBranches",
+                 arts[i].train.selected.size());
+        reg.mergeJobSnapshot("compile." +
+                                 std::string(suite[b].name) + ".w" +
+                                 std::to_string(widths[w]),
+                             snap);
+    };
+    ProgressReporter compile_progress(ropts.tag, "compile", B * W);
+    compile_progress.observeFailures(&compile_failed);
+    compile_progress.observeRetries(&jobs_retries);
+    {
+        TraceSpan phase_span(tracer, "phase.compile");
+        pool.parallelFor(B * W, [&](size_t i) {
+            size_t b = i / W;
+            size_t w = i % W;
+            if (train_fail[b].has_value()) {
+                jobs_skipped.add();
+                compile_progress.jobDone();
+                return;
             }
-        }
-        compile_fail[i] = runGuarded(id, ropts, [&] {
-            arts[i] = compileBenchmark(suite[b], trains[b], wopts[w]);
+            ScopedCurrentTracer ambient(tracer);
+            JobIdentity id;
+            id.phase = "compile";
+            id.benchmark = suite[b].name;
+            id.width = widths[w];
+            id.index = i;
+            faultinject::Scope job_scope(jobScopeKey(id, 0));
+            bool journaled = false;
+            if (ckpt != nullptr) {
+                auto it = ckpt->prior.compile.find(i);
+                if (it != ckpt->prior.compile.end()) {
+                    if (!it->second.ok) {
+                        compile_fail[i] =
+                            failureFromRecord(id, it->second);
+                        ckpt->countReplay();
+                        jobs_replayed.add();
+                        jobs_failed.add();
+                        compile_failed.add();
+                        compile_progress.jobFailed();
+                        return;
+                    }
+                    journaled = true;
+                    ckpt->countReplay();
+                    jobs_replayed.add();
+                }
+            }
+            {
+                TraceSpan span(
+                    tracer, "compile",
+                    tracer == nullptr
+                        ? std::string()
+                        : Tracer::args(
+                              {{"benchmark", suite[b].name},
+                               {"width",
+                                std::to_string(widths[w])},
+                               {"index", std::to_string(i)}}));
+                compile_fail[i] = runGuarded(
+                    id, ropts, tracer, jobs_retries, [&] {
+                        arts[i] = compileBenchmark(
+                            suite[b], trains[b], wopts[w]);
+                    });
+            }
+            if (compile_fail[i].has_value()) {
+                writeBundle(*compile_fail[i], suite[b], wopts[w],
+                            ropts);
+                jobs_failed.add();
+                compile_failed.add();
+                compile_progress.jobFailed();
+            } else {
+                jobs_completed.add();
+                compile_done.add();
+                mergeCompile(i, b, w);
+                compile_progress.jobDone();
+            }
+            if (ckpt == nullptr || journaled)
+                return;
+            if (compile_fail[i].has_value()) {
+                ckpt->append(
+                    recordFromFailure('C', i, *compile_fail[i]));
+            } else {
+                JournalRecord rec;
+                rec.phase = 'C';
+                rec.index = i;
+                rec.ok = true;
+                ckpt->append(rec);
+            }
         });
-        if (compile_fail[i].has_value())
-            writeBundle(*compile_fail[i], suite[b], wopts[w], ropts);
-        if (ckpt == nullptr || journaled)
-            return;
-        if (compile_fail[i].has_value()) {
-            ckpt->append(
-                recordFromFailure('C', i, *compile_fail[i]));
-        } else {
-            JournalRecord rec;
-            rec.phase = 'C';
-            rec.index = i;
-            rec.ok = true;
-            ckpt->append(rec);
-        }
-    });
+    }
     collectPhase(compile_fail, report);
     if (shutdownRequested()) {
         report.interrupted = true;
         stampReplayed();
+        stampFaultGauges();
         return report;
     }
 
@@ -452,73 +647,128 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // cfg 1 = experimental.
     std::vector<SimStats> sims(B * W * S * 2);
     std::vector<std::optional<JobFailure>> sim_fail(sims.size());
-    ProgressReporter progress(ropts.tag, sims.size());
-    pool.parallelFor(sims.size(), [&](size_t i) {
-        size_t cfg = i % 2;
-        size_t s = (i / 2) % S;
-        size_t bw = i / (2 * S);
-        size_t b = bw / W;
-        size_t w = bw % W;
-        if (train_fail[b].has_value() ||
-            compile_fail[bw].has_value()) {
-            progress.jobDone(); // skipped, but the sweep advanced
-            return;
-        }
-        const BenchmarkArtifacts &art = arts[bw];
-        const BenchmarkSpec &spec = suite[b];
-        const VanguardOptions &opts = wopts[w];
-        JobIdentity id;
-        id.phase = "simulate";
-        id.benchmark = spec.name;
-        id.width = widths[w];
-        id.config = static_cast<int>(cfg);
-        id.seed = kRefSeeds[s];
-        id.index = i;
-        faultinject::Scope job_scope(jobScopeKey(id, 0));
-        if (ckpt != nullptr) {
-            auto it = ckpt->prior.sim.find(i);
-            if (it != ckpt->prior.sim.end()) {
-                ckpt->countReplay();
-                if (!it->second.ok) {
-                    sim_fail[i] = failureFromRecord(id, it->second);
-                    progress.jobFailed();
-                } else {
-                    sims[i] = it->second.stats;
-                    progress.jobDone();
-                }
+    auto simScope = [&](size_t b, size_t w, size_t cfg, size_t s) {
+        return "sim." + std::string(suite[b].name) + ".w" +
+               std::to_string(widths[w]) +
+               (cfg == 0 ? ".base" : ".exp") + ".s" +
+               std::to_string(s);
+    };
+    auto mergeSim = [&](size_t i, size_t b, size_t w, size_t cfg,
+                        size_t s) {
+        reg.mergeJobSnapshot(simScope(b, w, cfg, s),
+                             simStatsSnapshot(sims[i]));
+        sim_cycles.observe(sims[i].cycles);
+    };
+    ProgressReporter progress(ropts.tag, "simulate", sims.size());
+    progress.observeFailures(&sim_failed);
+    progress.observeRetries(&jobs_retries);
+    {
+        TraceSpan phase_span(tracer, "phase.simulate");
+        pool.parallelFor(sims.size(), [&](size_t i) {
+            size_t cfg = i % 2;
+            size_t s = (i / 2) % S;
+            size_t bw = i / (2 * S);
+            size_t b = bw / W;
+            size_t w = bw % W;
+            if (train_fail[b].has_value() ||
+                compile_fail[bw].has_value()) {
+                jobs_skipped.add();
+                progress.jobDone(); // skipped, but the sweep advanced
                 return;
             }
-        }
-        sim_fail[i] = runGuarded(id, ropts, [&] {
-            sims[i] = cfg == 0
-                ? simulateConfig(spec, art.base, opts, kRefSeeds[s],
-                                 /*collect_branch_stalls=*/true)
-                : simulateConfig(spec, art.exp, opts, kRefSeeds[s]);
-        });
-        if (sim_fail[i].has_value()) {
-            writeBundle(*sim_fail[i], spec, opts, ropts);
-            progress.jobFailed();
-        } else {
-            progress.jobDone();
-        }
-        if (ckpt != nullptr) {
-            if (sim_fail[i].has_value()) {
-                ckpt->append(
-                    recordFromFailure('S', i, *sim_fail[i]));
-            } else {
-                JournalRecord rec;
-                rec.phase = 'S';
-                rec.index = i;
-                rec.ok = true;
-                rec.stats = sims[i];
-                ckpt->append(rec);
+            ScopedCurrentTracer ambient(tracer);
+            const BenchmarkArtifacts &art = arts[bw];
+            const BenchmarkSpec &spec = suite[b];
+            const VanguardOptions &opts = wopts[w];
+            JobIdentity id;
+            id.phase = "simulate";
+            id.benchmark = spec.name;
+            id.width = widths[w];
+            id.config = static_cast<int>(cfg);
+            id.seed = kRefSeeds[s];
+            id.index = i;
+            faultinject::Scope job_scope(jobScopeKey(id, 0));
+            if (ckpt != nullptr) {
+                auto it = ckpt->prior.sim.find(i);
+                if (it != ckpt->prior.sim.end()) {
+                    ckpt->countReplay();
+                    jobs_replayed.add();
+                    if (!it->second.ok) {
+                        sim_fail[i] =
+                            failureFromRecord(id, it->second);
+                        jobs_failed.add();
+                        sim_failed.add();
+                        progress.jobFailed();
+                    } else {
+                        sims[i] = it->second.stats;
+                        jobs_completed.add();
+                        sim_done.add();
+                        mergeSim(i, b, w, cfg, s);
+                        if (tracer != nullptr) {
+                            tracer->instant(
+                                "job.replayed",
+                                Tracer::args(
+                                    {{"job", id.describe()}}));
+                        }
+                        progress.jobDone();
+                    }
+                    return;
+                }
             }
-        }
-    });
+            {
+                TraceSpan span(
+                    tracer, "simulate",
+                    tracer == nullptr
+                        ? std::string()
+                        : Tracer::args(
+                              {{"benchmark", spec.name},
+                               {"width",
+                                std::to_string(widths[w])},
+                               {"config",
+                                cfg == 0 ? "base" : "exp"},
+                               {"seed", hexU64(kRefSeeds[s])},
+                               {"index", std::to_string(i)}}));
+                sim_fail[i] = runGuarded(
+                    id, ropts, tracer, jobs_retries, [&] {
+                        sims[i] = cfg == 0
+                            ? simulateConfig(
+                                  spec, art.base, opts, kRefSeeds[s],
+                                  /*collect_branch_stalls=*/true)
+                            : simulateConfig(spec, art.exp, opts,
+                                             kRefSeeds[s]);
+                    });
+            }
+            if (sim_fail[i].has_value()) {
+                writeBundle(*sim_fail[i], spec, opts, ropts);
+                jobs_failed.add();
+                sim_failed.add();
+                progress.jobFailed();
+            } else {
+                jobs_completed.add();
+                sim_done.add();
+                mergeSim(i, b, w, cfg, s);
+                progress.jobDone();
+            }
+            if (ckpt != nullptr) {
+                if (sim_fail[i].has_value()) {
+                    ckpt->append(
+                        recordFromFailure('S', i, *sim_fail[i]));
+                } else {
+                    JournalRecord rec;
+                    rec.phase = 'S';
+                    rec.index = i;
+                    rec.ok = true;
+                    rec.stats = sims[i];
+                    ckpt->append(rec);
+                }
+            }
+        });
+    }
     collectPhase(sim_fail, report);
     if (shutdownRequested()) {
         report.interrupted = true;
         stampReplayed();
+        stampFaultGauges();
         return report;
     }
 
@@ -527,6 +777,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // benchmark's mean/best; a benchmark whose train/compile failed
     // keeps its row (alignment across widths) but contributes nothing
     // to the suite geomeans.
+    TraceSpan assemble_span(tracer, "phase.assemble");
     report.results.resize(W);
     for (size_t w = 0; w < W; ++w) {
         std::vector<double> means;
@@ -584,6 +835,9 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         report.results[w].geomeanBestPct =
             bests.empty() ? 0.0 : geomeanPct(bests);
     }
+    reg.counter("engine.pool.executed").add(pool.executedCount());
+    reg.counter("engine.pool.discarded").add(pool.discardedCount());
+    stampFaultGauges();
     stampReplayed();
     return report;
 }

@@ -61,6 +61,8 @@
 
 #include "core/experiment.hh"
 #include "support/error.hh"
+#include "support/metrics.hh"
+#include "support/tracing.hh"
 
 namespace vanguard {
 
@@ -129,6 +131,24 @@ struct RunnerOptions
      * attempt exactly as if the job body threw.
      */
     std::function<void(const JobIdentity &)> faultInjection;
+
+    /**
+     * Metrics sink: the engine registers/updates `engine.*` counters
+     * and folds every job's snapshot in (per-job scopes named
+     * `train.<bench>`, `compile.<bench>.w<w>`,
+     * `sim.<bench>.w<w>.<base|exp>.s<i>`). Null runs the sweep
+     * against a private throwaway registry — the merge-time
+     * bit-identity assertion still fires either way.
+     */
+    MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Event-trace sink: train/compile/simulate spans per job (with
+     * benchmark/width/config/seed/attempt args), retry/failure/
+     * checkpoint instants, and coarse per-phase spans. Null disables
+     * tracing entirely (no overhead beyond a branch).
+     */
+    Tracer *tracer = nullptr;
 };
 
 /** Everything a fault-tolerant sweep produced. */

@@ -11,6 +11,7 @@
 #include "profile/profiler.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "support/tracing.hh"
 
 namespace vanguard {
 
@@ -34,8 +35,13 @@ trainBenchmark(const BenchmarkSpec &spec, const VanguardOptions &opts)
     auto predictor = makePredictor(opts.predictor, kTrainSeed);
     ProfileOptions popts;
     popts.maxInsts = opts.profileMaxInsts;
-    out.profile =
-        profileFunction(train.fn, *train.mem, *predictor, popts);
+    {
+        // Ambient tracer (set by the engine around each job) gets a
+        // sub-span for the expensive inner step; null-safe no-op.
+        TraceSpan span(currentTracer(), "train.profile");
+        out.profile =
+            profileFunction(train.fn, *train.mem, *predictor, popts);
+    }
     out.selected = selectBranches(train.fn, out.profile,
                                   opts.selection);
     return out;
@@ -58,6 +64,9 @@ compileConfig(const BenchmarkSpec &spec, const TrainArtifacts &train,
               bool decomposed, const VanguardOptions &opts,
               DecomposeStats *dstats_out)
 {
+    TraceSpan span(currentTracer(), "compile.config",
+                   Tracer::args({{"decomposed",
+                                  decomposed ? "1" : "0"}}));
     CompiledConfig out;
     out.decomposed = decomposed;
 
@@ -124,6 +133,7 @@ simulateConfig(const BenchmarkSpec &spec, const CompiledConfig &config,
     // timing run below is then checked against it online.
     std::unique_ptr<LockstepChecker> checker;
     if (opts.lockstep) {
+        TraceSpan span(currentTracer(), "sim.golden");
         Memory golden_mem = *ref.mem; // timing run mutates *ref.mem
         Interpreter oracle(ref.fn, golden_mem);
         oracle.recordStores(true);
@@ -145,11 +155,13 @@ simulateConfig(const BenchmarkSpec &spec, const CompiledConfig &config,
     std::vector<bool> outcomes;
     bool needs_oracle = opts.predictor.rfind("ideal:", 0) == 0;
     if (needs_oracle && config.decomposed) {
+        TraceSpan span(currentTracer(), "sim.prerecord");
         outcomes = prerecordPredictOutcomes(config.prog, *ref.mem,
                                             opts.simMaxInsts * 2);
         sopts.predictOutcomes = &outcomes;
     }
 
+    TraceSpan span(currentTracer(), "sim.timing");
     return simulate(config.prog, *ref.mem, *predictor, opts.machine(),
                     sopts);
 }

@@ -2,13 +2,22 @@
  * @file
  * Mutex-guarded, rate-limited stderr progress reporting for the
  * experiment engine. Worker threads call jobDone()/jobFailed() after
- * every simulation; at most one line per interval is emitted (plus
- * the final one), so a large sweep cannot flood the terminal. Lines
- * go through the same console mutex as vg_warn/vg_inform
- * (support/logging.hh), so a worker's warning can never interleave
- * mid-line with a progress update:
+ * every job; at most one line per interval is emitted (plus the final
+ * one), so a large sweep cannot flood the terminal. Lines go through
+ * the same console mutex as vg_warn/vg_inform (support/logging.hh),
+ * so a worker's warning can never interleave mid-line with a progress
+ * update:
  *
- *   [fig08] 312/4800 simulations, 2 failed
+ *   [fig08] simulate 312/4800 (14.2 jobs/s, ETA 316s), 2 failed
+ *
+ * Each phase of a sweep gets its own reporter carrying the phase
+ * label. Failure and retry tallies are read live from the metrics
+ * registry's counters when the engine wires them in (observeFailures /
+ * observeRetries) — the ad-hoc internal tally is only the fallback —
+ * so the console, the JSON dump, and the journal all agree on one
+ * number. Throughput and ETA are wall-clock derived and go only to
+ * stderr, never into the registry (which must stay bit-identical
+ * across worker counts).
  */
 
 #ifndef VANGUARD_SUPPORT_PROGRESS_HH
@@ -22,18 +31,34 @@
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace vanguard {
 
 class ProgressReporter
 {
   public:
+    ProgressReporter(std::string tag, std::string phase, size_t total,
+                     std::chrono::milliseconds interval =
+                         std::chrono::milliseconds(500))
+        : tag_(std::move(tag)), phase_(std::move(phase)),
+          total_(total), interval_(interval),
+          start_(std::chrono::steady_clock::now()), last_(start_)
+    {}
+
+    /** Back-compat: phase defaults to "simulations". */
     ProgressReporter(std::string tag, size_t total,
                      std::chrono::milliseconds interval =
                          std::chrono::milliseconds(500))
-        : tag_(std::move(tag)), total_(total), interval_(interval),
-          last_(std::chrono::steady_clock::now())
+        : ProgressReporter(std::move(tag), "simulations", total,
+                           interval)
     {}
+
+    /** Derive the failed tally from a registry counter (live). */
+    void observeFailures(const Counter *c) { failed_ctr_ = c; }
+
+    /** Also show a retry tally, read from a registry counter. */
+    void observeRetries(const Counter *c) { retries_ctr_ = c; }
 
     void
     jobDone()
@@ -49,7 +74,13 @@ class ProgressReporter
         report(++done_);
     }
 
-    size_t failures() const { return failed_.load(); }
+    size_t
+    failures() const
+    {
+        return failed_ctr_ != nullptr
+            ? static_cast<size_t>(failed_ctr_->value())
+            : failed_.load();
+    }
 
   private:
     void
@@ -62,21 +93,48 @@ class ProgressReporter
         if (done != total_ && now - last_ < interval_)
             return;
         last_ = now;
-        size_t failed = failed_.load();
-        std::string line = "[" + tag_ + "] " + std::to_string(done) +
-                           "/" + std::to_string(total_) +
-                           " simulations";
+
+        std::string line = "[" + tag_ + "] " + phase_ + " " +
+                           std::to_string(done) + "/" +
+                           std::to_string(total_);
+
+        double secs =
+            std::chrono::duration<double>(now - start_).count();
+        if (secs > 0.0 && done > 0) {
+            double rate = static_cast<double>(done) / secs;
+            char buf[64];
+            if (done < total_ && rate > 0.0) {
+                double eta =
+                    static_cast<double>(total_ - done) / rate;
+                std::snprintf(buf, sizeof(buf),
+                              " (%.1f jobs/s, ETA %.0fs)", rate, eta);
+            } else {
+                std::snprintf(buf, sizeof(buf), " (%.1f jobs/s)",
+                              rate);
+            }
+            line += buf;
+        }
+
+        size_t failed = failures();
         if (failed != 0)
             line += ", " + std::to_string(failed) + " failed";
+        uint64_t retries =
+            retries_ctr_ != nullptr ? retries_ctr_->value() : 0;
+        if (retries != 0)
+            line += ", " + std::to_string(retries) + " retried";
         detail::emitLine(stderr, line);
     }
 
     std::string tag_;
+    std::string phase_;
     size_t total_;
     std::chrono::milliseconds interval_;
     std::atomic<size_t> done_{0};
     std::atomic<size_t> failed_{0};
+    const Counter *failed_ctr_ = nullptr;
+    const Counter *retries_ctr_ = nullptr;
     std::mutex mutex_;
+    std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point last_;
 };
 

@@ -46,46 +46,6 @@ speedupPercent(double ratio)
     return (ratio - 1.0) * 100.0;
 }
 
-void
-StatSet::set(const std::string &name, double value)
-{
-    stats_[name] = value;
-}
-
-void
-StatSet::add(const std::string &name, double delta)
-{
-    stats_[name] += delta;
-}
-
-double
-StatSet::get(const std::string &name) const
-{
-    auto it = stats_.find(name);
-    return it == stats_.end() ? 0.0 : it->second;
-}
-
-bool
-StatSet::has(const std::string &name) const
-{
-    return stats_.count(name) > 0;
-}
-
-std::string
-StatSet::dump(const std::string &prefix) const
-{
-    std::ostringstream os;
-    for (const auto &[name, value] : stats_) {
-        char buf[64];
-        if (value == std::floor(value) && std::fabs(value) < 1e15)
-            std::snprintf(buf, sizeof(buf), "%.0f", value);
-        else
-            std::snprintf(buf, sizeof(buf), "%.4f", value);
-        os << prefix << name << " = " << buf << "\n";
-    }
-    return os.str();
-}
-
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {

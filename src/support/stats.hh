@@ -1,14 +1,15 @@
 /**
  * @file
- * Lightweight statistics helpers: named scalar stats, ratio/geomean
- * math, and fixed-width table printing for the benchmark harnesses.
+ * Lightweight statistics helpers: ratio/geomean math and fixed-width
+ * table printing for the benchmark harnesses. Named scalar stats live
+ * in the unified metrics registry (support/metrics.hh), which
+ * replaced the old StatSet.
  */
 
 #ifndef VANGUARD_SUPPORT_STATS_HH
 #define VANGUARD_SUPPORT_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -25,28 +26,6 @@ double speedupRatio(uint64_t baseline_cycles, uint64_t exp_cycles);
 
 /** Convert a speedup ratio to a percent improvement (1.11 -> 11.0). */
 double speedupPercent(double ratio);
-
-/**
- * An ordered collection of named scalar statistics with dump support.
- * Simulator components register counters here so harnesses can print a
- * full machine-state report.
- */
-class StatSet
-{
-  public:
-    void set(const std::string &name, double value);
-    void add(const std::string &name, double delta);
-    double get(const std::string &name) const;
-    bool has(const std::string &name) const;
-
-    const std::map<std::string, double> &all() const { return stats_; }
-
-    /** Render "name = value" lines, sorted by name. */
-    std::string dump(const std::string &prefix = "") const;
-
-  private:
-    std::map<std::string, double> stats_;
-};
 
 /**
  * Fixed-width ASCII table builder used by every bench binary so the

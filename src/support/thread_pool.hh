@@ -30,7 +30,9 @@
 #ifndef VANGUARD_SUPPORT_THREAD_POOL_HH
 #define VANGUARD_SUPPORT_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <exception>
@@ -184,6 +186,20 @@ class ThreadPool
         wait();
     }
 
+    /** Jobs actually run since construction. */
+    uint64_t
+    executedCount() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /** Jobs discarded unrun by the drain predicate. */
+    uint64_t
+    discardedCount() const
+    {
+        return discarded_.load(std::memory_order_relaxed);
+    }
+
   private:
     void
     workerLoop()
@@ -201,12 +217,15 @@ class ThreadPool
                 queue_.pop_front();
             }
             if (!drain_ || !drain_()) {
+                executed_.fetch_add(1, std::memory_order_relaxed);
                 try {
                     job();
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(mutex_);
                     errors_.push_back(std::current_exception());
                 }
+            } else {
+                discarded_.fetch_add(1, std::memory_order_relaxed);
             }
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -225,6 +244,8 @@ class ThreadPool
     size_t outstanding_ = 0;
     std::vector<std::exception_ptr> errors_;
     bool stopping_ = false;
+    std::atomic<uint64_t> executed_{0};
+    std::atomic<uint64_t> discarded_{0};
 };
 
 } // namespace vanguard

@@ -217,7 +217,9 @@ class TimingModel
     traceRecord(const LaidInst &li, uint64_t fetch, uint64_t issue,
                 uint64_t done, bool issued, bool redirected)
     {
-        if (opts_.trace != nullptr && opts_.trace->wants()) {
+        if (opts_.trace != nullptr) {
+            // Unconditional: the window itself counts overflow so the
+            // Gantt footer can report how much it dropped.
             opts_.trace->record({li.pc, li.inst.op, fetch, issue, done,
                                  issued, redirected});
         }
@@ -562,6 +564,18 @@ TimingModel::run()
             }
         }
     }
+
+    // Export the predictor's internal counters under a sanitized
+    // "bpred.<name>." prefix so they ride along with the run's stats
+    // (and survive journal round-trips like every other counter).
+    {
+        MetricSnapshot snap;
+        predictor_.exportMetrics(
+            snap, "bpred." + sanitizeMetricKey(predictor_.name()) + ".");
+        stats_.bpredCounters.reserve(snap.entries.size());
+        for (const auto &e : snap.entries)
+            stats_.bpredCounters.emplace_back(e.path, e.value);
+    }
     return stats_;
 }
 
@@ -574,6 +588,42 @@ simulate(const Program &prog, Memory &mem,
 {
     TimingModel model(prog, mem, predictor, cfg, opts);
     return model.run();
+}
+
+MetricSnapshot
+simStatsSnapshot(const SimStats &stats)
+{
+    MetricSnapshot snap;
+    snap.add("uarch.pipeline.cycles", stats.cycles);
+    snap.add("uarch.pipeline.dynamicInsts", stats.dynamicInsts);
+    snap.add("uarch.pipeline.fetched", stats.fetched);
+    snap.add("uarch.pipeline.issued", stats.issued);
+    snap.add("uarch.pipeline.condBranches", stats.condBranches);
+    snap.add("uarch.pipeline.brMispredicts", stats.brMispredicts);
+    snap.add("uarch.pipeline.predictsExecuted", stats.predictsExecuted);
+    snap.add("uarch.pipeline.resolvesExecuted", stats.resolvesExecuted);
+    snap.add("uarch.pipeline.resolveRedirects", stats.resolveRedirects);
+    snap.add("uarch.pipeline.branchStallCycles",
+             stats.branchStallCycles);
+    snap.add("uarch.pipeline.branchStallEvents",
+             stats.branchStallEvents);
+    snap.add("uarch.pipeline.fetchBufferStalls",
+             stats.fetchBufferStalls);
+    snap.add("uarch.pipeline.speculativeExecs", stats.speculativeExecs);
+    snap.add("uarch.pipeline.foldedCommitMovs", stats.foldedCommitMovs);
+    snap.add("uarch.icache.lineAccesses", stats.icacheLineAccesses);
+    snap.add("uarch.icache.misses", stats.icacheMisses);
+    snap.add("uarch.l1d.accesses", stats.l1dAccesses);
+    snap.add("uarch.l1d.misses", stats.l1dMisses);
+    snap.add("uarch.l2.misses", stats.l2Misses);
+    snap.add("uarch.l3.misses", stats.l3Misses);
+    snap.add("uarch.dbb.fullStalls", stats.dbbFullStalls);
+    snap.add("uarch.dbb.maxOccupancy", stats.dbbMaxOccupancy,
+             MetricSnapshot::Agg::Max);
+    snap.add("uarch.mshr.stalls", stats.mshrStalls);
+    for (const auto &kv : stats.bpredCounters)
+        snap.add(kv.first, kv.second);
+    return snap;
 }
 
 std::vector<bool>

@@ -135,6 +135,14 @@ struct SimStats
     std::unordered_map<InstId, std::pair<uint64_t, uint64_t>>
         branchStalls;
 
+    /**
+     * Predictor-internal counters exported at end of run under
+     * "bpred.<sanitized name>." (lookups, updates, mispredicts, plus
+     * model-specific extras such as TAGE provider attribution). Kept
+     * as ordered pairs so journal round-trips preserve them exactly.
+     */
+    std::vector<std::pair<std::string, uint64_t>> bpredCounters;
+
     double
     ipc() const
     {
@@ -165,6 +173,14 @@ struct SimStats
 SimStats simulate(const Program &prog, Memory &mem,
                   DirectionPredictor &predictor,
                   const MachineConfig &cfg, const SimOptions &opts = {});
+
+/**
+ * Flatten one run's SimStats into dotted metric paths
+ * (`uarch.pipeline.cycles`, `uarch.icache.misses`,
+ * `uarch.dbb.maxOccupancy` max-aggregated, plus the predictor's
+ * `bpred.*` counters) for MetricsRegistry::mergeJobSnapshot.
+ */
+MetricSnapshot simStatsSnapshot(const SimStats &stats);
 
 /**
  * Functionally pre-execute prog and record, for every dynamic PREDICT,

@@ -53,6 +53,11 @@ PipelineTrace::render(size_t max_cycles) const
             os << "...";
         os << "\n";
     }
+    if (dropped_ != 0) {
+        os << "(window full: " << dropped_
+           << " later instructions dropped; widen with"
+              " --gantt-window)\n";
+    }
     return os.str();
 }
 

@@ -39,10 +39,13 @@ class PipelineTrace
         entries_.reserve(limit_);
     }
 
+    /** True while the window still accepts entries (limit 0 never
+     *  does); callers may also record() unconditionally and let the
+     *  window count the overflow itself. */
     bool
     wants() const
     {
-        return entries_.size() < limit_;
+        return limit_ != 0 && entries_.size() < limit_;
     }
 
     void
@@ -50,21 +53,35 @@ class PipelineTrace
     {
         if (wants())
             entries_.push_back(entry);
+        else
+            ++dropped_;
     }
 
     const std::vector<TraceEntry> &entries() const { return entries_; }
-    void clear() { entries_.clear(); }
+
+    /** Entries offered after the window filled (shown by render()). */
+    uint64_t dropped() const { return dropped_; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        dropped_ = 0;
+    }
 
     /**
      * Render a text timeline: one row per instruction, one column per
      * cycle. 'F' fetch, '-' in flight, 'I' issue, '=' executing,
      * 'D' done, '!' redirect. Rows are clipped to `max_cycles`
-     * columns from the window's first fetch.
+     * columns from the window's first fetch. A footer reports how
+     * many entries overflowed the window, so a truncated view is
+     * never mistaken for the whole run.
      */
     std::string render(size_t max_cycles = 100) const;
 
   private:
     size_t limit_;
+    uint64_t dropped_ = 0;
     std::vector<TraceEntry> entries_;
 };
 

@@ -204,17 +204,6 @@ TEST(Stats, SpeedupMath)
     EXPECT_NEAR(speedupPercent(0.9), -10.0, 1e-9);
 }
 
-TEST(Stats, StatSetAccumulates)
-{
-    StatSet s;
-    s.set("a", 1);
-    s.add("a", 2);
-    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
-    EXPECT_FALSE(s.has("b"));
-    EXPECT_DOUBLE_EQ(s.get("b"), 0.0);
-    EXPECT_NE(s.dump().find("a = 3"), std::string::npos);
-}
-
 TEST(Stats, TablePrinterAligns)
 {
     TablePrinter t({"name", "value"});
