@@ -46,6 +46,16 @@
  *                          journaled jobs, run only the missing ones
  *     --inject SPEC        arm the deterministic fault injector,
  *                          e.g. "io:0.01,hang:0.005,seed=7"
+ *     --selfbench          benchmark the simulator itself: run the
+ *                          pinned workload x width x predictor matrix
+ *                          through both execution paths and print the
+ *                          vanguard-selfbench v1 JSON report
+ *     --selfbench-out F    write the report to F (atomic) instead of
+ *                          stdout (the committed trajectory is
+ *                          BENCH_PR5.json at the repo root)
+ *     --selfbench-repeats N  timed repetitions per cell, best-of
+ *                          (default 3)
+ *     --selfbench-iters N  kernel trip count per cell (default 6000)
  *     --help               print usage and exit 0
  *
  * Exit codes: 0 success, 1 simulator error, 2 usage,
@@ -67,6 +77,7 @@
 #include "compiler/select.hh"
 #include "core/replay.hh"
 #include "core/runner.hh"
+#include "core/selfbench.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
 #include "support/atomic_file.hh"
@@ -129,7 +140,9 @@ printUsage(std::FILE *to)
         "[--stats] [--metrics-out F] [--trace-out F] "
         "[--lockstep] [--cycle-budget N] [--replay-dir D] "
         "[--fail-threshold N] [--replay FILE] "
-        "[--checkpoint-dir D] [--resume] [--inject SPEC] [--help]\n"
+        "[--checkpoint-dir D] [--resume] [--inject SPEC] "
+        "[--selfbench] [--selfbench-out F] [--selfbench-repeats N] "
+        "[--selfbench-iters N] [--help]\n"
         "\n"
         "telemetry:\n"
         "  --metrics-out F     write the unified metrics dump "
@@ -243,6 +256,9 @@ runCli(int argc, char **argv)
     size_t gantt_window = 256;
     bool resume = false;
     size_t fail_threshold = 0;
+    bool selfbench = false;
+    std::string selfbench_out;
+    SelfBenchOptions sb_opts;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -337,6 +353,14 @@ runCli(int argc, char **argv)
             metrics_out = next();
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--selfbench") {
+            selfbench = true;
+        } else if (arg == "--selfbench-out") {
+            selfbench_out = next();
+        } else if (arg == "--selfbench-repeats") {
+            sb_opts.repeats = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--selfbench-iters") {
+            sb_opts.iterations = strtoull(next(), nullptr, 10);
         } else {
             std::fprintf(stderr, "vanguard_cli: unknown flag '%s'\n",
                          arg.c_str());
@@ -364,6 +388,27 @@ runCli(int argc, char **argv)
 
     if (!replay_path.empty())
         return runReplay(replay_path, /*lockstep=*/true);
+
+    if (selfbench) {
+        // Simulator self-benchmark: measures the host, so it runs
+        // before (and instead of) any deterministic sweep plumbing.
+        SelfBenchReport report = runSelfBench(sb_opts, stderr);
+        std::string json = selfBenchToJson(report);
+        if (selfbench_out.empty()) {
+            std::printf("%s\n", json.c_str());
+        } else {
+            writeFileAtomic(selfbench_out, json + "\n");
+            std::fprintf(stderr, "selfbench report written to %s\n",
+                         selfbench_out.c_str());
+        }
+        std::fprintf(stderr,
+                     "selfbench geomean: %.1f M-insts/s fast, "
+                     "%.1f M-insts/s reference (%.2fx)\n",
+                     report.geomeanFastIps() / 1e6,
+                     report.geomeanRefIps() / 1e6,
+                     report.geomeanSpeedup());
+        return 0;
+    }
 
     BenchmarkSpec spec = findBenchmark(benchmark);
     spec.iterations = iterations;

@@ -20,34 +20,6 @@ BimodalPredictor::storageBits() const
     return table_.size() * 2;
 }
 
-uint32_t
-BimodalPredictor::index(uint64_t pc) const
-{
-    // Instruction addresses are 4-byte aligned; drop the low bits.
-    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
-}
-
-bool
-BimodalPredictor::doPredict(uint64_t pc, PredMeta &meta)
-{
-    uint32_t idx = index(pc);
-    meta.v[0] = idx;
-    meta.dir = table_[idx].predictTaken();
-    return meta.dir;
-}
-
-void
-BimodalPredictor::doUpdateHistory(bool)
-{
-    // Bimodal keeps no history.
-}
-
-void
-BimodalPredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
-{
-    table_[meta.v[0]].update(taken);
-}
-
 void
 BimodalPredictor::doReset()
 {

@@ -15,7 +15,7 @@
 
 namespace vanguard {
 
-class BimodalPredictor : public DirectionPredictor
+class BimodalPredictor final : public DirectionPredictor
 {
   public:
     /** @param index_bits log2 of the counter-table size. */
@@ -25,14 +25,39 @@ class BimodalPredictor : public DirectionPredictor
     size_t storageBits() const override;
 
   protected:
-    bool doPredict(uint64_t pc, PredMeta &meta) override;
-    void doUpdateHistory(bool taken) override;
-    void doUpdate(uint64_t pc, bool taken,
-                  const PredMeta &meta) override;
+    // Inline so the simulator's sealed dispatch (bpred/dispatch.hh)
+    // can fold the whole lookup into its branch-handling switch.
+    bool
+    doPredict(uint64_t pc, PredMeta &meta) override
+    {
+        uint32_t idx = index(pc);
+        meta.v[0] = idx;
+        meta.dir = table_[idx].predictTaken();
+        return meta.dir;
+    }
+
+    void
+    doUpdateHistory(bool) override
+    {
+        // Bimodal keeps no history.
+    }
+
+    void
+    doUpdate(uint64_t, bool taken, const PredMeta &meta) override
+    {
+        table_[meta.v[0]].update(taken);
+    }
+
     void doReset() override;
 
   private:
-    uint32_t index(uint64_t pc) const;
+    uint32_t
+    index(uint64_t pc) const
+    {
+        // Instruction addresses are 4-byte aligned; drop the low bits.
+        return static_cast<uint32_t>((pc >> 2) &
+                                     ((1u << index_bits_) - 1));
+    }
 
     unsigned index_bits_;
     std::vector<SatCounter> table_;

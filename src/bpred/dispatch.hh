@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Sealed fast dispatch for DirectionPredictor.
+ *
+ * The simulator's hot loop calls the predictor two to three times per
+ * conditional branch (predict, advance history, train). Through a
+ * DirectionPredictor*, each of those NVI entry points ends in a
+ * virtual do*() call. Every concrete model in the factory is a
+ * `final` class, so once the dynamic type is known the compiler can
+ * resolve — and with LTO, inline — those calls statically.
+ *
+ * PredictorDispatch discovers the concrete type once at construction
+ * (a handful of dynamic_casts, off the hot path) and thereafter
+ * forwards every call through a pointer of the exact final type. The
+ * forwarded calls hit the same public NVI methods with the same
+ * arguments, so counters and predictions are bit-identical to calling
+ * through the base pointer; a model the switch does not know (e.g. a
+ * test double) falls back to ordinary virtual dispatch.
+ */
+
+#ifndef VANGUARD_BPRED_DISPATCH_HH
+#define VANGUARD_BPRED_DISPATCH_HH
+
+#include <cstdint>
+
+#include "bpred/bimodal.hh"
+#include "bpred/gshare.hh"
+#include "bpred/ideal.hh"
+#include "bpred/local.hh"
+#include "bpred/perceptron.hh"
+#include "bpred/predictor.hh"
+#include "bpred/tage.hh"
+
+namespace vanguard {
+
+class PredictorDispatch
+{
+  public:
+    explicit PredictorDispatch(DirectionPredictor &p) : generic_(&p)
+    {
+        // Most-derived types first: IslTage/SealedTage both pass an
+        // "is-a TagePredictor" test, so the base test never runs.
+        if (bind<SealedTagePredictor>(p, Kind::Tage) ||
+            bind<IslTagePredictor>(p, Kind::IslTage) ||
+            bind<CombiningPredictor>(p, Kind::Combining) ||
+            bind<GsharePredictor>(p, Kind::Gshare) ||
+            bind<BimodalPredictor>(p, Kind::Bimodal) ||
+            bind<LocalHistoryPredictor>(p, Kind::Local) ||
+            bind<PerceptronPredictor>(p, Kind::Perceptron) ||
+            bind<IdealPredictor>(p, Kind::Ideal)) {
+            return;
+        }
+    }
+
+    bool
+    predict(uint64_t pc, PredMeta &meta)
+    {
+        switch (kind_) {
+          case Kind::Tage:
+            return as<SealedTagePredictor>()->predict(pc, meta);
+          case Kind::IslTage:
+            return as<IslTagePredictor>()->predict(pc, meta);
+          case Kind::Combining:
+            return as<CombiningPredictor>()->predict(pc, meta);
+          case Kind::Gshare:
+            return as<GsharePredictor>()->predict(pc, meta);
+          case Kind::Bimodal:
+            return as<BimodalPredictor>()->predict(pc, meta);
+          case Kind::Local:
+            return as<LocalHistoryPredictor>()->predict(pc, meta);
+          case Kind::Perceptron:
+            return as<PerceptronPredictor>()->predict(pc, meta);
+          case Kind::Ideal:
+            return as<IdealPredictor>()->predict(pc, meta);
+          case Kind::Generic:
+            break;
+        }
+        return generic_->predict(pc, meta);
+    }
+
+    bool
+    predictWithOracle(uint64_t pc, bool actual, PredMeta &meta)
+    {
+        switch (kind_) {
+          case Kind::Tage:
+            return as<SealedTagePredictor>()->predictWithOracle(
+                pc, actual, meta);
+          case Kind::IslTage:
+            return as<IslTagePredictor>()->predictWithOracle(pc, actual,
+                                                             meta);
+          case Kind::Combining:
+            return as<CombiningPredictor>()->predictWithOracle(
+                pc, actual, meta);
+          case Kind::Gshare:
+            return as<GsharePredictor>()->predictWithOracle(pc, actual,
+                                                            meta);
+          case Kind::Bimodal:
+            return as<BimodalPredictor>()->predictWithOracle(pc, actual,
+                                                             meta);
+          case Kind::Local:
+            return as<LocalHistoryPredictor>()->predictWithOracle(
+                pc, actual, meta);
+          case Kind::Perceptron:
+            return as<PerceptronPredictor>()->predictWithOracle(
+                pc, actual, meta);
+          case Kind::Ideal:
+            return as<IdealPredictor>()->predictWithOracle(pc, actual,
+                                                           meta);
+          case Kind::Generic:
+            break;
+        }
+        return generic_->predictWithOracle(pc, actual, meta);
+    }
+
+    void
+    updateHistory(bool taken)
+    {
+        switch (kind_) {
+          case Kind::Tage:
+            as<SealedTagePredictor>()->updateHistory(taken);
+            return;
+          case Kind::IslTage:
+            as<IslTagePredictor>()->updateHistory(taken);
+            return;
+          case Kind::Combining:
+            as<CombiningPredictor>()->updateHistory(taken);
+            return;
+          case Kind::Gshare:
+            as<GsharePredictor>()->updateHistory(taken);
+            return;
+          case Kind::Bimodal:
+            as<BimodalPredictor>()->updateHistory(taken);
+            return;
+          case Kind::Local:
+            as<LocalHistoryPredictor>()->updateHistory(taken);
+            return;
+          case Kind::Perceptron:
+            as<PerceptronPredictor>()->updateHistory(taken);
+            return;
+          case Kind::Ideal:
+            as<IdealPredictor>()->updateHistory(taken);
+            return;
+          case Kind::Generic:
+            break;
+        }
+        generic_->updateHistory(taken);
+    }
+
+    void
+    update(uint64_t pc, bool taken, const PredMeta &meta)
+    {
+        switch (kind_) {
+          case Kind::Tage:
+            as<SealedTagePredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::IslTage:
+            as<IslTagePredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Combining:
+            as<CombiningPredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Gshare:
+            as<GsharePredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Bimodal:
+            as<BimodalPredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Local:
+            as<LocalHistoryPredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Perceptron:
+            as<PerceptronPredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Ideal:
+            as<IdealPredictor>()->update(pc, taken, meta);
+            return;
+          case Kind::Generic:
+            break;
+        }
+        generic_->update(pc, taken, meta);
+    }
+
+    /** True when a sealed concrete type was recognized. */
+    bool sealed() const { return kind_ != Kind::Generic; }
+
+  private:
+    enum class Kind : uint8_t
+    {
+        Generic,
+        Bimodal,
+        Gshare,
+        Combining,
+        Local,
+        Perceptron,
+        Tage,
+        IslTage,
+        Ideal,
+    };
+
+    template <typename T>
+    bool
+    bind(DirectionPredictor &p, Kind kind)
+    {
+        if (T *typed = dynamic_cast<T *>(&p)) {
+            typed_ = typed;
+            kind_ = kind;
+            return true;
+        }
+        return false;
+    }
+
+    template <typename T>
+    T *
+    as() const
+    {
+        return static_cast<T *>(typed_);
+    }
+
+    DirectionPredictor *generic_;
+    void *typed_ = nullptr;
+    Kind kind_ = Kind::Generic;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_BPRED_DISPATCH_HH

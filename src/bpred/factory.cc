@@ -27,8 +27,11 @@ makePredictor(const std::string &name, uint64_t seed)
         return std::make_unique<LocalHistoryPredictor>();
     if (name == "perceptron")
         return std::make_unique<PerceptronPredictor>();
-    if (name == "tage")
-        return std::make_unique<TagePredictor>();
+    if (name == "tage") {
+        // Sealed leaf subtype so the simulator's fast dispatch can
+        // devirtualize; behaviorally identical to TagePredictor.
+        return std::make_unique<SealedTagePredictor>();
+    }
     if (name == "isltage")
         return std::make_unique<IslTagePredictor>();
     if (name.rfind("ideal:", 0) == 0) {

@@ -21,35 +21,6 @@ GsharePredictor::storageBits() const
     return table_.size() * 2 + history_bits_;
 }
 
-uint32_t
-GsharePredictor::index(uint64_t pc) const
-{
-    uint64_t hist = history_ & ((1ull << history_bits_) - 1);
-    return static_cast<uint32_t>(((pc >> 2) ^ hist) &
-                                 ((1u << index_bits_) - 1));
-}
-
-bool
-GsharePredictor::doPredict(uint64_t pc, PredMeta &meta)
-{
-    uint32_t idx = index(pc);
-    meta.v[0] = idx;
-    meta.dir = table_[idx].predictTaken();
-    return meta.dir;
-}
-
-void
-GsharePredictor::doUpdateHistory(bool taken)
-{
-    history_ = (history_ << 1) | (taken ? 1 : 0);
-}
-
-void
-GsharePredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
-{
-    table_[meta.v[0]].update(taken);
-}
-
 void
 GsharePredictor::doReset()
 {
@@ -79,63 +50,6 @@ CombiningPredictor::storageBits() const
 {
     return (bimodal_.size() + gshare_.size() + chooser_.size()) * 2 +
            history_bits_;
-}
-
-uint32_t
-CombiningPredictor::pcIndex(uint64_t pc) const
-{
-    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
-}
-
-uint32_t
-CombiningPredictor::gshareIndex(uint64_t pc) const
-{
-    uint64_t hist = history_ & ((1ull << history_bits_) - 1);
-    return static_cast<uint32_t>(((pc >> 2) ^ hist) &
-                                 ((1u << index_bits_) - 1));
-}
-
-bool
-CombiningPredictor::doPredict(uint64_t pc, PredMeta &meta)
-{
-    uint32_t bi = pcIndex(pc);
-    uint32_t gi = gshareIndex(pc);
-    bool bim_dir = bimodal_[bi].predictTaken();
-    bool gsh_dir = gshare_[gi].predictTaken();
-    bool use_gshare = chooser_[bi].predictTaken();
-
-    if (use_gshare)
-        ++gshare_picks_;
-    else
-        ++bimodal_picks_;
-
-    meta.v[0] = bi;
-    meta.v[1] = gi;
-    meta.v[2] = (bim_dir ? 1u : 0u) | (gsh_dir ? 2u : 0u);
-    meta.dir = use_gshare ? gsh_dir : bim_dir;
-    return meta.dir;
-}
-
-void
-CombiningPredictor::doUpdateHistory(bool taken)
-{
-    history_ = (history_ << 1) | (taken ? 1 : 0);
-}
-
-void
-CombiningPredictor::doUpdate(uint64_t, bool taken, const PredMeta &meta)
-{
-    uint32_t bi = meta.v[0];
-    uint32_t gi = meta.v[1];
-    bool bim_dir = (meta.v[2] & 1u) != 0;
-    bool gsh_dir = (meta.v[2] & 2u) != 0;
-
-    bimodal_[bi].update(taken);
-    gshare_[gi].update(taken);
-
-    // Chooser trains only when the components disagreed.
-    if (bim_dir != gsh_dir)
-        chooser_[bi].update(gsh_dir == taken);
 }
 
 void

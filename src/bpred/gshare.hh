@@ -20,7 +20,7 @@
 
 namespace vanguard {
 
-class GsharePredictor : public DirectionPredictor
+class GsharePredictor final : public DirectionPredictor
 {
   public:
     GsharePredictor(unsigned index_bits = 15, unsigned history_bits = 15);
@@ -33,14 +33,40 @@ class GsharePredictor : public DirectionPredictor
     void restoreHistory(uint64_t h) override { history_ = h; }
 
   protected:
-    bool doPredict(uint64_t pc, PredMeta &meta) override;
-    void doUpdateHistory(bool taken) override;
-    void doUpdate(uint64_t pc, bool taken,
-                  const PredMeta &meta) override;
+    // Hot-path hooks defined inline: through a sealed (final-typed)
+    // pointer — see bpred/dispatch.hh — these devirtualize AND inline
+    // into the simulator's branch-handling switch.
+    bool
+    doPredict(uint64_t pc, PredMeta &meta) override
+    {
+        uint32_t idx = index(pc);
+        meta.v[0] = idx;
+        meta.dir = table_[idx].predictTaken();
+        return meta.dir;
+    }
+
+    void
+    doUpdateHistory(bool taken) override
+    {
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+    }
+
+    void
+    doUpdate(uint64_t, bool taken, const PredMeta &meta) override
+    {
+        table_[meta.v[0]].update(taken);
+    }
+
     void doReset() override;
 
   private:
-    uint32_t index(uint64_t pc) const;
+    uint32_t
+    index(uint64_t pc) const
+    {
+        uint64_t hist = history_ & ((1ull << history_bits_) - 1);
+        return static_cast<uint32_t>(((pc >> 2) ^ hist) &
+                                     ((1u << index_bits_) - 1));
+    }
 
     unsigned index_bits_;
     unsigned history_bits_;
@@ -52,7 +78,7 @@ class GsharePredictor : public DirectionPredictor
  * Bimodal + gshare + chooser. The chooser is indexed by PC and trained
  * toward whichever component was correct when they disagree.
  */
-class CombiningPredictor : public DirectionPredictor
+class CombiningPredictor final : public DirectionPredictor
 {
   public:
     /** Default sizing: 3 x 2^15 x 2-bit = 24 KB (paper Table 1). */
@@ -67,17 +93,71 @@ class CombiningPredictor : public DirectionPredictor
     void restoreHistory(uint64_t h) override { history_ = h; }
 
   protected:
-    bool doPredict(uint64_t pc, PredMeta &meta) override;
-    void doUpdateHistory(bool taken) override;
-    void doUpdate(uint64_t pc, bool taken,
-                  const PredMeta &meta) override;
+    // Inline for the same sealed-dispatch reason as GsharePredictor:
+    // this is the default predictor, consulted 2-3x per simulated
+    // branch event.
+    bool
+    doPredict(uint64_t pc, PredMeta &meta) override
+    {
+        uint32_t bi = pcIndex(pc);
+        uint32_t gi = gshareIndex(pc);
+        bool bim_dir = bimodal_[bi].predictTaken();
+        bool gsh_dir = gshare_[gi].predictTaken();
+        bool use_gshare = chooser_[bi].predictTaken();
+
+        if (use_gshare)
+            ++gshare_picks_;
+        else
+            ++bimodal_picks_;
+
+        meta.v[0] = bi;
+        meta.v[1] = gi;
+        meta.v[2] = (bim_dir ? 1u : 0u) | (gsh_dir ? 2u : 0u);
+        meta.dir = use_gshare ? gsh_dir : bim_dir;
+        return meta.dir;
+    }
+
+    void
+    doUpdateHistory(bool taken) override
+    {
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+    }
+
+    void
+    doUpdate(uint64_t, bool taken, const PredMeta &meta) override
+    {
+        uint32_t bi = meta.v[0];
+        uint32_t gi = meta.v[1];
+        bool bim_dir = (meta.v[2] & 1u) != 0;
+        bool gsh_dir = (meta.v[2] & 2u) != 0;
+
+        bimodal_[bi].update(taken);
+        gshare_[gi].update(taken);
+
+        // Chooser trains only when the components disagreed.
+        if (bim_dir != gsh_dir)
+            chooser_[bi].update(gsh_dir == taken);
+    }
+
     void doReset() override;
     void exportMetricsExtra(MetricSnapshot &out,
                             const std::string &prefix) const override;
 
   private:
-    uint32_t pcIndex(uint64_t pc) const;
-    uint32_t gshareIndex(uint64_t pc) const;
+    uint32_t
+    pcIndex(uint64_t pc) const
+    {
+        return static_cast<uint32_t>((pc >> 2) &
+                                     ((1u << index_bits_) - 1));
+    }
+
+    uint32_t
+    gshareIndex(uint64_t pc) const
+    {
+        uint64_t hist = history_ & ((1ull << history_bits_) - 1);
+        return static_cast<uint32_t>(((pc >> 2) ^ hist) &
+                                     ((1u << index_bits_) - 1));
+    }
 
     unsigned index_bits_;
     unsigned history_bits_;

@@ -14,7 +14,7 @@
 
 namespace vanguard {
 
-class IdealPredictor : public DirectionPredictor
+class IdealPredictor final : public DirectionPredictor
 {
   public:
     /** @param accuracy probability a prediction is correct, in [0,1].

@@ -16,7 +16,7 @@
 
 namespace vanguard {
 
-class LocalHistoryPredictor : public DirectionPredictor
+class LocalHistoryPredictor final : public DirectionPredictor
 {
   public:
     LocalHistoryPredictor(unsigned pc_bits = 11, unsigned local_bits = 11);

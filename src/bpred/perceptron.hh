@@ -23,7 +23,7 @@
 
 namespace vanguard {
 
-class PerceptronPredictor : public DirectionPredictor
+class PerceptronPredictor final : public DirectionPredictor
 {
   public:
     /** @param table_bits log2 of the number of perceptrons.

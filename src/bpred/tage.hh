@@ -106,8 +106,23 @@ class TagePredictor : public DirectionPredictor
     uint64_t alloc_failures_ = 0;  ///< mispredict found no free entry
 };
 
+/**
+ * Leaf alias of the plain TAGE model. TagePredictor itself cannot be
+ * `final` (IslTagePredictor extends it), so the factory hands out this
+ * sealed subtype instead: through a SealedTagePredictor pointer the
+ * NVI do*() calls resolve statically, which is what lets the
+ * simulator's PredictorDispatch (bpred/dispatch.hh) devirtualize the
+ * per-branch predict/update pair. Behaviorally identical to
+ * TagePredictor.
+ */
+class SealedTagePredictor final : public TagePredictor
+{
+  public:
+    using TagePredictor::TagePredictor;
+};
+
 /** TAGE + loop predictor + statistical corrector. */
-class IslTagePredictor : public TagePredictor
+class IslTagePredictor final : public TagePredictor
 {
   public:
     IslTagePredictor();

@@ -103,6 +103,10 @@ compileConfig(const BenchmarkSpec &spec, const TrainArtifacts &train,
 
     out.prog = linearize(fn);
     out.staticInsts = out.prog.size();
+    // Decode once per compile artifact; every REF-seed run of this
+    // configuration shares the flat form read-only.
+    out.decoded = std::make_shared<const DecodedProgram>(
+        DecodedProgram::decode(out.prog, opts.machine().l1i.lineBytes));
     return out;
 }
 
@@ -135,7 +139,7 @@ simulateConfig(const BenchmarkSpec &spec, const CompiledConfig &config,
     if (opts.lockstep) {
         TraceSpan span(currentTracer(), "sim.golden");
         Memory golden_mem = *ref.mem; // timing run mutates *ref.mem
-        Interpreter oracle(ref.fn, golden_mem);
+        FastInterpreter oracle(ref.fn, golden_mem);
         oracle.recordStores(true);
         RunResult gr = oracle.run(opts.simMaxInsts * 2);
         if (gr.status == RunStatus::Fault) {
@@ -162,6 +166,11 @@ simulateConfig(const BenchmarkSpec &spec, const CompiledConfig &config,
     }
 
     TraceSpan span(currentTracer(), "sim.timing");
+    if (config.decoded != nullptr) {
+        return simulateWithDecoded(config.prog, *config.decoded,
+                                   *ref.mem, *predictor, opts.machine(),
+                                   sopts);
+    }
     return simulate(config.prog, *ref.mem, *predictor, opts.machine(),
                     sopts);
 }

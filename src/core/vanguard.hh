@@ -9,10 +9,12 @@
 #ifndef VANGUARD_CORE_VANGUARD_HH
 #define VANGUARD_CORE_VANGUARD_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "compiler/decompose.hh"
+#include "exec/decoded_program.hh"
 #include "compiler/select.hh"
 #include "compiler/superblock.hh"
 #include "profile/branch_profile.hh"
@@ -68,6 +70,16 @@ struct CompiledConfig
     std::vector<bool> hoistedMask;  ///< by InstId; empty for baseline
     size_t staticInsts = 0;         ///< laid-out size
     bool decomposed = false;
+
+    /**
+     * Pre-decoded flat execution form of prog (a pure function of the
+     * program and the I-line size), built once at compile time and
+     * shared read-only by every REF-seed simulation of this artifact —
+     * the decode pass runs per compile, not per run. shared_ptr so
+     * CompiledConfig stays copyable across the parallel runner's job
+     * plumbing without re-decoding.
+     */
+    std::shared_ptr<const DecodedProgram> decoded;
 };
 
 /** Everything measured for one (benchmark, ref-input, width) triple. */

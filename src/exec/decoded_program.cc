@@ -1,0 +1,69 @@
+#include "exec/decoded_program.hh"
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+DecodedProgram
+DecodedProgram::decode(const Program &prog, unsigned line_bytes)
+{
+    vg_assert(line_bytes != 0 && (line_bytes & (line_bytes - 1)) == 0,
+              "decode: line size %u is not a power of two", line_bytes);
+
+    DecodedProgram out;
+    out.line_bytes_ = line_bytes;
+    out.insts_.resize(prog.size());
+    const uint64_t line_mask = ~uint64_t{line_bytes - 1};
+
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const LaidInst &li = prog.at(i);
+        const Instruction &inst = li.inst;
+        DecodedInst &d = out.insts_[i];
+
+        d.pc = li.pc;
+        d.lineTag = li.pc & line_mask;
+        d.imm = inst.imm;
+        d.id = inst.id;
+        d.op = inst.op;
+        d.dst = inst.dst;
+        d.src1 = inst.src1;
+        d.src2 = inst.src2;
+        d.src3 = inst.src3;
+        d.fu = static_cast<uint8_t>(inst.fuClass());
+        d.latency = static_cast<uint8_t>(inst.latency());
+
+        if (inst.writesDst())
+            d.flags |= DecodedInst::kFlagWritesDst;
+        if (inst.isLoad())
+            d.flags |= DecodedInst::kFlagIsLoad;
+        if (inst.isStore())
+            d.flags |= DecodedInst::kFlagIsStore;
+        if (inst.hasImmSrc2())
+            d.flags |= DecodedInst::kFlagImmSrc2;
+        if (inst.resolvePathTaken)
+            d.flags |= DecodedInst::kFlagResolvePathTaken;
+
+        if (inst.isBranch()) {
+            d.takenPc = li.takenPc;
+            size_t taken_idx = prog.indexOf(li.takenPc);
+            vg_assert(taken_idx < prog.size(),
+                      "decode: taken target 0x%llx outside program",
+                      static_cast<unsigned long long>(li.takenPc));
+            d.takenIdx = static_cast<uint32_t>(taken_idx);
+        }
+
+        if (inst.op == Opcode::BR)
+            d.stallKey = inst.id;
+        else if (inst.op == Opcode::RESOLVE)
+            d.stallKey = inst.origBranch;
+
+        if (d.stallKey != kNoInst &&
+            (out.max_stall_key_ == kNoInst ||
+             d.stallKey > out.max_stall_key_)) {
+            out.max_stall_key_ = d.stallKey;
+        }
+    }
+    return out;
+}
+
+} // namespace vanguard

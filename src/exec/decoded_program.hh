@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pre-decoded program representation for the fast simulation path.
+ *
+ * A DecodedProgram is an immutable flat array of DecodedInst records
+ * computed once per compiled Program (once per compile artifact in a
+ * sweep) and shared read-only across every seed and machine width that
+ * simulates that artifact. Each record carries everything the cycle
+ * loop needs in one cache-line-friendly POD:
+ *
+ *  - operand registers, the immediate, and semantic flags (writes-dst,
+ *    load/store, imm-as-src2, RESOLVE path direction), so the loop
+ *    never reads an Instruction or calls the opcode helper functions;
+ *  - control-flow both ways: the taken target as a pre-resolved
+ *    *instruction index* (no indexOf division on redirect) and as a
+ *    PC (for the BTB, which is address-indexed hardware);
+ *  - timing inputs resolved at decode time: FU class, execute
+ *    latency, the I-cache line tag of the PC, and the stall-accounting
+ *    key (BR -> own id, RESOLVE -> origBranch, else kNoInst).
+ *
+ * The decode is a pure function of (Program, I-line size); it performs
+ * no selection or scheduling and must not change simulated behavior —
+ * tests/test_fastpath.cc holds the fast path bit-identical to the
+ * retained reference path that interprets Instruction records.
+ */
+
+#ifndef VANGUARD_EXEC_DECODED_PROGRAM_HH
+#define VANGUARD_EXEC_DECODED_PROGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compiler/layout.hh"
+#include "isa/instruction.hh"
+
+namespace vanguard {
+
+/** One pre-decoded instruction; plain data, no methods with logic. */
+struct DecodedInst
+{
+    uint64_t pc = 0;
+    uint64_t takenPc = 0;     ///< taken-path address (branches only)
+    uint64_t lineTag = 0;     ///< pc & ~(lineBytes-1) at decode time
+    int64_t imm = 0;
+
+    uint32_t takenIdx = 0;    ///< instruction index of takenPc
+    InstId id = kNoInst;
+    InstId stallKey = kNoInst; ///< per-branch stall-accumulator index
+
+    Opcode op = Opcode::NOP;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    RegId src3 = kNoReg;
+    uint8_t fu = 0;           ///< FuClass, pre-resolved
+    uint8_t latency = 0;      ///< execute latency, pre-resolved
+    uint8_t flags = 0;        ///< kFlag* bits below
+
+    static constexpr uint8_t kFlagWritesDst = 1u << 0;
+    static constexpr uint8_t kFlagIsLoad = 1u << 1;
+    static constexpr uint8_t kFlagIsStore = 1u << 2;
+    static constexpr uint8_t kFlagImmSrc2 = 1u << 3;
+    static constexpr uint8_t kFlagResolvePathTaken = 1u << 4;
+
+    bool writesDst() const { return flags & kFlagWritesDst; }
+    bool isLoad() const { return flags & kFlagIsLoad; }
+    bool isStore() const { return flags & kFlagIsStore; }
+    bool hasImmSrc2() const { return flags & kFlagImmSrc2; }
+    bool resolvePathTaken() const
+    {
+        return flags & kFlagResolvePathTaken;
+    }
+};
+
+class DecodedProgram
+{
+  public:
+    /**
+     * Decode prog against an I-cache line size (the lineTag inputs).
+     * A simulation whose config uses a different line size ignores the
+     * tags and re-masks the PC itself.
+     */
+    static DecodedProgram decode(const Program &prog,
+                                 unsigned line_bytes);
+
+    const DecodedInst *insts() const { return insts_.data(); }
+    size_t size() const { return insts_.size(); }
+    unsigned lineBytes() const { return line_bytes_; }
+
+    /**
+     * Largest stall-accounting key any BR/RESOLVE reports, or kNoInst
+     * when the program has none — sizes the dense per-branch stall
+     * accumulators exactly like the reference path's program scan.
+     */
+    InstId maxStallKey() const { return max_stall_key_; }
+
+  private:
+    std::vector<DecodedInst> insts_;
+    unsigned line_bytes_ = 0;
+    InstId max_stall_key_ = kNoInst;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_EXEC_DECODED_PROGRAM_HH

@@ -1,12 +1,9 @@
 #include "exec/interpreter.hh"
 
-#include "support/fault_inject.hh"
-#include "support/logging.hh"
-
 namespace vanguard {
 
 Interpreter::Interpreter(const Function &fn, Memory &mem)
-    : fn_(fn), mem_(mem)
+    : InterpreterBase(fn, mem)
 {
     predict_oracle_ = [](const Instruction &) { return false; };
 }
@@ -16,111 +13,6 @@ Interpreter::setPredictOracle(PredictOracle oracle)
 {
     vg_assert(oracle != nullptr);
     predict_oracle_ = std::move(oracle);
-}
-
-int64_t
-Interpreter::reg(RegId r) const
-{
-    vg_assert(r < kNumRegs);
-    return regs_[r];
-}
-
-void
-Interpreter::setReg(RegId r, int64_t value)
-{
-    vg_assert(r < kNumRegs);
-    regs_[r] = value;
-}
-
-void
-Interpreter::restart()
-{
-    store_log_.clear();
-}
-
-RunResult
-Interpreter::run(uint64_t max_insts)
-{
-    RunResult result;
-    BlockId bb = 0;
-    size_t idx = 0;
-
-    uint64_t limit = max_insts;
-    if (step_budget_ != 0 && step_budget_ < limit)
-        limit = step_budget_;
-
-    while (result.dynamicInsts < limit) {
-        const BasicBlock &blk = fn_.block(bb);
-        vg_assert(idx < blk.insts.size(), "ran off end of block %u", bb);
-        const Instruction &inst = blk.insts[idx];
-
-        ++result.dynamicInsts;
-        if (inst_hook_)
-            inst_hook_(inst, bb);
-
-        // Deterministic fault-injection site, gated to one draw per
-        // 4096 insts so an armed injector barely perturbs profiling.
-        if (faultinject::armed() &&
-            (result.dynamicInsts & 4095) == 0) {
-            faultinject::site("interp.step", SimError::Kind::Hang);
-        }
-
-        // Control flow is handled directly; data ops via evaluate().
-        switch (inst.op) {
-          case Opcode::HALT:
-            result.status = RunStatus::Halted;
-            return result;
-          case Opcode::JMP:
-            bb = inst.takenTarget;
-            idx = 0;
-            continue;
-          case Opcode::PREDICT: {
-            bool predicted_taken = predict_oracle_(inst);
-            bb = predicted_taken ? inst.takenTarget : inst.fallTarget;
-            idx = 0;
-            continue;
-          }
-          case Opcode::BR:
-          case Opcode::RESOLVE: {
-            OpResult r = evaluate(inst, regs_, mem_);
-            if (inst.op == Opcode::BR) {
-                ++result.dynamicBranches;
-                if (branch_hook_)
-                    branch_hook_(inst, r.taken);
-            }
-            bb = r.taken ? inst.takenTarget : inst.fallTarget;
-            idx = 0;
-            continue;
-          }
-          default:
-            break;
-        }
-
-        OpResult r = evaluate(inst, regs_, mem_);
-        if (r.fault) {
-            result.status = RunStatus::Fault;
-            result.faultingInst = inst.id;
-            return result;
-        }
-        if (r.isStore) {
-            mem_.write64(r.memAddr, r.storeValue);
-            if (record_stores_)
-                store_log_.emplace_back(r.memAddr, r.storeValue);
-        } else if (inst.writesDst()) {
-            regs_[inst.dst] = r.value;
-        }
-        ++idx;
-    }
-
-    if (step_budget_ != 0 && result.dynamicInsts >= step_budget_) {
-        vg_throw(Hang,
-                 "functional step budget exhausted after %llu insts "
-                 "without reaching HALT (block %u)",
-                 static_cast<unsigned long long>(result.dynamicInsts),
-                 bb);
-    }
-    result.status = RunStatus::InstLimit;
-    return result;
 }
 
 } // namespace vanguard

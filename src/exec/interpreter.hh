@@ -10,6 +10,14 @@
  *   2. profiling substrate: the profiler hooks branch execution to
  *      measure bias and (with a software predictor model) predictability;
  *   3. workload validation in tests.
+ *
+ * The step loop is a CRTP template (InterpreterBase) so per-event taps
+ * are an execution *policy* resolved at compile time, not a per-step
+ * std::function call. Interpreter keeps the classic runtime-hook API
+ * for profilers and tests; FastInterpreter is the null-hook
+ * specialization — its onPredict/onBranch/onInst bodies are the empty
+ * base defaults, so the compiler deletes the tap sites outright, which
+ * is what the per-run lockstep golden pass wants.
  */
 
 #ifndef VANGUARD_EXEC_INTERPRETER_HH
@@ -21,6 +29,8 @@
 #include "exec/memory.hh"
 #include "exec/semantics.hh"
 #include "ir/function.hh"
+#include "support/fault_inject.hh"
+#include "support/logging.hh"
 
 namespace vanguard {
 
@@ -40,8 +50,188 @@ struct RunResult
     InstId faultingInst = kNoInst;
 };
 
-class Interpreter
+/**
+ * Shared functional step loop; Derived supplies the per-event policy
+ * through three statically-dispatched members (all with do-nothing /
+ * predict-not-taken defaults below):
+ *
+ *   bool onPredict(const Instruction &)          — PREDICT direction
+ *   void onBranch(const Instruction &, bool)     — each executed BR
+ *   void onInst(const Instruction &, BlockId)    — every instruction
+ */
+template <typename Derived>
+class InterpreterBase
 {
+  public:
+    InterpreterBase(const Function &fn, Memory &mem)
+        : fn_(fn), mem_(mem)
+    {
+    }
+
+    /** Record every committed store (addr, value) for stream compare. */
+    void recordStores(bool enable) { record_stores_ = enable; }
+
+    const std::vector<std::pair<uint64_t, int64_t>> &
+    storeLog() const
+    {
+        return store_log_;
+    }
+
+    int64_t
+    reg(RegId r) const
+    {
+        vg_assert(r < kNumRegs);
+        return regs_[r];
+    }
+
+    void
+    setReg(RegId r, int64_t value)
+    {
+        vg_assert(r < kNumRegs);
+        regs_[r] = value;
+    }
+
+    const int64_t *regs() const { return regs_; }
+
+    /** Reset control state (registers preserved) to the entry block. */
+    void restart() { store_log_.clear(); }
+
+    /**
+     * Forward-progress watchdog: when nonzero, exhausting this many
+     * steps without reaching HALT throws SimError(Hang) instead of
+     * returning RunStatus::InstLimit — a livelocked functional run
+     * (e.g. an IR loop that never exits) surfaces as a structured,
+     * catchable failure rather than a silently-truncated result.
+     */
+    void setStepBudget(uint64_t steps) { step_budget_ = steps; }
+
+    /** Run until HALT, fault, or the dynamic instruction limit. */
+    RunResult
+    run(uint64_t max_insts = 100'000'000)
+    {
+        RunResult result;
+        BlockId bb = 0;
+        size_t idx = 0;
+
+        uint64_t limit = max_insts;
+        if (step_budget_ != 0 && step_budget_ < limit)
+            limit = step_budget_;
+
+        while (result.dynamicInsts < limit) {
+            const BasicBlock &blk = fn_.block(bb);
+            vg_assert(idx < blk.insts.size(),
+                      "ran off end of block %u", bb);
+            const Instruction &inst = blk.insts[idx];
+
+            ++result.dynamicInsts;
+            derived().onInst(inst, bb);
+
+            // Deterministic fault-injection site, gated to one draw per
+            // 4096 insts so an armed injector barely perturbs profiling.
+            if (faultinject::armed() &&
+                (result.dynamicInsts & 4095) == 0) {
+                faultinject::site("interp.step", SimError::Kind::Hang);
+            }
+
+            // Control flow is handled directly; data ops via
+            // evaluate().
+            switch (inst.op) {
+              case Opcode::HALT:
+                result.status = RunStatus::Halted;
+                return result;
+              case Opcode::JMP:
+                bb = inst.takenTarget;
+                idx = 0;
+                continue;
+              case Opcode::PREDICT: {
+                bool predicted_taken = derived().onPredict(inst);
+                bb = predicted_taken ? inst.takenTarget
+                                     : inst.fallTarget;
+                idx = 0;
+                continue;
+              }
+              case Opcode::BR:
+              case Opcode::RESOLVE: {
+                OpResult r = evaluate(inst, regs_, mem_);
+                if (inst.op == Opcode::BR) {
+                    ++result.dynamicBranches;
+                    derived().onBranch(inst, r.taken);
+                }
+                bb = r.taken ? inst.takenTarget : inst.fallTarget;
+                idx = 0;
+                continue;
+              }
+              default:
+                break;
+            }
+
+            OpResult r = evaluate(inst, regs_, mem_);
+            if (r.fault) {
+                result.status = RunStatus::Fault;
+                result.faultingInst = inst.id;
+                return result;
+            }
+            if (r.isStore) {
+                mem_.write64(r.memAddr, r.storeValue);
+                if (record_stores_)
+                    store_log_.emplace_back(r.memAddr, r.storeValue);
+            } else if (inst.writesDst()) {
+                regs_[inst.dst] = r.value;
+            }
+            ++idx;
+        }
+
+        if (step_budget_ != 0 && result.dynamicInsts >= step_budget_) {
+            vg_throw(Hang,
+                     "functional step budget exhausted after %llu insts "
+                     "without reaching HALT (block %u)",
+                     static_cast<unsigned long long>(
+                         result.dynamicInsts),
+                     bb);
+        }
+        result.status = RunStatus::InstLimit;
+        return result;
+    }
+
+  protected:
+    // Default policy: predict not-taken, no taps. A Derived that keeps
+    // these inherits a loop with no per-event indirection at all.
+    bool onPredict(const Instruction &) { return false; }
+    void onBranch(const Instruction &, bool) {}
+    void onInst(const Instruction &, BlockId) {}
+
+    Derived &derived() { return *static_cast<Derived *>(this); }
+
+    const Function &fn_;
+    Memory &mem_;
+    int64_t regs_[kNumRegs] = {};
+
+    bool record_stores_ = false;
+    uint64_t step_budget_ = 0;
+    std::vector<std::pair<uint64_t, int64_t>> store_log_;
+};
+
+/**
+ * Hook-free interpreter: the statically-null execution policy. Used
+ * where the caller only wants architectural results (lockstep golden
+ * runs, oracle pre-passes) and the per-step tap sites should cost
+ * nothing.
+ */
+class FastInterpreter final : public InterpreterBase<FastInterpreter>
+{
+  public:
+    using InterpreterBase::InterpreterBase;
+};
+
+/**
+ * The classic runtime-configurable interpreter: per-event taps are
+ * std::functions installed after construction. Profilers, correctness
+ * sweeps, and tests that need to observe execution use this one.
+ */
+class Interpreter : public InterpreterBase<Interpreter>
+{
+    friend class InterpreterBase<Interpreter>;
+
   public:
     /** Oracle deciding PREDICT directions; the default predicts
      *  not-taken. Correctness tests sweep oracles. */
@@ -59,46 +249,30 @@ class Interpreter
     void setBranchHook(BranchHook hook) { branch_hook_ = std::move(hook); }
     void setInstHook(InstHook hook) { inst_hook_ = std::move(hook); }
 
-    /** Record every committed store (addr, value) for stream compare. */
-    void recordStores(bool enable) { record_stores_ = enable; }
-
-    const std::vector<std::pair<uint64_t, int64_t>> &
-    storeLog() const
+  private:
+    bool
+    onPredict(const Instruction &inst)
     {
-        return store_log_;
+        return predict_oracle_(inst);
     }
 
-    int64_t reg(RegId r) const;
-    void setReg(RegId r, int64_t value);
-    const int64_t *regs() const { return regs_; }
+    void
+    onBranch(const Instruction &inst, bool taken)
+    {
+        if (branch_hook_)
+            branch_hook_(inst, taken);
+    }
 
-    /** Reset control state (registers preserved) to the entry block. */
-    void restart();
-
-    /**
-     * Forward-progress watchdog: when nonzero, exhausting this many
-     * steps without reaching HALT throws SimError(Hang) instead of
-     * returning RunStatus::InstLimit — a livelocked functional run
-     * (e.g. an IR loop that never exits) surfaces as a structured,
-     * catchable failure rather than a silently-truncated result.
-     */
-    void setStepBudget(uint64_t steps) { step_budget_ = steps; }
-
-    /** Run until HALT, fault, or the dynamic instruction limit. */
-    RunResult run(uint64_t max_insts = 100'000'000);
-
-  private:
-    const Function &fn_;
-    Memory &mem_;
-    int64_t regs_[kNumRegs] = {};
+    void
+    onInst(const Instruction &inst, BlockId bb)
+    {
+        if (inst_hook_)
+            inst_hook_(inst, bb);
+    }
 
     PredictOracle predict_oracle_;
     BranchHook branch_hook_;
     InstHook inst_hook_;
-
-    bool record_stores_ = false;
-    uint64_t step_budget_ = 0;
-    std::vector<std::pair<uint64_t, int64_t>> store_log_;
 };
 
 } // namespace vanguard

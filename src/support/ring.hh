@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Allocation-free FIFO and min-heap building blocks for the simulation
+ * hot path.
+ *
+ * The cycle loop in uarch/pipeline.cc used to lean on std::deque (DBB
+ * free-cycle tracking, resolve-side pending queues) and std::multiset
+ * (MSHR occupancy). All three structures are used with tiny, bounded
+ * populations sized by MachineConfig, so node-based containers paid
+ * per-event heap traffic for nothing. RingFifo and BoundedMinHeap
+ * replace them with flat storage sized once up front:
+ *
+ *  - RingFifo: a contiguous FIFO with head/size indices. In fixed
+ *    mode (the pipeline) capacity is a hard invariant and overflow is
+ *    a vg_assert; in growable mode (the functional prerecord pass,
+ *    which has no MachineConfig bound) capacity doubles on overflow,
+ *    so steady state is allocation-free.
+ *  - BoundedMinHeap: a flat binary min-heap over uint64_t completion
+ *    cycles. The miss-buffer model only ever observes and removes the
+ *    minimum, which is exactly what a multiset was being used for —
+ *    pop-min here is element-for-element identical to
+ *    multiset::erase(begin()).
+ */
+
+#ifndef VANGUARD_SUPPORT_RING_HH
+#define VANGUARD_SUPPORT_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace vanguard {
+
+template <typename T>
+class RingFifo
+{
+  public:
+    explicit RingFifo(size_t capacity, bool growable = false)
+        : slots_(capacity == 0 ? 1 : capacity), growable_(growable)
+    {
+    }
+
+    size_t capacity() const { return slots_.size(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == slots_.size(); }
+
+    void
+    push_back(const T &value)
+    {
+        if (full()) {
+            vg_assert(growable_, "RingFifo overflow (capacity %zu)",
+                      slots_.size());
+            grow();
+        }
+        size_t idx = head_ + size_;
+        if (idx >= slots_.size())
+            idx -= slots_.size();
+        slots_[idx] = value;
+        ++size_;
+    }
+
+    const T &
+    front() const
+    {
+        vg_assert(size_ != 0, "RingFifo underflow");
+        return slots_[head_];
+    }
+
+    void
+    pop_front()
+    {
+        vg_assert(size_ != 0, "RingFifo underflow");
+        ++head_;
+        if (head_ == slots_.size())
+            head_ = 0;
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    /** Double capacity, linearizing the live span (growable only). */
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (size_t i = 0; i < size_; ++i) {
+            size_t idx = head_ + i;
+            if (idx >= slots_.size())
+                idx -= slots_.size();
+            bigger[i] = std::move(slots_[idx]);
+        }
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    bool growable_ = false;
+};
+
+/**
+ * Fixed-capacity binary min-heap over uint64_t keys. Only min-side
+ * operations exist because that is all the MSHR model needs; duplicate
+ * keys are allowed (a pop removes one instance, like
+ * multiset::erase(begin())).
+ */
+class BoundedMinHeap
+{
+  public:
+    explicit BoundedMinHeap(size_t capacity)
+        : cap_(capacity == 0 ? 1 : capacity)
+    {
+        heap_.reserve(cap_);
+    }
+
+    size_t size() const { return heap_.size(); }
+    bool empty() const { return heap_.empty(); }
+
+    uint64_t
+    min() const
+    {
+        vg_assert(!heap_.empty(), "BoundedMinHeap underflow");
+        return heap_[0];
+    }
+
+    void
+    push(uint64_t v)
+    {
+        vg_assert(heap_.size() < cap_,
+                  "BoundedMinHeap overflow (capacity %zu)", cap_);
+        heap_.push_back(v);
+        size_t i = heap_.size() - 1;
+        while (i > 0) {
+            size_t parent = (i - 1) / 2;
+            if (heap_[parent] <= heap_[i])
+                break;
+            std::swap(heap_[parent], heap_[i]);
+            i = parent;
+        }
+    }
+
+    void
+    pop_min()
+    {
+        vg_assert(!heap_.empty(), "BoundedMinHeap underflow");
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        size_t i = 0;
+        size_t n = heap_.size();
+        for (;;) {
+            size_t left = 2 * i + 1;
+            size_t right = left + 1;
+            size_t smallest = i;
+            if (left < n && heap_[left] < heap_[smallest])
+                smallest = left;
+            if (right < n && heap_[right] < heap_[smallest])
+                smallest = right;
+            if (smallest == i)
+                break;
+            std::swap(heap_[i], heap_[smallest]);
+            i = smallest;
+        }
+    }
+
+    void clear() { heap_.clear(); }
+
+  private:
+    size_t cap_;
+    std::vector<uint64_t> heap_;
+};
+
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_RING_HH

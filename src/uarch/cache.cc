@@ -4,12 +4,40 @@
 
 namespace vanguard {
 
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2Of(uint64_t v)
+{
+    unsigned s = 0;
+    while ((uint64_t{1} << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
 {
     uint64_t total_lines = uint64_t{cfg.sizeKB} * 1024 / cfg.lineBytes;
     vg_assert(total_lines % cfg.ways == 0, "cache geometry");
     num_sets_ = static_cast<unsigned>(total_lines / cfg.ways);
     lines_.resize(total_lines);
+
+    line_pow2_ = isPow2(cfg_.lineBytes);
+    if (line_pow2_)
+        line_shift_ = log2Of(cfg_.lineBytes);
+    sets_pow2_ = isPow2(num_sets_);
+    if (sets_pow2_) {
+        set_shift_ = log2Of(num_sets_);
+        set_mask_ = num_sets_ - 1;
+    }
 }
 
 uint64_t
@@ -24,38 +52,6 @@ uint64_t
 Cache::tagOf(uint64_t addr) const
 {
     return (addr / cfg_.lineBytes) / num_sets_;
-}
-
-bool
-Cache::access(uint64_t addr)
-{
-    uint64_t set = setIndex(addr);
-    uint64_t tag = tagOf(addr);
-    Line *base = &lines_[set * cfg_.ways];
-    ++tick_;
-
-    for (unsigned w = 0; w < cfg_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lru = tick_;
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-
-    // Allocate: evict the LRU way.
-    Line *victim = base;
-    for (unsigned w = 1; w < cfg_.ways; ++w)
-        if (!base[w].valid ||
-            (victim->valid && base[w].lru < victim->lru)) {
-            victim = &base[w];
-            if (!victim->valid)
-                break;
-        }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = tick_;
-    return false;
 }
 
 bool
@@ -84,30 +80,6 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig &cfg)
       mem_latency_(cfg.memLatency),
       next_line_prefetch_(cfg.icacheNextLinePrefetch)
 {
-}
-
-MemAccessResult
-MemoryHierarchy::dataAccess(uint64_t addr)
-{
-    MemAccessResult r;
-    if (l1d_.access(addr)) {
-        r.latency = l1d_.latency();
-        r.level = 1;
-        return r;
-    }
-    if (l2_.access(addr)) {
-        r.latency = l2_.latency();
-        r.level = 2;
-        return r;
-    }
-    if (l3_.access(addr)) {
-        r.latency = l3_.latency();
-        r.level = 3;
-        return r;
-    }
-    r.latency = mem_latency_;
-    r.level = 4;
-    return r;
 }
 
 unsigned

@@ -21,8 +21,44 @@ class Cache
   public:
     explicit Cache(const CacheConfig &cfg);
 
-    /** True on hit. Misses allocate the line (caller recurses down). */
-    bool access(uint64_t addr);
+    /**
+     * True on hit. Misses allocate the line (caller recurses down).
+     * Defined inline: this is the innermost call of every simulated
+     * memory access, and the set/tag math strength-reduces to
+     * shift/mask for power-of-two geometries (the modulo fallback keeps
+     * shapes like the Sec. 6.1 24KB I$ expressible).
+     */
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = lineOf(addr);
+        uint64_t set = sets_pow2_ ? (line & set_mask_) : (line % num_sets_);
+        uint64_t tag = sets_pow2_ ? (line >> set_shift_) : (line / num_sets_);
+        Line *base = &lines_[set * cfg_.ways];
+        ++tick_;
+
+        // One pass finds the hit AND tracks the LRU victim, so a miss
+        // (the common case once the model is warm) doesn't rescan the
+        // set. Victim choice matches the two-pass original: the first
+        // invalid way, else the lowest-lru valid way, first-on-tie.
+        Line *victim = base;
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].lru = tick_;
+                ++hits_;
+                return true;
+            }
+            if (w > 0 && victim->valid &&
+                (!base[w].valid || base[w].lru < victim->lru)) {
+                victim = &base[w];
+            }
+        }
+        ++misses_;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = tick_;
+        return false;
+    }
 
     /** Probe without allocation or LRU update. */
     bool contains(uint64_t addr) const;
@@ -56,12 +92,27 @@ class Cache
     uint64_t setIndex(uint64_t addr) const;
     uint64_t tagOf(uint64_t addr) const;
 
+    uint64_t
+    lineOf(uint64_t addr) const
+    {
+        return line_pow2_ ? (addr >> line_shift_)
+                          : (addr / cfg_.lineBytes);
+    }
+
     CacheConfig cfg_;
     unsigned num_sets_;
     std::vector<Line> lines_;   ///< num_sets_ x ways, row-major
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+
+    // Strength-reduction constants derived from the geometry in the
+    // constructor; the *_pow2_ flags select shift/mask vs div/mod.
+    bool line_pow2_ = false;
+    bool sets_pow2_ = false;
+    unsigned line_shift_ = 0;
+    unsigned set_shift_ = 0;
+    uint64_t set_mask_ = 0;
 };
 
 /** Result of one hierarchy access. */
@@ -80,8 +131,31 @@ class MemoryHierarchy
   public:
     explicit MemoryHierarchy(const MachineConfig &cfg);
 
-    /** Data-side access (loads and stores; write-allocate). */
-    MemAccessResult dataAccess(uint64_t addr);
+    /** Data-side access (loads and stores; write-allocate). Inline for
+     *  the same reason as Cache::access — once per simulated LD/ST. */
+    MemAccessResult
+    dataAccess(uint64_t addr)
+    {
+        MemAccessResult r;
+        if (l1d_.access(addr)) {
+            r.latency = l1d_.latency();
+            r.level = 1;
+            return r;
+        }
+        if (l2_.access(addr)) {
+            r.latency = l2_.latency();
+            r.level = 2;
+            return r;
+        }
+        if (l3_.access(addr)) {
+            r.latency = l3_.latency();
+            r.level = 3;
+            return r;
+        }
+        r.latency = mem_latency_;
+        r.level = 4;
+        return r;
+    }
 
     /**
      * Instruction-side access for one cache line. Returns the *extra*

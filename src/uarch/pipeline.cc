@@ -1,80 +1,110 @@
 #include "uarch/pipeline.hh"
 
+#include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <set>
 
 #include "bpred/btb.hh"
+#include "bpred/dispatch.hh"
+#include "exec/decoded_program.hh"
 #include "support/fault_inject.hh"
 #include "support/logging.hh"
+#include "support/ring.hh"
 
 namespace vanguard {
 
 namespace {
 
-/** Online cycle-accounting state for the in-order pipeline. */
-class TimingModel
+/**
+ * Largest stall-accounting key any BR/RESOLVE in prog reports (BR ->
+ * its own id, RESOLVE -> origBranch), or kNoInst when there is none.
+ * Sizes the dense per-branch stall accumulators; both execution paths
+ * must size them identically for bit-identical SimStats.
+ */
+InstId
+stallKeyBound(const Program &prog)
 {
-  public:
-    TimingModel(const Program &prog, Memory &mem,
-                DirectionPredictor &predictor, const MachineConfig &cfg,
-                const SimOptions &opts)
-        : prog_(prog), predictor_(predictor), cfg_(cfg), opts_(opts),
-          hier_(cfg), btb_(cfg.btbIndexBits), dbb_(cfg.dbbEntries),
-          exec_(prog, mem),
-          fetch_ring_(cfg.fetchBufferEntries, 0)
-    {
-        exec_.setPredictHook([this](const LaidInst &li) {
-            return onPredictFetch(li);
-        });
-        if (opts_.lockstep != nullptr) {
-            exec_.setStoreHook([this](uint64_t addr, int64_t value) {
-                opts_.lockstep->onStore(addr, value);
-            });
-        }
+    InstId max_id = kNoInst;
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Instruction &inst = prog.at(i).inst;
+        InstId key = kNoInst;
+        if (inst.op == Opcode::BR)
+            key = inst.id;
+        else if (inst.op == Opcode::RESOLVE)
+            key = inst.origBranch;
+        if (key != kNoInst && (max_id == kNoInst || key > max_id))
+            max_id = key;
+    }
+    return max_id;
+}
 
+/**
+ * Cycle-accounting machinery shared by both execution paths: machine
+ * state (caches, BTB, DBB), fetch/issue bookkeeping, and the
+ * allocation-free queues of the cycle loop. The two subclasses differ
+ * only in how the committed instruction stream is produced —
+ * ReferenceModel interprets Instruction records through a
+ * ProgramExecutor with std::function hooks (the retained pre-decode
+ * baseline), FastModel runs a fused decode/execute/time loop over a
+ * DecodedProgram — so every cycle-level decision lives here exactly
+ * once and bit-identity between the paths holds by construction.
+ *
+ * Queue bounds (all derived from MachineConfig, so the cycle loop
+ * never touches the heap):
+ *  - dbb_free_cycles_ <= 2*dbbEntries - 1: a PREDICT drains it below
+ *    dbbEntries before inserting, and at most dbbEntries RESOLVEs (the
+ *    DBB's own capacity, asserted by its CircularBuffer) can push
+ *    before the next PREDICT;
+ *  - outstanding_misses_ <= mshrEntries: the MSHR loop pops below
+ *    capacity before any insert. Only the minimum completion cycle is
+ *    ever observed, so a flat min-heap is element-for-element
+ *    equivalent to the std::multiset it replaces.
+ */
+class TimingCommon
+{
+  protected:
+    TimingCommon(DirectionPredictor &predictor, const MachineConfig &cfg,
+                 const SimOptions &opts, InstId stall_key_bound)
+        : predictor_(predictor), cfg_(cfg), opts_(opts), hier_(cfg),
+          btb_(cfg.btbIndexBits), dbb_(cfg.dbbEntries),
+          fetch_ring_(cfg.fetchBufferEntries, 0),
+          outstanding_misses_(cfg.mshrEntries),
+          dbb_free_cycles_(2 * size_t{cfg.dbbEntries}),
+          line_mask_(~uint64_t{cfg.l1i.lineBytes - 1}),
+          fetch_slot_mask_(
+              (cfg.fetchBufferEntries &
+               (cfg.fetchBufferEntries - 1)) == 0
+                  ? cfg.fetchBufferEntries - 1
+                  : 0),
+          width_(cfg.width), frontend_stages_(cfg.frontendStages),
+          fetch_buffer_entries_(cfg.fetchBufferEntries),
+          dbb_entries_(cfg.dbbEntries), mshr_entries_(cfg.mshrEntries),
+          mem_ports_(cfg.memPorts), int_ports_(cfg.intPorts),
+          fp_ports_(cfg.fpPorts), shadow_commit_(cfg.shadowCommit)
+    {
         // Dense per-branch stall accumulators, sized once up front so
         // the hot loop never touches the hash map (and does nothing at
         // all when collection is off). Sized by the largest id a
         // BR/RESOLVE can report, not by program length.
-        if (opts_.collectBranchStalls) {
-            InstId max_id = 0;
-            bool any = false;
-            for (size_t i = 0; i < prog_.size(); ++i) {
-                const Instruction &inst = prog_.at(i).inst;
-                InstId key = kNoInst;
-                if (inst.op == Opcode::BR)
-                    key = inst.id;
-                else if (inst.op == Opcode::RESOLVE)
-                    key = inst.origBranch;
-                if (key != kNoInst) {
-                    max_id = std::max(max_id, key);
-                    any = true;
-                }
-            }
-            if (any) {
-                stall_cycles_by_id_.assign(max_id + 1, 0);
-                stall_events_by_id_.assign(max_id + 1, 0);
-            }
+        if (opts_.collectBranchStalls && stall_key_bound != kNoInst) {
+            stall_cycles_by_id_.assign(stall_key_bound + 1, 0);
+            stall_events_by_id_.assign(stall_key_bound + 1, 0);
         }
     }
 
-    SimStats run();
-
-  private:
     // --- fetch-side helpers -------------------------------------------
 
-    /** Fetch one instruction; returns its fetch cycle. */
+    /** Fetch one instruction; returns its fetch cycle. `line` is the
+     *  instruction's I-cache line tag (pc masked with line_mask_). */
     uint64_t
-    fetchInst(const LaidInst &li, uint64_t inst_seq)
+    fetchInst(uint64_t line, uint64_t inst_seq)
     {
         uint64_t f = next_fetch_cycle_;
 
         // Fetch buffer back-pressure: slot of inst (seq - N) must have
         // drained.
-        size_t n = cfg_.fetchBufferEntries;
+        size_t n = fetch_buffer_entries_;
         if (inst_seq >= n) {
-            uint64_t freed = fetch_ring_[inst_seq % n];
+            uint64_t freed = fetch_ring_[fetchSlot(inst_seq)];
             if (freed > f) {
                 f = freed;
                 ++stats_.fetchBufferStalls;
@@ -82,7 +112,6 @@ class TimingModel
         }
 
         // I-cache: access on each new line.
-        uint64_t line = li.pc & ~uint64_t{cfg_.l1i.lineBytes - 1};
         if (line != cur_fetch_line_) {
             ++stats_.icacheLineAccesses;
             unsigned extra = hier_.instAccess(line);
@@ -98,7 +127,7 @@ class TimingModel
             cur_fetch_cycle_ = f;
             fetched_in_cycle_ = 0;
         }
-        if (fetched_in_cycle_ >= cfg_.width) {
+        if (fetched_in_cycle_ >= width_) {
             ++cur_fetch_cycle_;
             fetched_in_cycle_ = 0;
         }
@@ -109,11 +138,21 @@ class TimingModel
         return f;
     }
 
+    /** Fetch-ring slot of inst_seq; mask when the buffer is a power of
+     *  two (the common 32-entry case), avoiding a division per inst. */
+    size_t
+    fetchSlot(uint64_t inst_seq) const
+    {
+        return fetch_slot_mask_ != 0
+            ? (inst_seq & fetch_slot_mask_)
+            : (inst_seq % fetch_buffer_entries_);
+    }
+
     /** Record when an instruction leaves the fetch buffer. */
     void
     recordDrain(uint64_t inst_seq, uint64_t leave_cycle)
     {
-        fetch_ring_[inst_seq % cfg_.fetchBufferEntries] = leave_cycle;
+        fetch_ring_[fetchSlot(inst_seq)] = leave_cycle;
     }
 
     /** Steer fetch for a taken (correctly-predicted) control transfer. */
@@ -138,6 +177,30 @@ class TimingModel
         cur_fetch_line_ = ~uint64_t{0};
     }
 
+    /**
+     * DBB insert at decode; stalls the front end while the buffer is
+     * full. Returns the (possibly delayed) decode cycle at which the
+     * PREDICT actually drains.
+     */
+    uint64_t
+    dbbAdmit(uint64_t decode)
+    {
+        while (!dbb_free_cycles_.empty() &&
+               dbb_free_cycles_.front() <= decode) {
+            dbb_free_cycles_.pop_front();
+        }
+        while (dbb_free_cycles_.size() >= dbb_entries_) {
+            ++stats_.dbbFullStalls;
+            decode = std::max(decode, dbb_free_cycles_.front() + 1);
+            dbb_free_cycles_.pop_front();
+            next_fetch_cycle_ = std::max(next_fetch_cycle_, decode - 1);
+        }
+        stats_.dbbMaxOccupancy =
+            std::max<uint64_t>(stats_.dbbMaxOccupancy,
+                               dbb_free_cycles_.size() + 1);
+        return decode;
+    }
+
     // --- issue-side helpers -------------------------------------------
 
     unsigned
@@ -145,15 +208,15 @@ class TimingModel
     {
         switch (cls) {
           case FuClass::Mem:
-            return cfg_.memPorts;
+            return mem_ports_;
           case FuClass::IntAlu:
-            return cfg_.intPorts;
+            return int_ports_;
           case FuClass::Fp:
-            return cfg_.fpPorts;
+            return fp_ports_;
           case FuClass::None:
-            return cfg_.width;
+            return width_;
         }
-        return cfg_.width;
+        return width_;
     }
 
     /** In-order issue: find the first cycle >= earliest with a free
@@ -169,7 +232,7 @@ class TimingModel
                 std::memset(ports_used_, 0, sizeof(ports_used_));
             }
             unsigned cls_idx = static_cast<unsigned>(cls);
-            if (slots_used_ < cfg_.width &&
+            if (slots_used_ < width_ &&
                 ports_used_[cls_idx] < portCap(cls)) {
                 ++slots_used_;
                 ++ports_used_[cls_idx];
@@ -181,12 +244,15 @@ class TimingModel
     }
 
     uint64_t
-    srcReady(const Instruction &inst) const
+    srcReady(RegId src1, RegId src2, RegId src3) const
     {
         uint64_t ready = 0;
-        for (RegId src : {inst.src1, inst.src2, inst.src3})
-            if (src != kNoReg)
-                ready = std::max(ready, reg_ready_[src]);
+        if (src1 != kNoReg)
+            ready = reg_ready_[src1];
+        if (src2 != kNoReg && reg_ready_[src2] > ready)
+            ready = reg_ready_[src2];
+        if (src3 != kNoReg && reg_ready_[src3] > ready)
+            ready = reg_ready_[src3];
         return ready;
     }
 
@@ -194,39 +260,192 @@ class TimingModel
      * Branch-resolution stall accounting (the paper's ASPCB): cycles
      * between the branch reaching the issue stage and actually
      * issuing — queueing behind older in-flight work plus waiting for
-     * its own condition operands.
+     * its own condition operands. `key` is the branch's accumulator
+     * index (BR -> id, RESOLVE -> origBranch).
      */
     void
-    noteBranchStall(const Instruction &inst, uint64_t issue,
-                    uint64_t enter_issue)
+    noteBranchStall(InstId key, uint64_t issue, uint64_t enter_issue)
     {
         uint64_t stall = issue - enter_issue;
         stats_.branchStallCycles += stall;
         ++stats_.branchStallEvents;
-        if (opts_.collectBranchStalls) {
-            InstId key = inst.op == Opcode::RESOLVE ? inst.origBranch
-                                                    : inst.id;
-            if (key < stall_cycles_by_id_.size()) {
-                stall_cycles_by_id_[key] += stall;
-                ++stall_events_by_id_[key];
-            }
+        if (opts_.collectBranchStalls &&
+            key < stall_cycles_by_id_.size()) {
+            stall_cycles_by_id_[key] += stall;
+            ++stall_events_by_id_[key];
         }
     }
 
+    /** MSHR occupancy gating for a load entering issue. */
+    uint64_t
+    mshrAdmit(uint64_t earliest)
+    {
+        while (!outstanding_misses_.empty() &&
+               outstanding_misses_.min() <= earliest) {
+            outstanding_misses_.pop_min();
+        }
+        while (outstanding_misses_.size() >= mshr_entries_) {
+            ++stats_.mshrStalls;
+            earliest = std::max(earliest, outstanding_misses_.min());
+            outstanding_misses_.pop_min();
+        }
+        return earliest;
+    }
+
+    /** Charge one data-side hierarchy access and count per-level. */
+    MemAccessResult
+    dataAccess(uint64_t addr)
+    {
+        MemAccessResult res = hier_.dataAccess(addr);
+        ++stats_.l1dAccesses;
+        if (res.level >= 2)
+            ++stats_.l1dMisses;
+        if (res.level >= 3)
+            ++stats_.l2Misses;
+        if (res.level >= 4)
+            ++stats_.l3Misses;
+        return res;
+    }
+
     void
-    traceRecord(const LaidInst &li, uint64_t fetch, uint64_t issue,
+    traceRecord(uint64_t pc, Opcode op, uint64_t fetch, uint64_t issue,
                 uint64_t done, bool issued, bool redirected)
     {
         if (opts_.trace != nullptr) {
             // Unconditional: the window itself counts overflow so the
             // Gantt footer can report how much it dropped.
-            opts_.trace->record({li.pc, li.inst.op, fetch, issue, done,
-                                 issued, redirected});
+            opts_.trace->record(
+                {pc, op, fetch, issue, done, issued, redirected});
         }
     }
 
-    // --- decomposed-branch front end ----------------------------------
+    // --- end-of-run reporting -----------------------------------------
 
+    void
+    finalizeStats()
+    {
+        stats_.cycles = max_done_ + 1;
+
+        // One pass builds the per-branch map callers expect; sized to
+        // the touched-entry count so it never rehashes.
+        if (opts_.collectBranchStalls) {
+            size_t touched = 0;
+            for (uint64_t events : stall_events_by_id_)
+                touched += events != 0;
+            stats_.branchStalls.reserve(touched);
+            for (InstId id = 0; id < stall_events_by_id_.size(); ++id) {
+                if (stall_events_by_id_[id] != 0) {
+                    stats_.branchStalls.emplace(
+                        id, std::make_pair(stall_cycles_by_id_[id],
+                                           stall_events_by_id_[id]));
+                }
+            }
+        }
+
+        // Export the predictor's internal counters under a sanitized
+        // "bpred.<name>." prefix so they ride along with the run's
+        // stats (and survive journal round-trips like every other
+        // counter).
+        MetricSnapshot snap;
+        predictor_.exportMetrics(
+            snap, "bpred." + sanitizeMetricKey(predictor_.name()) + ".");
+        stats_.bpredCounters.reserve(snap.entries.size());
+        for (const auto &e : snap.entries)
+            stats_.bpredCounters.emplace_back(e.path, e.value);
+    }
+
+    DirectionPredictor &predictor_;
+    const MachineConfig &cfg_;
+    const SimOptions &opts_;
+
+    MemoryHierarchy hier_;
+    BranchTargetBuffer btb_;
+    DecomposedBranchBuffer dbb_;
+    SimStats stats_;
+
+    // fetch state
+    uint64_t next_fetch_cycle_ = 0;
+    uint64_t cur_fetch_cycle_ = 0;
+    unsigned fetched_in_cycle_ = 0;
+    uint64_t cur_fetch_line_ = ~uint64_t{0};
+    std::vector<uint64_t> fetch_ring_;
+
+    // issue state
+    uint64_t prev_issue_cycle_ = 0;
+    uint64_t cur_issue_cycle_ = 0;
+    unsigned slots_used_ = 0;
+    unsigned ports_used_[4] = {};
+    uint64_t reg_ready_[kNumRegs] = {};
+
+    // memory-system state: completion cycles of in-flight misses.
+    BoundedMinHeap outstanding_misses_;
+
+    // DBB timing state: free cycles of inserted entries, FIFO order.
+    RingFifo<uint64_t> dbb_free_cycles_;
+
+    // Per-branch stall accumulators (only sized when
+    // opts.collectBranchStalls); densified into stats_.branchStalls
+    // once at the end of run().
+    std::vector<uint64_t> stall_cycles_by_id_;
+    std::vector<uint64_t> stall_events_by_id_;
+
+    /** Config-derived I-line mask, computed once (not per fetch). */
+    const uint64_t line_mask_;
+
+    /** fetchBufferEntries-1 when a power of two, else 0 (division
+     *  fallback in fetchSlot). */
+    const uint64_t fetch_slot_mask_;
+
+    // Hot MachineConfig fields copied by value: reads through the
+    // cfg_ reference cannot be hoisted by the compiler past the
+    // model's own stores (potential aliasing), so the cycle loop would
+    // reload them every instruction.
+    const unsigned width_;
+    const unsigned frontend_stages_;
+    const unsigned fetch_buffer_entries_;
+    const unsigned dbb_entries_;
+    const unsigned mshr_entries_;
+    const unsigned mem_ports_;
+    const unsigned int_ports_;
+    const unsigned fp_ports_;
+    const bool shadow_commit_;
+
+    uint64_t predict_seq_ = 0;
+    DbbEntry pending_predict_;
+    uint64_t max_done_ = 0;
+};
+
+/**
+ * The retained reference path: a ProgramExecutor interprets
+ * Instruction records and drives the timing model through StepInfo,
+ * with std::function predict/store hooks and virtual predictor
+ * dispatch — the pre-decode execution model this PR's fast path is
+ * benchmarked against and held bit-identical to. Runs that need the
+ * executor's taps (lockstep oracle, pipeline trace) always take this
+ * path.
+ */
+class ReferenceModel : public TimingCommon
+{
+  public:
+    ReferenceModel(const Program &prog, Memory &mem,
+                   DirectionPredictor &predictor,
+                   const MachineConfig &cfg, const SimOptions &opts)
+        : TimingCommon(predictor, cfg, opts, stallKeyBound(prog)),
+          prog_(prog), exec_(prog, mem)
+    {
+        exec_.setPredictHook([this](const LaidInst &li) {
+            return onPredictFetch(li);
+        });
+        if (opts_.lockstep != nullptr) {
+            exec_.setStoreHook([this](uint64_t addr, int64_t value) {
+                opts_.lockstep->onStore(addr, value);
+            });
+        }
+    }
+
+    SimStats run();
+
+  private:
     /** Predict hook: called by the executor when a PREDICT is reached;
      *  the returned direction is the architectural path. */
     bool
@@ -247,69 +466,29 @@ class TimingModel
         return dir;
     }
 
-    // --- per-opcode timing --------------------------------------------
-
     void timeInst(const ProgramExecutor::StepInfo &info,
                   uint64_t inst_seq);
 
     const Program &prog_;
-    DirectionPredictor &predictor_;
-    const MachineConfig &cfg_;
-    const SimOptions &opts_;
-
-    MemoryHierarchy hier_;
-    BranchTargetBuffer btb_;
-    DecomposedBranchBuffer dbb_;
     ProgramExecutor exec_;
-    SimStats stats_;
-
-    // fetch state
-    uint64_t next_fetch_cycle_ = 0;
-    uint64_t cur_fetch_cycle_ = 0;
-    unsigned fetched_in_cycle_ = 0;
-    uint64_t cur_fetch_line_ = ~uint64_t{0};
-    std::vector<uint64_t> fetch_ring_;
-
-    // issue state
-    uint64_t prev_issue_cycle_ = 0;
-    uint64_t cur_issue_cycle_ = 0;
-    unsigned slots_used_ = 0;
-    unsigned ports_used_[4] = {};
-    uint64_t reg_ready_[kNumRegs] = {};
-
-    // memory-system state
-    std::multiset<uint64_t> outstanding_misses_;
-
-    // DBB timing state: free cycles of inserted entries, FIFO order.
-    std::deque<uint64_t> dbb_free_cycles_;
-
-    // Per-branch stall accumulators (only sized when
-    // opts.collectBranchStalls); densified into stats_.branchStalls
-    // once at the end of run().
-    std::vector<uint64_t> stall_cycles_by_id_;
-    std::vector<uint64_t> stall_events_by_id_;
-
-    uint64_t predict_seq_ = 0;
-    DbbEntry pending_predict_;
-    uint64_t max_done_ = 0;
 };
 
 void
-TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
-                      uint64_t inst_seq)
+ReferenceModel::timeInst(const ProgramExecutor::StepInfo &info,
+                         uint64_t inst_seq)
 {
     const LaidInst &li = *info.inst;
     const Instruction &inst = li.inst;
 
-    uint64_t f = fetchInst(li, inst_seq);
+    uint64_t f = fetchInst(li.pc & line_mask_, inst_seq);
     uint64_t decode = f + 1;
-    uint64_t enter_issue = f + cfg_.frontendStages - 1;
+    uint64_t enter_issue = f + frontend_stages_ - 1;
     max_done_ = std::max(max_done_, enter_issue);
 
     switch (inst.op) {
       case Opcode::HALT:
         recordDrain(inst_seq, decode);
-        traceRecord(li, f, decode, decode, false, false);
+        traceRecord(li.pc, inst.op, f, decode, decode, false, false);
         stats_.halted = true;
         return;
 
@@ -317,32 +496,18 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
         // Direct jumps are handled in the front end; no issue slot.
         recordDrain(inst_seq, decode);
         takenRedirect(li.pc, li.takenPc, f, decode);
-        traceRecord(li, f, decode, decode, false, false);
+        traceRecord(li.pc, inst.op, f, decode, decode, false, false);
         return;
 
       case Opcode::PREDICT: {
         ++stats_.predictsExecuted;
-        // DBB insert at decode; stall the front end when full.
-        while (!dbb_free_cycles_.empty() &&
-               dbb_free_cycles_.front() <= decode) {
-            dbb_free_cycles_.pop_front();
-        }
-        while (dbb_free_cycles_.size() >= cfg_.dbbEntries) {
-            ++stats_.dbbFullStalls;
-            decode = std::max(decode, dbb_free_cycles_.front() + 1);
-            dbb_free_cycles_.pop_front();
-            next_fetch_cycle_ =
-                std::max(next_fetch_cycle_, decode - 1);
-        }
-        stats_.dbbMaxOccupancy =
-            std::max<uint64_t>(stats_.dbbMaxOccupancy,
-                               dbb_free_cycles_.size() + 1);
+        decode = dbbAdmit(decode);
         dbb_.insert(pending_predict_.predictPc, pending_predict_.meta,
                     pending_predict_.predictedTaken);
         recordDrain(inst_seq, decode); // dropped after decode
         if (info.taken)
             takenRedirect(li.pc, li.takenPc, f, decode);
-        traceRecord(li, f, decode, decode, false, false);
+        traceRecord(li.pc, inst.op, f, decode, decode, false, false);
         return;
       }
 
@@ -354,13 +519,15 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
         predictor_.updateHistory(info.taken);
         predictor_.update(li.pc, info.taken, meta);
 
-        uint64_t earliest = std::max(enter_issue, srcReady(inst));
+        uint64_t earliest =
+            std::max(enter_issue,
+                     srcReady(inst.src1, inst.src2, inst.src3));
         uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
         uint64_t done = issue + 1;
         max_done_ = std::max(max_done_, done);
         ++stats_.issued;
         recordDrain(inst_seq, issue);
-        noteBranchStall(inst, issue, enter_issue);
+        noteBranchStall(inst.id, issue, enter_issue);
 
         bool mispredicted = pred != info.taken;
         if (mispredicted) {
@@ -371,7 +538,7 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
         } else if (info.taken) {
             takenRedirect(li.pc, li.takenPc, f, decode);
         }
-        traceRecord(li, f, issue, done, true, mispredicted);
+        traceRecord(li.pc, inst.op, f, issue, done, true, mispredicted);
         return;
       }
 
@@ -387,13 +554,15 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
             predictor_.update(entry.predictPc, outcome, entry.meta);
         }
 
-        uint64_t earliest = std::max(enter_issue, srcReady(inst));
+        uint64_t earliest =
+            std::max(enter_issue,
+                     srcReady(inst.src1, inst.src2, inst.src3));
         uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
         uint64_t done = issue + 1;
         max_done_ = std::max(max_done_, done);
         ++stats_.issued;
         recordDrain(inst_seq, issue);
-        noteBranchStall(inst, issue, enter_issue);
+        noteBranchStall(inst.origBranch, issue, enter_issue);
         dbb_free_cycles_.push_back(done);
 
         if (info.taken) {
@@ -401,7 +570,7 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
             ++stats_.resolveRedirects;
             mispredictRedirect(done);
         }
-        traceRecord(li, f, issue, done, true, info.taken);
+        traceRecord(li.pc, inst.op, f, issue, done, true, info.taken);
         return;
       }
 
@@ -410,12 +579,12 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
     }
 
     // Shadow-commit folding: temp->arch MOVs become rename updates.
-    if (cfg_.shadowCommit && inst.op == Opcode::MOV &&
+    if (shadow_commit_ && inst.op == Opcode::MOV &&
         isTempReg(inst.src1) && isArchReg(inst.dst)) {
         reg_ready_[inst.dst] = reg_ready_[inst.src1];
         ++stats_.foldedCommitMovs;
         recordDrain(inst_seq, decode);
-        traceRecord(li, f, decode, decode, false, false);
+        traceRecord(li.pc, inst.op, f, decode, decode, false, false);
         return;
     }
 
@@ -425,46 +594,24 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
         ++stats_.speculativeExecs;
     }
 
-    uint64_t earliest = std::max(enter_issue, srcReady(inst));
+    uint64_t earliest =
+        std::max(enter_issue,
+                 srcReady(inst.src1, inst.src2, inst.src3));
     FuClass cls = inst.fuClass();
     uint64_t done;
 
     if (inst.isLoad()) {
-        // Miss-buffer occupancy gating.
-        while (!outstanding_misses_.empty() &&
-               *outstanding_misses_.begin() <= earliest) {
-            outstanding_misses_.erase(outstanding_misses_.begin());
-        }
-        while (outstanding_misses_.size() >= cfg_.mshrEntries) {
-            ++stats_.mshrStalls;
-            earliest = std::max(earliest,
-                                *outstanding_misses_.begin());
-            outstanding_misses_.erase(outstanding_misses_.begin());
-        }
+        earliest = mshrAdmit(earliest);
         uint64_t issue = computeIssue(earliest, cls);
-        MemAccessResult res = hier_.dataAccess(info.memAddr);
-        ++stats_.l1dAccesses;
-        if (res.level >= 2)
-            ++stats_.l1dMisses;
-        if (res.level >= 3)
-            ++stats_.l2Misses;
-        if (res.level >= 4)
-            ++stats_.l3Misses;
+        MemAccessResult res = dataAccess(info.memAddr);
         done = issue + res.latency;
         if (res.level >= 2)
-            outstanding_misses_.insert(done);
+            outstanding_misses_.push(done);
         reg_ready_[inst.dst] = done;
         recordDrain(inst_seq, issue);
     } else if (inst.isStore()) {
         uint64_t issue = computeIssue(earliest, cls);
-        MemAccessResult res = hier_.dataAccess(info.memAddr);
-        ++stats_.l1dAccesses;
-        if (res.level >= 2)
-            ++stats_.l1dMisses;
-        if (res.level >= 3)
-            ++stats_.l2Misses;
-        if (res.level >= 4)
-            ++stats_.l3Misses;
+        dataAccess(info.memAddr);
         // Stores retire through the store buffer; 1 cycle to the
         // pipeline.
         done = issue + 1;
@@ -478,11 +625,11 @@ TimingModel::timeInst(const ProgramExecutor::StepInfo &info,
     }
     ++stats_.issued;
     max_done_ = std::max(max_done_, done);
-    traceRecord(li, f, prev_issue_cycle_, done, true, false);
+    traceRecord(li.pc, inst.op, f, prev_issue_cycle_, done, true, false);
 }
 
 SimStats
-TimingModel::run()
+ReferenceModel::run()
 {
     uint64_t inst_seq = 0;
     uint64_t last_commit_cycle = 0;
@@ -547,36 +694,475 @@ TimingModel::run()
     }
     if (opts_.lockstep != nullptr && stats_.halted)
         opts_.lockstep->onHalt(exec_.regs());
-    stats_.cycles = max_done_ + 1;
+    finalizeStats();
+    return stats_;
+}
 
-    // One pass builds the per-branch map callers expect; sized to the
-    // touched-entry count so it never rehashes.
-    if (opts_.collectBranchStalls) {
-        size_t touched = 0;
-        for (uint64_t events : stall_events_by_id_)
-            touched += events != 0;
-        stats_.branchStalls.reserve(touched);
-        for (InstId id = 0; id < stall_events_by_id_.size(); ++id) {
-            if (stall_events_by_id_[id] != 0) {
-                stats_.branchStalls.emplace(
-                    id, std::make_pair(stall_cycles_by_id_[id],
-                                       stall_events_by_id_[id]));
+/**
+ * The fast path: a fused decode/execute/time loop over a
+ * DecodedProgram. Architectural state (registers, memory) is advanced
+ * inline by a single switch that replicates exec/semantics.cc exactly
+ * — including the DIV wrap/fault, LD_S zero-fill, and shift-mask edge
+ * cases — and every cycle-accounting decision goes through the same
+ * TimingCommon helpers as the reference path. Predictor calls go
+ * through the sealed PredictorDispatch (direct, inlineable calls for
+ * every factory predictor) in the same per-instruction order the
+ * reference path makes them, so predictions, history, and telemetry
+ * counters are bit-identical.
+ */
+class FastModel : public TimingCommon
+{
+  public:
+    FastModel(const DecodedProgram &decoded, Memory &mem,
+              DirectionPredictor &predictor, const MachineConfig &cfg,
+              const SimOptions &opts)
+        : TimingCommon(predictor, cfg, opts, decoded.maxStallKey()),
+          code_(decoded.insts()), code_size_(decoded.size()),
+          mem_(mem), pdx_(predictor),
+          use_line_tags_(decoded.lineBytes() == cfg.l1i.lineBytes)
+    {
+        // Expand the per-InstId hoisted mask to a per-instruction-index
+        // byte array: the id -> bit lookup is static, so hoisting it
+        // out of the cycle loop cannot change what is counted.
+        if (opts_.hoistedMask != nullptr) {
+            hoisted_.assign(code_size_, 0);
+            const std::vector<bool> &mask = *opts_.hoistedMask;
+            for (size_t i = 0; i < code_size_; ++i) {
+                InstId id = code_[i].id;
+                if (id != kNoInst && id < mask.size() && mask[id])
+                    hoisted_[i] = 1;
             }
         }
     }
 
-    // Export the predictor's internal counters under a sanitized
-    // "bpred.<name>." prefix so they ride along with the run's stats
-    // (and survive journal round-trips like every other counter).
+    SimStats run();
+
+  private:
+    int64_t
+    src2Value(const DecodedInst &d) const
     {
-        MetricSnapshot snap;
-        predictor_.exportMetrics(
-            snap, "bpred." + sanitizeMetricKey(predictor_.name()) + ".");
-        stats_.bpredCounters.reserve(snap.entries.size());
-        for (const auto &e : snap.entries)
-            stats_.bpredCounters.emplace_back(e.path, e.value);
+        return d.hasImmSrc2() ? d.imm : regs_[d.src2];
     }
+
+    [[noreturn]] void
+    faultThrow(const DecodedInst &d)
+    {
+        stats_.faulted = true;
+        vg_throw(Fault,
+                 "simulated program faulted at pc 0x%llx (inst %u, "
+                 "%llu insts retired)",
+                 static_cast<unsigned long long>(d.pc), d.id,
+                 static_cast<unsigned long long>(stats_.dynamicInsts));
+    }
+
+    bool
+    predictLookup(uint64_t pc)
+    {
+        // Fill pending_predict_ in place (one fresh-meta write instead
+        // of a fresh local plus an 80-byte struct copy per PREDICT).
+        pending_predict_.meta = PredMeta{};
+        bool dir;
+        if (opts_.predictOutcomes != nullptr) {
+            vg_assert(predict_seq_ < opts_.predictOutcomes->size(),
+                      "prerecorded predict outcomes exhausted");
+            dir = pdx_.predictWithOracle(
+                pc, (*opts_.predictOutcomes)[predict_seq_],
+                pending_predict_.meta);
+        } else {
+            dir = pdx_.predict(pc, pending_predict_.meta);
+        }
+        ++predict_seq_;
+        pending_predict_.predictPc = pc;
+        pending_predict_.predictedTaken = dir;
+        pending_predict_.valid = true;
+        return dir;
+    }
+
+    const DecodedInst *code_;
+    size_t code_size_;
+    Memory &mem_;
+    PredictorDispatch pdx_;
+    int64_t regs_[kNumRegs] = {};
+    std::vector<uint8_t> hoisted_;  ///< by instruction index
+    const bool use_line_tags_;
+};
+
+SimStats
+FastModel::run()
+{
+    size_t idx = 0;
+    uint64_t inst_seq = 0;
+    uint64_t last_commit_cycle = 0;
+
+    // Hoisted once: the compiler cannot prove opts_ fields don't alias
+    // the stats the loop writes, so reading them through the reference
+    // would reload every iteration.
+    const uint64_t max_insts = opts_.maxInsts;
+    const uint64_t cycle_budget = opts_.cycleBudget;
+    const uint64_t progress_window = opts_.progressWindow;
+
+    while (stats_.dynamicInsts < max_insts) {
+        vg_assert(idx < code_size_, "pc 0x%llx out of program",
+                  static_cast<unsigned long long>(
+                      kCodeBase + idx * kInstBytes));
+        const DecodedInst &d = code_[idx];
+        ++stats_.dynamicInsts;
+        size_t next = idx + 1;
+
+        switch (d.op) {
+          case Opcode::HALT: {
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+            recordDrain(inst_seq, f + 1);
+            stats_.halted = true;
+            break;
+          }
+
+          case Opcode::JMP: {
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t decode = f + 1;
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+            recordDrain(inst_seq, decode);
+            takenRedirect(d.pc, d.takenPc, f, decode);
+            next = d.takenIdx;
+            break;
+          }
+
+          case Opcode::PREDICT: {
+            // Predictor lookup first (the reference path consults it
+            // while the executor steps, before fetch timing).
+            bool dir = predictLookup(d.pc);
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+            ++stats_.predictsExecuted;
+            uint64_t decode = dbbAdmit(f + 1);
+            dbb_.insert(pending_predict_.predictPc,
+                        pending_predict_.meta,
+                        pending_predict_.predictedTaken);
+            recordDrain(inst_seq, decode); // dropped after decode
+            if (dir)
+                takenRedirect(d.pc, d.takenPc, f, decode);
+            next = dir ? size_t{d.takenIdx} : idx + 1;
+            break;
+          }
+
+          case Opcode::BR: {
+            bool taken = regs_[d.src1] != 0;
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t decode = f + 1;
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+
+            ++stats_.condBranches;
+            PredMeta meta;
+            bool pred = pdx_.predictWithOracle(d.pc, taken, meta);
+            pdx_.updateHistory(taken);
+            pdx_.update(d.pc, taken, meta);
+
+            uint64_t earliest =
+                std::max(enter_issue,
+                         srcReady(d.src1, d.src2, d.src3));
+            uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
+            uint64_t done = issue + 1;
+            max_done_ = std::max(max_done_, done);
+            ++stats_.issued;
+            recordDrain(inst_seq, issue);
+            noteBranchStall(d.stallKey, issue, enter_issue);
+
+            if (pred != taken) {
+                ++stats_.brMispredicts;
+                mispredictRedirect(done);
+                if (taken)
+                    btb_.insert(d.pc, d.takenPc);
+            } else if (taken) {
+                takenRedirect(d.pc, d.takenPc, f, decode);
+            }
+            next = taken ? size_t{d.takenIdx} : idx + 1;
+            break;
+          }
+
+          case Opcode::RESOLVE: {
+            bool taken = regs_[d.src1] != 0;
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+
+            ++stats_.resolvesExecuted;
+            // Associate with the oldest outstanding PREDICT and train
+            // through it.
+            DbbEntry entry = dbb_.resolveOldest();
+            bool outcome = taken ? !d.resolvePathTaken()
+                                 : d.resolvePathTaken();
+            if (entry.valid) {
+                pdx_.updateHistory(outcome);
+                pdx_.update(entry.predictPc, outcome, entry.meta);
+            }
+
+            uint64_t earliest =
+                std::max(enter_issue,
+                         srcReady(d.src1, d.src2, d.src3));
+            uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
+            uint64_t done = issue + 1;
+            max_done_ = std::max(max_done_, done);
+            ++stats_.issued;
+            recordDrain(inst_seq, issue);
+            noteBranchStall(d.stallKey, issue, enter_issue);
+            dbb_free_cycles_.push_back(done);
+
+            if (taken) {
+                // The PREDICT was wrong: redirect to correction code.
+                ++stats_.resolveRedirects;
+                mispredictRedirect(done);
+            }
+            next = taken ? size_t{d.takenIdx} : idx + 1;
+            break;
+          }
+
+          default: {
+            // Inline semantics (mirrors exec/semantics.cc case for
+            // case); faults throw before any timing or state change,
+            // matching the reference path's step-then-time order.
+            int64_t value = 0;
+            uint64_t addr = 0;
+            int64_t store_val = 0;
+
+            switch (d.op) {
+              case Opcode::ADD:
+              case Opcode::FADD:
+                value = regs_[d.src1] + src2Value(d);
+                break;
+              case Opcode::SUB:
+              case Opcode::FSUB:
+                value = regs_[d.src1] - src2Value(d);
+                break;
+              case Opcode::AND:
+                value = regs_[d.src1] & src2Value(d);
+                break;
+              case Opcode::OR:
+                value = regs_[d.src1] | src2Value(d);
+                break;
+              case Opcode::XOR:
+                value = regs_[d.src1] ^ src2Value(d);
+                break;
+              case Opcode::SHL:
+                value = static_cast<int64_t>(
+                    static_cast<uint64_t>(regs_[d.src1])
+                    << (static_cast<uint64_t>(src2Value(d)) & 63));
+                break;
+              case Opcode::SHR:
+                value = static_cast<int64_t>(
+                    static_cast<uint64_t>(regs_[d.src1]) >>
+                    (static_cast<uint64_t>(src2Value(d)) & 63));
+                break;
+              case Opcode::MOVI:
+                value = d.imm;
+                break;
+              case Opcode::MOV:
+                value = regs_[d.src1];
+                break;
+              case Opcode::SELECT:
+                value = regs_[d.src1] != 0 ? regs_[d.src2]
+                                           : regs_[d.src3];
+                break;
+              case Opcode::CMPEQ:
+                value = regs_[d.src1] == src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::CMPNE:
+                value = regs_[d.src1] != src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::CMPLT:
+                value = regs_[d.src1] < src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::CMPLE:
+                value = regs_[d.src1] <= src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::CMPGT:
+                value = regs_[d.src1] > src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::CMPGE:
+                value = regs_[d.src1] >= src2Value(d) ? 1 : 0;
+                break;
+              case Opcode::MUL:
+              case Opcode::FMUL:
+                value = regs_[d.src1] * src2Value(d);
+                break;
+              case Opcode::DIV:
+              case Opcode::FDIV: {
+                int64_t denom = src2Value(d);
+                int64_t num = regs_[d.src1];
+                if (denom == 0) {
+                    if (d.op == Opcode::DIV)
+                        faultThrow(d);
+                    value = 0; // FP lane: define x/0 == 0
+                } else if (num == INT64_MIN && denom == -1) {
+                    value = INT64_MIN; // wrap, matching idiv
+                } else {
+                    value = num / denom;
+                }
+                break;
+              }
+              case Opcode::LD:
+              case Opcode::LD_S: {
+                addr =
+                    static_cast<uint64_t>(regs_[d.src1] + d.imm);
+                if (!mem_.inBounds(addr)) {
+                    if (d.op == Opcode::LD)
+                        faultThrow(d);
+                    value = 0; // non-faulting speculative load
+                } else {
+                    value = mem_.read64(addr);
+                }
+                break;
+              }
+              case Opcode::ST: {
+                addr =
+                    static_cast<uint64_t>(regs_[d.src1] + d.imm);
+                store_val = regs_[d.src2];
+                if (!mem_.inBounds(addr))
+                    faultThrow(d);
+                break;
+              }
+              case Opcode::NOP:
+                break;
+              default:
+                vg_throw(Invariant,
+                         "evaluate: bad opcode %u at pc 0x%llx (idx %zu)",
+                         static_cast<unsigned>(d.op),
+                         static_cast<unsigned long long>(d.pc), idx);
+            }
+
+            uint64_t line =
+                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
+            uint64_t f = fetchInst(line, inst_seq);
+            uint64_t decode = f + 1;
+            uint64_t enter_issue = f + frontend_stages_ - 1;
+            max_done_ = std::max(max_done_, enter_issue);
+
+            // Shadow-commit folding: temp->arch MOVs become rename
+            // updates (timing only; the architectural copy commits
+            // below either way).
+            if (shadow_commit_ && d.op == Opcode::MOV &&
+                isTempReg(d.src1) && isArchReg(d.dst)) {
+                reg_ready_[d.dst] = reg_ready_[d.src1];
+                ++stats_.foldedCommitMovs;
+                recordDrain(inst_seq, decode);
+                regs_[d.dst] = value;
+                break;
+            }
+
+            if (!hoisted_.empty() && hoisted_[idx])
+                ++stats_.speculativeExecs;
+
+            uint64_t earliest =
+                std::max(enter_issue,
+                         srcReady(d.src1, d.src2, d.src3));
+            uint64_t done;
+
+            if (d.isLoad()) {
+                earliest = mshrAdmit(earliest);
+                uint64_t issue = computeIssue(earliest, FuClass::Mem);
+                MemAccessResult res = dataAccess(addr);
+                done = issue + res.latency;
+                if (res.level >= 2)
+                    outstanding_misses_.push(done);
+                reg_ready_[d.dst] = done;
+                recordDrain(inst_seq, issue);
+            } else if (d.isStore()) {
+                uint64_t issue = computeIssue(earliest, FuClass::Mem);
+                dataAccess(addr);
+                // Stores retire through the store buffer; 1 cycle to
+                // the pipeline.
+                done = issue + 1;
+                recordDrain(inst_seq, issue);
+            } else {
+                uint64_t issue = computeIssue(
+                    earliest, static_cast<FuClass>(d.fu));
+                done = issue + d.latency;
+                if (d.writesDst())
+                    reg_ready_[d.dst] = done;
+                recordDrain(inst_seq, issue);
+            }
+            ++stats_.issued;
+            max_done_ = std::max(max_done_, done);
+
+            // Architectural commit.
+            if (d.isStore())
+                mem_.write64(addr, store_val);
+            else if (d.writesDst())
+                regs_[d.dst] = value;
+            break;
+          }
+        }
+
+        ++inst_seq;
+
+        // Deterministic fault-injection sites; the cheap sequence
+        // gate runs before the (side-effect-free) armed() load so the
+        // common case costs one predictable branch.
+        if ((inst_seq & 4095) == 0 && faultinject::armed()) {
+            faultinject::site("pipeline.cycle", SimError::Kind::Hang);
+            faultinject::site("pipeline.commit",
+                              SimError::Kind::Fault);
+        }
+
+        // Forward-progress watchdogs (same contract as the reference
+        // path).
+        if (cycle_budget != 0 && max_done_ > cycle_budget) {
+            vg_throw(Hang,
+                     "cycle budget exceeded: %llu cycles > budget %llu "
+                     "after %llu retired insts (pc 0x%llx)",
+                     static_cast<unsigned long long>(max_done_),
+                     static_cast<unsigned long long>(cycle_budget),
+                     static_cast<unsigned long long>(
+                         stats_.dynamicInsts),
+                     static_cast<unsigned long long>(d.pc));
+        }
+        if (progress_window != 0 &&
+            max_done_ - last_commit_cycle > progress_window) {
+            vg_throw(Hang,
+                     "no retired-instruction progress: clock advanced "
+                     "%llu cycles across one commit (window %llu, pc "
+                     "0x%llx)",
+                     static_cast<unsigned long long>(
+                         max_done_ - last_commit_cycle),
+                     static_cast<unsigned long long>(progress_window),
+                     static_cast<unsigned long long>(d.pc));
+        }
+        last_commit_cycle = max_done_;
+
+        if (stats_.halted)
+            break;
+        idx = next;
+    }
+    finalizeStats();
     return stats_;
+}
+
+/** True when this run may take the fused fast path. */
+bool
+fastEligible(const SimOptions &opts)
+{
+    if (opts.forceReference || opts.lockstep != nullptr ||
+        opts.trace != nullptr) {
+        return false;
+    }
+    const char *env = std::getenv("VANGUARD_FORCE_REFERENCE");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0')
+        return false;
+    return true;
 }
 
 } // namespace
@@ -586,7 +1172,26 @@ simulate(const Program &prog, Memory &mem,
          DirectionPredictor &predictor, const MachineConfig &cfg,
          const SimOptions &opts)
 {
-    TimingModel model(prog, mem, predictor, cfg, opts);
+    if (fastEligible(opts)) {
+        DecodedProgram decoded =
+            DecodedProgram::decode(prog, cfg.l1i.lineBytes);
+        FastModel model(decoded, mem, predictor, cfg, opts);
+        return model.run();
+    }
+    ReferenceModel model(prog, mem, predictor, cfg, opts);
+    return model.run();
+}
+
+SimStats
+simulateWithDecoded(const Program &prog, const DecodedProgram &decoded,
+                    Memory &mem, DirectionPredictor &predictor,
+                    const MachineConfig &cfg, const SimOptions &opts)
+{
+    if (fastEligible(opts)) {
+        FastModel model(decoded, mem, predictor, cfg, opts);
+        return model.run();
+    }
+    ReferenceModel model(prog, mem, predictor, cfg, opts);
     return model.run();
 }
 
@@ -640,7 +1245,11 @@ prerecordPredictOutcomes(const Program &prog, const Memory &mem,
         return false;
     });
 
-    std::deque<size_t> pending;
+    // PREDICTs whose original-branch outcome is still unknown. Bounded
+    // only by program shape (not MachineConfig), so the ring grows
+    // geometrically if a kernel ever keeps more in flight; steady
+    // state allocates nothing.
+    RingFifo<size_t> pending(64, /*growable=*/true);
     uint64_t steps = 0;
     size_t predict_count = 0;
     while (!exec.halted() && steps < max_insts) {

@@ -97,6 +97,19 @@ struct SimOptions
 
     /** Optional pipeline timeline collector (see uarch/trace.hh). */
     PipelineTrace *trace = nullptr;
+
+    /**
+     * Force the retained reference path (ProgramExecutor-driven,
+     * std::function hooks, virtual predictor dispatch) even when the
+     * run is fast-path eligible. The reference path is the pre-decode
+     * baseline kept for bit-identity testing (tests/test_fastpath.cc)
+     * and for the self-benchmark's before/after comparison. The
+     * environment variable VANGUARD_FORCE_REFERENCE=1 has the same
+     * effect process-wide (used to A/B whole sweeps). Runs with a
+     * lockstep checker or a pipeline trace attached use the reference
+     * path regardless.
+     */
+    bool forceReference = false;
 };
 
 struct SimStats
@@ -173,6 +186,22 @@ struct SimStats
 SimStats simulate(const Program &prog, Memory &mem,
                   DirectionPredictor &predictor,
                   const MachineConfig &cfg, const SimOptions &opts = {});
+
+class DecodedProgram;
+
+/**
+ * simulate() against a pre-built DecodedProgram (see
+ * exec/decoded_program.hh). The decoded form is a pure function of
+ * (prog, I-line size), computed once per compile artifact and shared
+ * read-only across seeds and configs; callers without one can use
+ * simulate(), which decodes internally when the fast path is
+ * eligible. `decoded` must have been produced from `prog`.
+ */
+SimStats simulateWithDecoded(const Program &prog,
+                             const DecodedProgram &decoded, Memory &mem,
+                             DirectionPredictor &predictor,
+                             const MachineConfig &cfg,
+                             const SimOptions &opts = {});
 
 /**
  * Flatten one run's SimStats into dotted metric paths
