@@ -14,6 +14,13 @@
  *                          parallel experiment engine (mean/best)
  *     --jobs N             engine worker threads (default: the
  *                          VANGUARD_JOBS env var, then all cores)
+ *     --batch-lanes N      REF-seed lanes per batched simulation in
+ *                          sweeps and the selfbench batched stream
+ *                          (1..64; 1 disables batching; default 8)
+ *     --no-threaded-dispatch  use the portable switch dispatcher even
+ *                          in builds carrying the computed-goto fast
+ *                          path (bit-identical results, machine code
+ *                          choice only)
  *     --no-decompose       measure the baseline configuration only
  *     --no-superblock      disable the biased-branch pass
  *     --no-shadow-commit   commit MOVs consume issue slots
@@ -48,11 +55,12 @@
  *                          e.g. "io:0.01,hang:0.005,seed=7"
  *     --selfbench          benchmark the simulator itself: run the
  *                          pinned workload x width x predictor matrix
- *                          through both execution paths and print the
- *                          vanguard-selfbench v1 JSON report
+ *                          through every execution path (switch /
+ *                          threaded / batched / reference) and print
+ *                          the vanguard-selfbench v2 JSON report
  *     --selfbench-out F    write the report to F (atomic) instead of
  *                          stdout (the committed trajectory is
- *                          BENCH_PR5.json at the repo root)
+ *                          BENCH_PR6.json at the repo root)
  *     --selfbench-repeats N  timed repetitions per cell, best-of
  *                          (default 3)
  *     --selfbench-iters N  kernel trip count per cell (default 6000)
@@ -132,7 +140,8 @@ printUsage(std::FILE *to)
     std::fprintf(to,
         "usage: vanguard_cli [--benchmark NAME] [--list] "
         "[--width N] [--predictor NAME] [--iterations N] "
-        "[--seed N] [--all-refs] [--jobs N] "
+        "[--seed N] [--all-refs] [--jobs N] [--batch-lanes N] "
+        "[--no-threaded-dispatch] "
         "[--no-decompose] [--no-superblock] "
         "[--no-shadow-commit] [--dbb N] [--threshold P] "
         "[--save-profile F] [--load-profile F] "
@@ -143,6 +152,18 @@ printUsage(std::FILE *to)
         "[--checkpoint-dir D] [--resume] [--inject SPEC] "
         "[--selfbench] [--selfbench-out F] [--selfbench-repeats N] "
         "[--selfbench-iters N] [--help]\n"
+        "\n"
+        "execution paths:\n"
+        "  --batch-lanes N     REF-seed lanes per batched simulation "
+        "(1..64;\n"
+        "                      1 disables batching; default 8); also "
+        "sets the\n"
+        "                      selfbench batched stream's lane count\n"
+        "  --no-threaded-dispatch  portable switch dispatcher even "
+        "when the\n"
+        "                      build carries the computed-goto fast "
+        "path\n"
+        "                      (results are bit-identical either way)\n"
         "\n"
         "telemetry:\n"
         "  --metrics-out F     write the unified metrics dump "
@@ -180,6 +201,24 @@ usageAndExit()
 {
     printUsage(stderr);
     std::exit(2);
+}
+
+/** Strict unsigned parse for range-validated flag values: the whole
+ *  token must be digits and the value in [lo, hi], else exit 2. */
+unsigned
+parseUnsignedOrDie(const char *flag, const char *text, unsigned lo,
+                   unsigned hi)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "vanguard_cli: %s expects an integer in "
+                     "[%u, %u], got '%s'\n",
+                     flag, lo, hi, text);
+        usageAndExit();
+    }
+    return static_cast<unsigned>(v);
 }
 
 /** Re-execute a failure bundle solo; exit 0 iff it reproduced. */
@@ -259,6 +298,7 @@ runCli(int argc, char **argv)
     bool selfbench = false;
     std::string selfbench_out;
     SelfBenchOptions sb_opts;
+    unsigned batch_lanes = 0; ///< 0 = keep the per-subsystem default
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -309,6 +349,11 @@ runCli(int argc, char **argv)
             all_refs = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(atoi(next()));
+        } else if (arg == "--batch-lanes") {
+            batch_lanes =
+                parseUnsignedOrDie("--batch-lanes", next(), 1, 64);
+        } else if (arg == "--no-threaded-dispatch") {
+            opts.noThreadedDispatch = true;
         } else if (arg == "--no-decompose") {
             opts.applyDecomposition = false;
         } else if (arg == "--no-superblock") {
@@ -392,6 +437,8 @@ runCli(int argc, char **argv)
     if (selfbench) {
         // Simulator self-benchmark: measures the host, so it runs
         // before (and instead of) any deterministic sweep plumbing.
+        if (batch_lanes != 0)
+            sb_opts.batchLanes = batch_lanes;
         SelfBenchReport report = runSelfBench(sb_opts, stderr);
         std::string json = selfBenchToJson(report);
         if (selfbench_out.empty()) {
@@ -407,6 +454,16 @@ runCli(int argc, char **argv)
                      report.geomeanFastIps() / 1e6,
                      report.geomeanRefIps() / 1e6,
                      report.geomeanSpeedup());
+        if (report.geomeanBatchedIps() > 0) {
+            std::fprintf(stderr,
+                         "selfbench geomean: %.1f M-insts/s batched "
+                         "(%.2fx vs solo fast), %.1f switch, "
+                         "%.1f threaded\n",
+                         report.geomeanBatchedIps() / 1e6,
+                         report.geomeanBatchedSpeedup(),
+                         report.geomeanSwitchIps() / 1e6,
+                         report.geomeanThreadedIps() / 1e6);
+        }
         return 0;
     }
 
@@ -421,6 +478,8 @@ runCli(int argc, char **argv)
         // aborting the sweep.
         RunnerOptions ropts;
         ropts.jobs = jobs;
+        if (batch_lanes != 0)
+            ropts.batchLanes = batch_lanes;
         ropts.replayDir = replay_dir;
         ropts.checkpointDir = checkpoint_dir;
         ropts.resume = resume;

@@ -11,41 +11,6 @@ BranchTargetBuffer::BranchTargetBuffer(unsigned index_bits,
 {
 }
 
-uint32_t
-BranchTargetBuffer::index(uint64_t pc) const
-{
-    return static_cast<uint32_t>((pc >> 2) & ((1u << index_bits_) - 1));
-}
-
-uint32_t
-BranchTargetBuffer::tag(uint64_t pc) const
-{
-    return static_cast<uint32_t>((pc >> (2 + index_bits_)) &
-                                 ((1u << tag_bits_) - 1));
-}
-
-bool
-BranchTargetBuffer::lookup(uint64_t pc, uint64_t &target) const
-{
-    const Entry &e = entries_[index(pc)];
-    if (e.valid && e.tag == tag(pc)) {
-        target = e.target;
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    return false;
-}
-
-void
-BranchTargetBuffer::insert(uint64_t pc, uint64_t target)
-{
-    Entry &e = entries_[index(pc)];
-    e.valid = true;
-    e.tag = tag(pc);
-    e.target = target;
-}
-
 void
 BranchTargetBuffer::reset()
 {

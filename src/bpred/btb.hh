@@ -26,11 +26,30 @@ class BranchTargetBuffer
     explicit BranchTargetBuffer(unsigned index_bits = 12,
                                 unsigned tag_bits = 16);
 
-    /** Look up pc; returns true and sets target on hit. */
-    bool lookup(uint64_t pc, uint64_t &target) const;
+    /** Look up pc; returns true and sets target on hit. Inline: the
+     *  timing model consults the BTB on every taken control transfer. */
+    bool
+    lookup(uint64_t pc, uint64_t &target) const
+    {
+        const Entry &e = entries_[index(pc)];
+        if (e.valid && e.tag == tag(pc)) {
+            target = e.target;
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Install/refresh a branch's target. */
-    void insert(uint64_t pc, uint64_t target);
+    void
+    insert(uint64_t pc, uint64_t target)
+    {
+        Entry &e = entries_[index(pc)];
+        e.valid = true;
+        e.tag = tag(pc);
+        e.target = target;
+    }
 
     void reset();
 
@@ -46,8 +65,19 @@ class BranchTargetBuffer
         uint64_t target = 0;
     };
 
-    uint32_t index(uint64_t pc) const;
-    uint32_t tag(uint64_t pc) const;
+    uint32_t
+    index(uint64_t pc) const
+    {
+        return static_cast<uint32_t>((pc >> 2) &
+                                     ((1u << index_bits_) - 1));
+    }
+
+    uint32_t
+    tag(uint64_t pc) const
+    {
+        return static_cast<uint32_t>((pc >> (2 + index_bits_)) &
+                                     ((1u << tag_bits_) - 1));
+    }
 
     unsigned index_bits_;
     unsigned tag_bits_;

@@ -644,7 +644,12 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // Phase 3: one job per (benchmark, width, config, seed). Slot
     // layout: ((b*W + w)*S + s)*2 + cfg with cfg 0 = baseline
     // (collecting per-branch stalls, as the serial path does) and
-    // cfg 1 = experimental.
+    // cfg 1 = experimental. Work items are (benchmark, width, config)
+    // *groups*: the S seed jobs of a group run inside one item, so an
+    // eligible group shares one batched dispatch loop
+    // (simulateConfigBatch) while every seed keeps its own journal
+    // record, metric snapshot, counters, trace span, and failure slot
+    // — bit-identical to solo execution either way.
     std::vector<SimStats> sims(B * W * S * 2);
     std::vector<std::optional<JobFailure>> sim_fail(sims.size());
     auto simScope = [&](size_t b, size_t w, size_t cfg, size_t s) {
@@ -662,94 +667,67 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     ProgressReporter progress(ropts.tag, "simulate", sims.size());
     progress.observeFailures(&sim_failed);
     progress.observeRetries(&jobs_retries);
+
+    // Sweep-wide batching eligibility: modes that need per-job
+    // isolation of process-global state (fault-injection draw
+    // sequences, the lockstep checker) or that will not run the fast
+    // path anyway (VANGUARD_FORCE_REFERENCE) keep solo seed jobs
+    // inside the same group items — same slots, same records.
+    const bool batch_eligible =
+        ropts.batchLanes > 1 && !base.lockstep &&
+        !ropts.faultInjection && !faultinject::armed() &&
+        !referenceForcedByEnv();
+
     {
         TraceSpan phase_span(tracer, "phase.simulate");
-        pool.parallelFor(sims.size(), [&](size_t i) {
-            size_t cfg = i % 2;
-            size_t s = (i / 2) % S;
-            size_t bw = i / (2 * S);
+        pool.parallelFor(B * W * 2, [&](size_t g) {
+            size_t bw = g / 2;
+            size_t cfg = g % 2;
             size_t b = bw / W;
             size_t w = bw % W;
             if (train_fail[b].has_value() ||
                 compile_fail[bw].has_value()) {
-                jobs_skipped.add();
-                progress.jobDone(); // skipped, but the sweep advanced
+                for (size_t s = 0; s < S; ++s) {
+                    jobs_skipped.add();
+                    progress.jobDone(); // skipped; the sweep advanced
+                }
                 return;
             }
             ScopedCurrentTracer ambient(tracer);
             const BenchmarkArtifacts &art = arts[bw];
             const BenchmarkSpec &spec = suite[b];
             const VanguardOptions &opts = wopts[w];
-            JobIdentity id;
-            id.phase = "simulate";
-            id.benchmark = spec.name;
-            id.width = widths[w];
-            id.config = static_cast<int>(cfg);
-            id.seed = kRefSeeds[s];
-            id.index = i;
-            faultinject::Scope job_scope(jobScopeKey(id, 0));
-            if (ckpt != nullptr) {
-                auto it = ckpt->prior.sim.find(i);
-                if (it != ckpt->prior.sim.end()) {
-                    ckpt->countReplay();
-                    jobs_replayed.add();
-                    if (!it->second.ok) {
-                        sim_fail[i] =
-                            failureFromRecord(id, it->second);
-                        jobs_failed.add();
-                        sim_failed.add();
-                        progress.jobFailed();
-                    } else {
-                        sims[i] = it->second.stats;
-                        jobs_completed.add();
-                        sim_done.add();
-                        mergeSim(i, b, w, cfg, s);
-                        if (tracer != nullptr) {
-                            tracer->instant(
-                                "job.replayed",
-                                Tracer::args(
-                                    {{"job", id.describe()}}));
-                        }
-                        progress.jobDone();
-                    }
+            const CompiledConfig &config =
+                cfg == 0 ? art.base : art.exp;
+
+            auto slotOf = [&](size_t s) {
+                return (bw * S + s) * 2 + cfg;
+            };
+            auto identity = [&](size_t s) {
+                JobIdentity id;
+                id.phase = "simulate";
+                id.benchmark = spec.name;
+                id.width = widths[w];
+                id.config = static_cast<int>(cfg);
+                id.seed = kRefSeeds[s];
+                id.index = slotOf(s);
+                return id;
+            };
+            auto spanArgs = [&](size_t s) {
+                return tracer == nullptr
+                    ? std::string()
+                    : Tracer::args(
+                          {{"benchmark", spec.name},
+                           {"width", std::to_string(widths[w])},
+                           {"config", cfg == 0 ? "base" : "exp"},
+                           {"seed", hexU64(kRefSeeds[s])},
+                           {"index",
+                            std::to_string(slotOf(s))}});
+            };
+            auto journalSeed = [&](size_t s) {
+                if (ckpt == nullptr)
                     return;
-                }
-            }
-            {
-                TraceSpan span(
-                    tracer, "simulate",
-                    tracer == nullptr
-                        ? std::string()
-                        : Tracer::args(
-                              {{"benchmark", spec.name},
-                               {"width",
-                                std::to_string(widths[w])},
-                               {"config",
-                                cfg == 0 ? "base" : "exp"},
-                               {"seed", hexU64(kRefSeeds[s])},
-                               {"index", std::to_string(i)}}));
-                sim_fail[i] = runGuarded(
-                    id, ropts, tracer, jobs_retries, [&] {
-                        sims[i] = cfg == 0
-                            ? simulateConfig(
-                                  spec, art.base, opts, kRefSeeds[s],
-                                  /*collect_branch_stalls=*/true)
-                            : simulateConfig(spec, art.exp, opts,
-                                             kRefSeeds[s]);
-                    });
-            }
-            if (sim_fail[i].has_value()) {
-                writeBundle(*sim_fail[i], spec, opts, ropts);
-                jobs_failed.add();
-                sim_failed.add();
-                progress.jobFailed();
-            } else {
-                jobs_completed.add();
-                sim_done.add();
-                mergeSim(i, b, w, cfg, s);
-                progress.jobDone();
-            }
-            if (ckpt != nullptr) {
+                size_t i = slotOf(s);
                 if (sim_fail[i].has_value()) {
                     ckpt->append(
                         recordFromFailure('S', i, *sim_fail[i]));
@@ -761,6 +739,148 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                     rec.stats = sims[i];
                     ckpt->append(rec);
                 }
+            };
+            auto seedDone = [&](size_t s) {
+                jobs_completed.add();
+                sim_done.add();
+                mergeSim(slotOf(s), b, w, cfg, s);
+                progress.jobDone();
+            };
+            auto seedFailed = [&](size_t s) {
+                writeBundle(*sim_fail[slotOf(s)], spec, opts, ropts);
+                jobs_failed.add();
+                sim_failed.add();
+                progress.jobFailed();
+            };
+
+            // Journal replay satisfies seeds without re-executing
+            // (or re-journaling) them; the rest stay pending.
+            std::vector<size_t> pending;
+            pending.reserve(S);
+            for (size_t s = 0; s < S; ++s) {
+                size_t i = slotOf(s);
+                if (ckpt != nullptr) {
+                    auto it = ckpt->prior.sim.find(i);
+                    if (it != ckpt->prior.sim.end()) {
+                        ckpt->countReplay();
+                        jobs_replayed.add();
+                        if (!it->second.ok) {
+                            sim_fail[i] = failureFromRecord(
+                                identity(s), it->second);
+                            jobs_failed.add();
+                            sim_failed.add();
+                            progress.jobFailed();
+                        } else {
+                            sims[i] = it->second.stats;
+                            jobs_completed.add();
+                            sim_done.add();
+                            mergeSim(i, b, w, cfg, s);
+                            if (tracer != nullptr) {
+                                tracer->instant(
+                                    "job.replayed",
+                                    Tracer::args(
+                                        {{"job",
+                                          identity(s)
+                                              .describe()}}));
+                            }
+                            progress.jobDone();
+                        }
+                        continue;
+                    }
+                }
+                pending.push_back(s);
+            }
+
+            // Batched attempt over the pending seeds, at most
+            // batchLanes lanes per call. A lane that fails — or a
+            // batch that throws outright — falls back to the solo
+            // path below, which reproduces the outcome under
+            // runGuarded's retry/bundle semantics (jobs are pure,
+            // so the re-run is bit-identical).
+            std::vector<size_t> solo;
+            if (batch_eligible && pending.size() > 1) {
+                for (size_t off = 0; off < pending.size();
+                     off += ropts.batchLanes) {
+                    size_t end = std::min(
+                        pending.size(),
+                        off + static_cast<size_t>(ropts.batchLanes));
+                    std::vector<size_t> chunk(pending.begin() + off,
+                                              pending.begin() + end);
+                    if (chunk.size() == 1) {
+                        solo.push_back(chunk[0]);
+                        continue;
+                    }
+                    std::vector<uint64_t> seeds;
+                    seeds.reserve(chunk.size());
+                    for (size_t s : chunk)
+                        seeds.push_back(kRefSeeds[s]);
+                    std::vector<BatchLaneResult> lanes;
+                    try {
+                        TraceSpan span(
+                            tracer, "simulate.batch",
+                            tracer == nullptr
+                                ? std::string()
+                                : Tracer::args(
+                                      {{"benchmark", spec.name},
+                                       {"width",
+                                        std::to_string(widths[w])},
+                                       {"config",
+                                        cfg == 0 ? "base" : "exp"},
+                                       {"lanes",
+                                        std::to_string(
+                                            chunk.size())}}));
+                        lanes = simulateConfigBatch(
+                            spec, config, opts, seeds, cfg == 0);
+                    } catch (...) {
+                        lanes.clear();
+                    }
+                    if (lanes.size() != chunk.size()) {
+                        solo.insert(solo.end(), chunk.begin(),
+                                    chunk.end());
+                        continue;
+                    }
+                    for (size_t k = 0; k < chunk.size(); ++k) {
+                        size_t s = chunk[k];
+                        if (lanes[k].failed) {
+                            solo.push_back(s);
+                            continue;
+                        }
+                        // Bookkeeping span: the trace carries
+                        // exactly one "simulate" span per seed job
+                        // whichever path ran it.
+                        TraceSpan span(tracer, "simulate",
+                                       spanArgs(s));
+                        sims[slotOf(s)] = std::move(lanes[k].stats);
+                        seedDone(s);
+                        journalSeed(s);
+                    }
+                }
+            } else {
+                solo = std::move(pending);
+            }
+
+            for (size_t s : solo) {
+                size_t i = slotOf(s);
+                JobIdentity id = identity(s);
+                faultinject::Scope job_scope(jobScopeKey(id, 0));
+                {
+                    TraceSpan span(tracer, "simulate", spanArgs(s));
+                    sim_fail[i] = runGuarded(
+                        id, ropts, tracer, jobs_retries, [&] {
+                            sims[i] = cfg == 0
+                                ? simulateConfig(
+                                      spec, config, opts,
+                                      kRefSeeds[s],
+                                      /*collect_branch_stalls=*/true)
+                                : simulateConfig(spec, config, opts,
+                                                 kRefSeeds[s]);
+                        });
+                }
+                if (sim_fail[i].has_value())
+                    seedFailed(s);
+                else
+                    seedDone(s);
+                journalSeed(s);
             }
         });
     }

@@ -2,13 +2,23 @@
  * @file
  * Simulator self-benchmark: how fast does the simulator itself run?
  *
- * Runs a pinned workload x width x predictor matrix through both
- * execution paths (the fast pre-decoded loop and the reference
- * interpreter-driven model), timing only the cycle loop — train and
- * compile happen once per cell, outside the timed region — and reports
+ * Runs a pinned workload x width x predictor matrix through every
+ * execution path, timing only the cycle loop — train and compile
+ * happen once per cell, outside the timed region — and reports
  * simulated instructions per second and simulated cycles per second.
+ * Four streams per cell since v2:
+ *
+ *   - switch:   fast path, portable switch dispatcher,
+ *   - threaded: fast path, computed-goto dispatcher (absent — zeroed —
+ *               in builds without VANGUARD_THREADED),
+ *   - batched:  simulateBatch over batchLanes seed lanes through one
+ *               shared dispatch loop; its IPS counts all lanes' insts,
+ *   - ref:      the retained reference model (the v1 denominator).
+ *
+ * The v1 "fast" stream is kept and aliases threaded when available,
+ * switch otherwise — exactly what a default build runs in a sweep.
  * The report serializes as schema-versioned JSON ("vanguard-selfbench
- * v1"); the committed BENCH_PR5.json at the repo root pins the
+ * v2"); the committed BENCH_PR6.json at the repo root pins the
  * trajectory future PRs must not regress (ctest label tier2_perf).
  *
  * Determinism note: this is the one subsystem whose output is
@@ -31,7 +41,7 @@ namespace vanguard {
 class MetricsRegistry;
 
 constexpr const char *kSelfBenchMagic = "vanguard-selfbench";
-constexpr unsigned kSelfBenchVersion = 1;
+constexpr unsigned kSelfBenchVersion = 2;
 
 /** One cell of the benchmark matrix. */
 struct SelfBenchCase
@@ -45,17 +55,35 @@ struct SelfBenchCase
 struct SelfBenchCell
 {
     SelfBenchCase spec;
-    uint64_t dynamicInsts = 0;  ///< per run (identical fast vs ref)
-    uint64_t cycles = 0;        ///< per run (identical fast vs ref)
+    uint64_t dynamicInsts = 0;  ///< per run (identical on every path)
+    uint64_t cycles = 0;        ///< per run (identical on every path)
     double fastSec = 0.0;       ///< best-of-repeats wall time, fast path
     double refSec = 0.0;        ///< best-of-repeats wall time, reference
+
+    // v2 streams. threadedSec stays 0 in builds without the
+    // computed-goto dispatcher (fastSec then equals switchSec);
+    // batchedSec times batchedLanes lanes through one loop, so its
+    // IPS denominator is batchedInsts (all lanes), not dynamicInsts.
+    double switchSec = 0.0;     ///< fast path, switch dispatcher
+    double threadedSec = 0.0;   ///< fast path, computed-goto dispatcher
+    double batchedSec = 0.0;    ///< simulateBatch over batchedLanes
+    unsigned batchedLanes = 0;
+    uint64_t batchedInsts = 0;  ///< committed insts across all lanes
 
     double fastIps() const { return fastSec > 0 ? dynamicInsts / fastSec : 0; }
     double refIps() const { return refSec > 0 ? dynamicInsts / refSec : 0; }
     double fastCps() const { return fastSec > 0 ? cycles / fastSec : 0; }
     double refCps() const { return refSec > 0 ? cycles / refSec : 0; }
+    double switchIps() const { return switchSec > 0 ? dynamicInsts / switchSec : 0; }
+    double threadedIps() const { return threadedSec > 0 ? dynamicInsts / threadedSec : 0; }
+    double batchedIps() const { return batchedSec > 0 ? batchedInsts / batchedSec : 0; }
     /** Fast-path speedup over the reference path, same build. */
     double speedup() const { return fastSec > 0 ? refSec / fastSec : 0; }
+    /** Computed-goto speedup over the switch dispatcher (0 when the
+     *  build has no threaded dispatcher). */
+    double threadedSpeedup() const { return threadedSec > 0 ? switchSec / threadedSec : 0; }
+    /** Batched throughput gain over the solo fast path. */
+    double batchedSpeedup() const { return fastIps() > 0 ? batchedIps() / fastIps() : 0; }
 };
 
 struct SelfBenchReport
@@ -67,6 +95,14 @@ struct SelfBenchReport
     double geomeanFastIps() const;
     double geomeanRefIps() const;
     double geomeanSpeedup() const;
+
+    // v2 stream geomeans; the threaded and batched ones are 0 when
+    // their stream was not measured (portable build / lanes = 0).
+    double geomeanSwitchIps() const;
+    double geomeanThreadedIps() const;
+    double geomeanBatchedIps() const;
+    double geomeanThreadedSpeedup() const;
+    double geomeanBatchedSpeedup() const;
 };
 
 struct SelfBenchOptions
@@ -82,6 +118,11 @@ struct SelfBenchOptions
     /** Also time the reference path (needed for speedup; off makes a
      *  quick fast-only lap, e.g. the tier2_perf smoke gate). */
     bool timeReference = true;
+
+    /** Seed lanes for the batched stream (0 skips it). Lane i runs
+     *  REF seed kRefSeeds[0] + i, so lane 0 re-runs exactly the solo
+     *  streams' input — a free per-cell identity check. */
+    unsigned batchLanes = 8;
 
     /** Matrix override; empty selects the pinned default matrix. */
     std::vector<SelfBenchCase> matrix;
@@ -108,17 +149,23 @@ void selfBenchExportTo(const SelfBenchReport &report,
                        MetricsRegistry &registry);
 
 /**
- * Parsed view of a committed BENCH_PR5.json — just the fields the
+ * Parsed view of a committed BENCH_PR*.json — just the fields the
  * tier2_perf regression gate compares. ok=false (with error) when the
  * file is absent or unparseable; a recognized-but-newer schema raises
- * SimError(Io) like every other versioned format.
+ * SimError(Io) like every other versioned format. The v2 stream
+ * geomeans stay 0 when the baseline predates them (a v1 file), so
+ * gates on them skip gracefully.
  */
 struct SelfBenchBaseline
 {
     bool ok = false;
     std::string error;
+    unsigned version = 0;
     double geomeanFastIps = 0.0;
     double geomeanSpeedup = 0.0;
+    double geomeanSwitchIps = 0.0;
+    double geomeanThreadedIps = 0.0;
+    double geomeanBatchedIps = 0.0;
 };
 
 SelfBenchBaseline loadSelfBenchBaseline(const std::string &path);

@@ -1,5 +1,7 @@
 #include "uarch/cache.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace vanguard {
@@ -27,8 +29,15 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
 {
     uint64_t total_lines = uint64_t{cfg.sizeKB} * 1024 / cfg.lineBytes;
     vg_assert(total_lines % cfg.ways == 0, "cache geometry");
+    vg_assert(cfg.ways >= 1 && cfg.ways <= 64,
+              "cache ways must fit the per-set valid bitmask");
     num_sets_ = static_cast<unsigned>(total_lines / cfg.ways);
-    lines_.resize(total_lines);
+    tags_.assign(total_lines, 0);
+    lrus_.assign(total_lines, 0);
+    valid_.assign(num_sets_, 0);
+    mru_.assign(num_sets_, 0);
+    full_mask_ = cfg.ways == 64 ? ~uint64_t{0}
+                                : (uint64_t{1} << cfg.ways) - 1;
 
     line_pow2_ = isPow2(cfg_.lineBytes);
     if (line_pow2_)
@@ -59,9 +68,10 @@ Cache::contains(uint64_t addr) const
 {
     uint64_t set = setIndex(addr);
     uint64_t tag = tagOf(addr);
-    const Line *base = &lines_[set * cfg_.ways];
+    const uint64_t *tags = &tags_[set * cfg_.ways];
+    uint64_t vm = valid_[set];
     for (unsigned w = 0; w < cfg_.ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (((vm >> w) & 1) != 0 && tags[w] == tag)
             return true;
     return false;
 }
@@ -69,8 +79,9 @@ Cache::contains(uint64_t addr) const
 void
 Cache::invalidateAll()
 {
-    for (auto &line : lines_)
-        line = Line{};
+    // Stale tags_/lrus_/mru_ entries are unreachable once their valid
+    // bits drop, so clearing the bitmasks suffices.
+    std::fill(valid_.begin(), valid_.end(), 0);
     hits_ = misses_ = 0;
     tick_ = 0;
 }
@@ -80,36 +91,6 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig &cfg)
       mem_latency_(cfg.memLatency),
       next_line_prefetch_(cfg.icacheNextLinePrefetch)
 {
-}
-
-unsigned
-MemoryHierarchy::instAccess(uint64_t line_addr)
-{
-    unsigned penalty;
-    if (l1i_.access(line_addr)) {
-        penalty = 0;
-    } else if (l2_.access(line_addr)) {
-        penalty = l2_.latency();
-    } else if (l3_.access(line_addr)) {
-        penalty = l3_.latency();
-    } else {
-        penalty = mem_latency_;
-    }
-
-    // Optimistic next-line prefetch: bring the sequentially next line
-    // into the I$ (and the levels below) off the critical path.
-    if (next_line_prefetch_) {
-        uint64_t next = line_addr + l1i_.lineBytes();
-        if (!l1i_.contains(next)) {
-            ++inst_prefetches_;
-            l1i_.access(next);
-            if (!l2_.contains(next)) {
-                l2_.access(next);
-                l3_.access(next);
-            }
-        }
-    }
-    return penalty;
 }
 
 } // namespace vanguard

@@ -7,6 +7,7 @@
 #ifndef VANGUARD_UARCH_CACHE_HH
 #define VANGUARD_UARCH_CACHE_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -34,29 +35,52 @@ class Cache
         uint64_t line = lineOf(addr);
         uint64_t set = sets_pow2_ ? (line & set_mask_) : (line % num_sets_);
         uint64_t tag = sets_pow2_ ? (line >> set_shift_) : (line / num_sets_);
-        Line *base = &lines_[set * cfg_.ways];
+        size_t row = set * cfg_.ways;
+        uint64_t *tags = &tags_[row];
+        uint64_t vm = valid_[set];
         ++tick_;
 
-        // One pass finds the hit AND tracks the LRU victim, so a miss
-        // (the common case once the model is warm) doesn't rescan the
-        // set. Victim choice matches the two-pass original: the first
-        // invalid way, else the lowest-lru valid way, first-on-tie.
-        Line *victim = base;
+        // MRU filter: sets exhibit way locality, so re-checking the
+        // most recently touched way first turns the common repeat-hit
+        // into a single tag compare. Pure fast path — a hit is a hit
+        // whichever compare found it, so hit/miss/LRU state is
+        // unchanged.
+        unsigned m = mru_[set];
+        if (((vm >> m) & 1) != 0 && tags[m] == tag) {
+            lrus_[row + m] = tick_;
+            ++hits_;
+            return true;
+        }
+
+        // The hit scan reads only the contiguous tag row (one host
+        // cache line for the common 8-way geometry) plus the per-set
+        // valid bitmask; LRU state is untouched until the outcome is
+        // known. Victim choice matches the original AoS scan: the
+        // first invalid way, else the lowest-lru valid way,
+        // first-on-tie.
         for (unsigned w = 0; w < cfg_.ways; ++w) {
-            if (base[w].valid && base[w].tag == tag) {
-                base[w].lru = tick_;
+            if (((vm >> w) & 1) != 0 && tags[w] == tag) {
+                lrus_[row + w] = tick_;
+                mru_[set] = static_cast<uint8_t>(w);
                 ++hits_;
                 return true;
             }
-            if (w > 0 && victim->valid &&
-                (!base[w].valid || base[w].lru < victim->lru)) {
-                victim = &base[w];
-            }
         }
         ++misses_;
-        victim->valid = true;
-        victim->tag = tag;
-        victim->lru = tick_;
+        unsigned victim;
+        if (vm != full_mask_) {
+            victim = static_cast<unsigned>(std::countr_one(vm));
+        } else {
+            const uint64_t *lrus = &lrus_[row];
+            victim = 0;
+            for (unsigned w = 1; w < cfg_.ways; ++w)
+                if (lrus[w] < lrus[victim])
+                    victim = w;
+        }
+        valid_[set] = vm | (uint64_t{1} << victim);
+        tags[victim] = tag;
+        lrus_[row + victim] = tick_;
+        mru_[set] = static_cast<uint8_t>(victim);
         return false;
     }
 
@@ -82,13 +106,6 @@ class Cache
     unsigned lineBytes() const { return cfg_.lineBytes; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        uint64_t tag = 0;
-        uint64_t lru = 0;
-    };
-
     uint64_t setIndex(uint64_t addr) const;
     uint64_t tagOf(uint64_t addr) const;
 
@@ -101,7 +118,15 @@ class Cache
 
     CacheConfig cfg_;
     unsigned num_sets_;
-    std::vector<Line> lines_;   ///< num_sets_ x ways, row-major
+    // Structure-of-arrays line state, num_sets_ x ways row-major, with
+    // validity packed one bitmask per set (hence ways <= 64, asserted
+    // in the constructor). The hit scan touches tags_ only; lrus_ is
+    // read on the miss path and written once per access.
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> lrus_;
+    std::vector<uint64_t> valid_;   ///< per-set way bitmask
+    std::vector<uint8_t> mru_;      ///< per-set last-touched way
+    uint64_t full_mask_ = 0;        ///< valid_ value when all ways live
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
@@ -160,8 +185,38 @@ class MemoryHierarchy
     /**
      * Instruction-side access for one cache line. Returns the *extra*
      * fetch stall beyond the pipelined L1I hit path (0 on hit).
+     * Inline like dataAccess: once per fetched I-line.
      */
-    unsigned instAccess(uint64_t line_addr);
+    unsigned
+    instAccess(uint64_t line_addr)
+    {
+        unsigned penalty;
+        if (l1i_.access(line_addr)) {
+            penalty = 0;
+        } else if (l2_.access(line_addr)) {
+            penalty = l2_.latency();
+        } else if (l3_.access(line_addr)) {
+            penalty = l3_.latency();
+        } else {
+            penalty = mem_latency_;
+        }
+
+        // Optimistic next-line prefetch: bring the sequentially next
+        // line into the I$ (and the levels below) off the critical
+        // path.
+        if (next_line_prefetch_) {
+            uint64_t next = line_addr + l1i_.lineBytes();
+            if (!l1i_.contains(next)) {
+                ++inst_prefetches_;
+                l1i_.access(next);
+                if (!l2_.contains(next)) {
+                    l2_.access(next);
+                    l3_.access(next);
+                }
+            }
+        }
+        return penalty;
+    }
 
     /** Enable next-line instruction prefetching. */
     void setNextLinePrefetch(bool enable)

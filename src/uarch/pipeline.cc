@@ -2,6 +2,24 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+
+/*
+ * Compile-time availability of the computed-goto (threaded-code)
+ * dispatcher for the fast path. GCC/Clang builds default to on; the
+ * CMake option VANGUARD_THREADED=OFF defines it to 0 and any other
+ * compiler falls back to the portable switch. Runtime opt-out (the
+ * SimOptions::noThreadedDispatch flag or VANGUARD_THREADED=0 in the
+ * environment) selects the switch dispatcher inside a threaded build
+ * without recompiling.
+ */
+#ifndef VANGUARD_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define VANGUARD_THREADED_DISPATCH 1
+#else
+#define VANGUARD_THREADED_DISPATCH 0
+#endif
+#endif
 
 #include "bpred/btb.hh"
 #include "bpred/dispatch.hh"
@@ -9,6 +27,20 @@
 #include "support/fault_inject.hh"
 #include "support/logging.hh"
 #include "support/ring.hh"
+
+/*
+ * The fused step functions are large enough (every handler plus the
+ * replicated threaded-dispatch tails) that GCC's unit-growth budget
+ * stops inlining the per-instruction timing helpers into them,
+ * leaving a real call (spills included) per retired instruction.
+ * Force the verdict for the helpers that run on every instruction;
+ * they are small, single-caller-shaped, and loop-free.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define VG_HOT_INLINE inline __attribute__((always_inline))
+#else
+#define VG_HOT_INLINE inline
+#endif
 
 namespace vanguard {
 
@@ -140,7 +172,7 @@ class TimingCommon
 
     /** Fetch-ring slot of inst_seq; mask when the buffer is a power of
      *  two (the common 32-entry case), avoiding a division per inst. */
-    size_t
+    VG_HOT_INLINE size_t
     fetchSlot(uint64_t inst_seq) const
     {
         return fetch_slot_mask_ != 0
@@ -149,7 +181,7 @@ class TimingCommon
     }
 
     /** Record when an instruction leaves the fetch buffer. */
-    void
+    VG_HOT_INLINE void
     recordDrain(uint64_t inst_seq, uint64_t leave_cycle)
     {
         fetch_ring_[fetchSlot(inst_seq)] = leave_cycle;
@@ -203,7 +235,7 @@ class TimingCommon
 
     // --- issue-side helpers -------------------------------------------
 
-    unsigned
+    VG_HOT_INLINE unsigned
     portCap(FuClass cls) const
     {
         switch (cls) {
@@ -243,7 +275,7 @@ class TimingCommon
         }
     }
 
-    uint64_t
+    VG_HOT_INLINE uint64_t
     srcReady(RegId src1, RegId src2, RegId src3) const
     {
         uint64_t ready = 0;
@@ -699,6 +731,21 @@ ReferenceModel::run()
 }
 
 /**
+ * True when VANGUARD_THREADED in the environment asks for the switch
+ * dispatcher ("0", "OFF", or "off"); mirrors the spelling of CMake's
+ * VANGUARD_THREADED option so one name controls both build and run.
+ */
+bool
+threadedDisabledByEnv()
+{
+    const char *env = std::getenv("VANGUARD_THREADED");
+    if (env == nullptr)
+        return false;
+    return env[0] == '0' || std::strcmp(env, "OFF") == 0 ||
+           std::strcmp(env, "off") == 0;
+}
+
+/**
  * The fast path: a fused decode/execute/time loop over a
  * DecodedProgram. Architectural state (registers, memory) is advanced
  * inline by a single switch that replicates exec/semantics.cc exactly
@@ -719,13 +766,17 @@ class FastModel : public TimingCommon
         : TimingCommon(predictor, cfg, opts, decoded.maxStallKey()),
           code_(decoded.insts()), code_size_(decoded.size()),
           mem_(mem), pdx_(predictor),
-          use_line_tags_(decoded.lineBytes() == cfg.l1i.lineBytes)
+          use_line_tags_(decoded.lineBytes() == cfg.l1i.lineBytes),
+          use_threaded_(VANGUARD_THREADED_DISPATCH != 0 &&
+                        !opts.noThreadedDispatch &&
+                        !threadedDisabledByEnv())
     {
         // Expand the per-InstId hoisted mask to a per-instruction-index
         // byte array: the id -> bit lookup is static, so hoisting it
-        // out of the cycle loop cannot change what is counted.
+        // out of the cycle loop cannot change what is counted. Always
+        // sized so the hot loop indexes unconditionally.
+        hoisted_.assign(code_size_, 0);
         if (opts_.hoistedMask != nullptr) {
-            hoisted_.assign(code_size_, 0);
             const std::vector<bool> &mask = *opts_.hoistedMask;
             for (size_t i = 0; i < code_size_; ++i) {
                 InstId id = code_[i].id;
@@ -735,10 +786,91 @@ class FastModel : public TimingCommon
         }
     }
 
-    SimStats run();
+    /**
+     * Advance up to max_steps more committed instructions (also
+     * bounded by opts.maxInsts). The chunk bound merges into the
+     * loop's existing `dynamicInsts < limit` condition and all
+     * loop-carried state lives in members, so N resume() calls retire
+     * exactly the instruction sequence one run() would — chunked
+     * stepping is bit-identical by construction, which is what lets
+     * simulateBatch() interleave lanes.
+     */
+    void
+    resume(uint64_t max_steps)
+    {
+        if (done_)
+            return;
+        uint64_t limit = opts_.maxInsts;
+        uint64_t remaining = limit - stats_.dynamicInsts;
+        if (max_steps < remaining)
+            limit = stats_.dynamicInsts + max_steps;
+#if VANGUARD_THREADED_DISPATCH
+        if (use_threaded_)
+            stepThreaded(limit);
+        else
+            stepSwitch(limit);
+#else
+        stepSwitch(limit);
+#endif
+        done_ = stats_.halted || stats_.dynamicInsts >= opts_.maxInsts;
+    }
+
+    bool finished() const { return done_; }
+
+    /** Densify and export final stats; call once, after finished(). */
+    SimStats
+    takeStats()
+    {
+        finalizeStats();
+        return stats_;
+    }
+
+    SimStats
+    run()
+    {
+        resume(~uint64_t{0});
+        return takeStats();
+    }
 
   private:
-    int64_t
+    void stepSwitch(uint64_t limit);
+#if VANGUARD_THREADED_DISPATCH
+    void stepThreaded(uint64_t limit);
+#endif
+
+    [[noreturn]] void
+    budgetThrow(uint64_t pc)
+    {
+        vg_throw(Hang,
+                 "cycle budget exceeded: %llu cycles > budget %llu "
+                 "after %llu retired insts (pc 0x%llx)",
+                 static_cast<unsigned long long>(max_done_),
+                 static_cast<unsigned long long>(opts_.cycleBudget),
+                 static_cast<unsigned long long>(stats_.dynamicInsts),
+                 static_cast<unsigned long long>(pc));
+    }
+
+    [[noreturn]] void
+    progressThrow(uint64_t pc, uint64_t last_commit)
+    {
+        vg_throw(Hang,
+                 "no retired-instruction progress: clock advanced "
+                 "%llu cycles across one commit (window %llu, pc "
+                 "0x%llx)",
+                 static_cast<unsigned long long>(max_done_ - last_commit),
+                 static_cast<unsigned long long>(opts_.progressWindow),
+                 static_cast<unsigned long long>(pc));
+    }
+
+    [[noreturn]] void
+    badOpcodeThrow(Opcode op, uint64_t pc, size_t idx)
+    {
+        vg_throw(Invariant,
+                 "evaluate: bad opcode %u at pc 0x%llx (idx %zu)",
+                 static_cast<unsigned>(op),
+                 static_cast<unsigned long long>(pc), idx);
+    }
+    VG_HOT_INLINE int64_t
     src2Value(const DecodedInst &d) const
     {
         return d.hasImmSrc2() ? d.imm : regs_[d.src2];
@@ -785,371 +917,33 @@ class FastModel : public TimingCommon
     int64_t regs_[kNumRegs] = {};
     std::vector<uint8_t> hoisted_;  ///< by instruction index
     const bool use_line_tags_;
+    const bool use_threaded_;
+
+    // Loop-carried state, saved across resume() chunk boundaries.
+    size_t idx_ = 0;
+    uint64_t inst_seq_ = 0;
+    uint64_t last_commit_cycle_ = 0;
+    bool done_ = false;
 };
 
-SimStats
-FastModel::run()
+void
+FastModel::stepSwitch(uint64_t limit)
 {
-    size_t idx = 0;
-    uint64_t inst_seq = 0;
-    uint64_t last_commit_cycle = 0;
-
-    // Hoisted once: the compiler cannot prove opts_ fields don't alias
-    // the stats the loop writes, so reading them through the reference
-    // would reload every iteration.
-    const uint64_t max_insts = opts_.maxInsts;
-    const uint64_t cycle_budget = opts_.cycleBudget;
-    const uint64_t progress_window = opts_.progressWindow;
-
-    while (stats_.dynamicInsts < max_insts) {
-        vg_assert(idx < code_size_, "pc 0x%llx out of program",
-                  static_cast<unsigned long long>(
-                      kCodeBase + idx * kInstBytes));
-        const DecodedInst &d = code_[idx];
-        ++stats_.dynamicInsts;
-        size_t next = idx + 1;
-
-        switch (d.op) {
-          case Opcode::HALT: {
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-            recordDrain(inst_seq, f + 1);
-            stats_.halted = true;
-            break;
-          }
-
-          case Opcode::JMP: {
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t decode = f + 1;
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-            recordDrain(inst_seq, decode);
-            takenRedirect(d.pc, d.takenPc, f, decode);
-            next = d.takenIdx;
-            break;
-          }
-
-          case Opcode::PREDICT: {
-            // Predictor lookup first (the reference path consults it
-            // while the executor steps, before fetch timing).
-            bool dir = predictLookup(d.pc);
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-            ++stats_.predictsExecuted;
-            uint64_t decode = dbbAdmit(f + 1);
-            dbb_.insert(pending_predict_.predictPc,
-                        pending_predict_.meta,
-                        pending_predict_.predictedTaken);
-            recordDrain(inst_seq, decode); // dropped after decode
-            if (dir)
-                takenRedirect(d.pc, d.takenPc, f, decode);
-            next = dir ? size_t{d.takenIdx} : idx + 1;
-            break;
-          }
-
-          case Opcode::BR: {
-            bool taken = regs_[d.src1] != 0;
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t decode = f + 1;
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-
-            ++stats_.condBranches;
-            PredMeta meta;
-            bool pred = pdx_.predictWithOracle(d.pc, taken, meta);
-            pdx_.updateHistory(taken);
-            pdx_.update(d.pc, taken, meta);
-
-            uint64_t earliest =
-                std::max(enter_issue,
-                         srcReady(d.src1, d.src2, d.src3));
-            uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
-            uint64_t done = issue + 1;
-            max_done_ = std::max(max_done_, done);
-            ++stats_.issued;
-            recordDrain(inst_seq, issue);
-            noteBranchStall(d.stallKey, issue, enter_issue);
-
-            if (pred != taken) {
-                ++stats_.brMispredicts;
-                mispredictRedirect(done);
-                if (taken)
-                    btb_.insert(d.pc, d.takenPc);
-            } else if (taken) {
-                takenRedirect(d.pc, d.takenPc, f, decode);
-            }
-            next = taken ? size_t{d.takenIdx} : idx + 1;
-            break;
-          }
-
-          case Opcode::RESOLVE: {
-            bool taken = regs_[d.src1] != 0;
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-
-            ++stats_.resolvesExecuted;
-            // Associate with the oldest outstanding PREDICT and train
-            // through it.
-            DbbEntry entry = dbb_.resolveOldest();
-            bool outcome = taken ? !d.resolvePathTaken()
-                                 : d.resolvePathTaken();
-            if (entry.valid) {
-                pdx_.updateHistory(outcome);
-                pdx_.update(entry.predictPc, outcome, entry.meta);
-            }
-
-            uint64_t earliest =
-                std::max(enter_issue,
-                         srcReady(d.src1, d.src2, d.src3));
-            uint64_t issue = computeIssue(earliest, FuClass::IntAlu);
-            uint64_t done = issue + 1;
-            max_done_ = std::max(max_done_, done);
-            ++stats_.issued;
-            recordDrain(inst_seq, issue);
-            noteBranchStall(d.stallKey, issue, enter_issue);
-            dbb_free_cycles_.push_back(done);
-
-            if (taken) {
-                // The PREDICT was wrong: redirect to correction code.
-                ++stats_.resolveRedirects;
-                mispredictRedirect(done);
-            }
-            next = taken ? size_t{d.takenIdx} : idx + 1;
-            break;
-          }
-
-          default: {
-            // Inline semantics (mirrors exec/semantics.cc case for
-            // case); faults throw before any timing or state change,
-            // matching the reference path's step-then-time order.
-            int64_t value = 0;
-            uint64_t addr = 0;
-            int64_t store_val = 0;
-
-            switch (d.op) {
-              case Opcode::ADD:
-              case Opcode::FADD:
-                value = regs_[d.src1] + src2Value(d);
-                break;
-              case Opcode::SUB:
-              case Opcode::FSUB:
-                value = regs_[d.src1] - src2Value(d);
-                break;
-              case Opcode::AND:
-                value = regs_[d.src1] & src2Value(d);
-                break;
-              case Opcode::OR:
-                value = regs_[d.src1] | src2Value(d);
-                break;
-              case Opcode::XOR:
-                value = regs_[d.src1] ^ src2Value(d);
-                break;
-              case Opcode::SHL:
-                value = static_cast<int64_t>(
-                    static_cast<uint64_t>(regs_[d.src1])
-                    << (static_cast<uint64_t>(src2Value(d)) & 63));
-                break;
-              case Opcode::SHR:
-                value = static_cast<int64_t>(
-                    static_cast<uint64_t>(regs_[d.src1]) >>
-                    (static_cast<uint64_t>(src2Value(d)) & 63));
-                break;
-              case Opcode::MOVI:
-                value = d.imm;
-                break;
-              case Opcode::MOV:
-                value = regs_[d.src1];
-                break;
-              case Opcode::SELECT:
-                value = regs_[d.src1] != 0 ? regs_[d.src2]
-                                           : regs_[d.src3];
-                break;
-              case Opcode::CMPEQ:
-                value = regs_[d.src1] == src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::CMPNE:
-                value = regs_[d.src1] != src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::CMPLT:
-                value = regs_[d.src1] < src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::CMPLE:
-                value = regs_[d.src1] <= src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::CMPGT:
-                value = regs_[d.src1] > src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::CMPGE:
-                value = regs_[d.src1] >= src2Value(d) ? 1 : 0;
-                break;
-              case Opcode::MUL:
-              case Opcode::FMUL:
-                value = regs_[d.src1] * src2Value(d);
-                break;
-              case Opcode::DIV:
-              case Opcode::FDIV: {
-                int64_t denom = src2Value(d);
-                int64_t num = regs_[d.src1];
-                if (denom == 0) {
-                    if (d.op == Opcode::DIV)
-                        faultThrow(d);
-                    value = 0; // FP lane: define x/0 == 0
-                } else if (num == INT64_MIN && denom == -1) {
-                    value = INT64_MIN; // wrap, matching idiv
-                } else {
-                    value = num / denom;
-                }
-                break;
-              }
-              case Opcode::LD:
-              case Opcode::LD_S: {
-                addr =
-                    static_cast<uint64_t>(regs_[d.src1] + d.imm);
-                if (!mem_.inBounds(addr)) {
-                    if (d.op == Opcode::LD)
-                        faultThrow(d);
-                    value = 0; // non-faulting speculative load
-                } else {
-                    value = mem_.read64(addr);
-                }
-                break;
-              }
-              case Opcode::ST: {
-                addr =
-                    static_cast<uint64_t>(regs_[d.src1] + d.imm);
-                store_val = regs_[d.src2];
-                if (!mem_.inBounds(addr))
-                    faultThrow(d);
-                break;
-              }
-              case Opcode::NOP:
-                break;
-              default:
-                vg_throw(Invariant,
-                         "evaluate: bad opcode %u at pc 0x%llx (idx %zu)",
-                         static_cast<unsigned>(d.op),
-                         static_cast<unsigned long long>(d.pc), idx);
-            }
-
-            uint64_t line =
-                use_line_tags_ ? d.lineTag : (d.pc & line_mask_);
-            uint64_t f = fetchInst(line, inst_seq);
-            uint64_t decode = f + 1;
-            uint64_t enter_issue = f + frontend_stages_ - 1;
-            max_done_ = std::max(max_done_, enter_issue);
-
-            // Shadow-commit folding: temp->arch MOVs become rename
-            // updates (timing only; the architectural copy commits
-            // below either way).
-            if (shadow_commit_ && d.op == Opcode::MOV &&
-                isTempReg(d.src1) && isArchReg(d.dst)) {
-                reg_ready_[d.dst] = reg_ready_[d.src1];
-                ++stats_.foldedCommitMovs;
-                recordDrain(inst_seq, decode);
-                regs_[d.dst] = value;
-                break;
-            }
-
-            if (!hoisted_.empty() && hoisted_[idx])
-                ++stats_.speculativeExecs;
-
-            uint64_t earliest =
-                std::max(enter_issue,
-                         srcReady(d.src1, d.src2, d.src3));
-            uint64_t done;
-
-            if (d.isLoad()) {
-                earliest = mshrAdmit(earliest);
-                uint64_t issue = computeIssue(earliest, FuClass::Mem);
-                MemAccessResult res = dataAccess(addr);
-                done = issue + res.latency;
-                if (res.level >= 2)
-                    outstanding_misses_.push(done);
-                reg_ready_[d.dst] = done;
-                recordDrain(inst_seq, issue);
-            } else if (d.isStore()) {
-                uint64_t issue = computeIssue(earliest, FuClass::Mem);
-                dataAccess(addr);
-                // Stores retire through the store buffer; 1 cycle to
-                // the pipeline.
-                done = issue + 1;
-                recordDrain(inst_seq, issue);
-            } else {
-                uint64_t issue = computeIssue(
-                    earliest, static_cast<FuClass>(d.fu));
-                done = issue + d.latency;
-                if (d.writesDst())
-                    reg_ready_[d.dst] = done;
-                recordDrain(inst_seq, issue);
-            }
-            ++stats_.issued;
-            max_done_ = std::max(max_done_, done);
-
-            // Architectural commit.
-            if (d.isStore())
-                mem_.write64(addr, store_val);
-            else if (d.writesDst())
-                regs_[d.dst] = value;
-            break;
-          }
-        }
-
-        ++inst_seq;
-
-        // Deterministic fault-injection sites; the cheap sequence
-        // gate runs before the (side-effect-free) armed() load so the
-        // common case costs one predictable branch.
-        if ((inst_seq & 4095) == 0 && faultinject::armed()) {
-            faultinject::site("pipeline.cycle", SimError::Kind::Hang);
-            faultinject::site("pipeline.commit",
-                              SimError::Kind::Fault);
-        }
-
-        // Forward-progress watchdogs (same contract as the reference
-        // path).
-        if (cycle_budget != 0 && max_done_ > cycle_budget) {
-            vg_throw(Hang,
-                     "cycle budget exceeded: %llu cycles > budget %llu "
-                     "after %llu retired insts (pc 0x%llx)",
-                     static_cast<unsigned long long>(max_done_),
-                     static_cast<unsigned long long>(cycle_budget),
-                     static_cast<unsigned long long>(
-                         stats_.dynamicInsts),
-                     static_cast<unsigned long long>(d.pc));
-        }
-        if (progress_window != 0 &&
-            max_done_ - last_commit_cycle > progress_window) {
-            vg_throw(Hang,
-                     "no retired-instruction progress: clock advanced "
-                     "%llu cycles across one commit (window %llu, pc "
-                     "0x%llx)",
-                     static_cast<unsigned long long>(
-                         max_done_ - last_commit_cycle),
-                     static_cast<unsigned long long>(progress_window),
-                     static_cast<unsigned long long>(d.pc));
-        }
-        last_commit_cycle = max_done_;
-
-        if (stats_.halted)
-            break;
-        idx = next;
-    }
-    finalizeStats();
-    return stats_;
+#define VG_THREADED 0
+#include "uarch/fast_loop.inc"
+#undef VG_THREADED
 }
+
+#if VANGUARD_THREADED_DISPATCH
+void
+FastModel::stepThreaded(uint64_t limit)
+{
+#define VG_THREADED 1
+#include "uarch/fast_loop.inc"
+#undef VG_THREADED
+}
+#endif
+
 
 /** True when this run may take the fused fast path. */
 bool
@@ -1159,11 +953,16 @@ fastEligible(const SimOptions &opts)
         opts.trace != nullptr) {
         return false;
     }
-    const char *env = std::getenv("VANGUARD_FORCE_REFERENCE");
-    if (env != nullptr && env[0] != '\0' && env[0] != '0')
-        return false;
-    return true;
+    return !referenceForcedByEnv();
 }
+
+/**
+ * Default committed-instruction quantum per lane turn in
+ * simulateBatch(): large enough that the resume() bookkeeping is
+ * noise (one virtual-free call per ~16k instructions), small enough
+ * that all lanes' hot state keeps cycling through the host caches.
+ */
+constexpr uint64_t kDefaultBatchQuantum = 131072;
 
 } // namespace
 
@@ -1193,6 +992,90 @@ simulateWithDecoded(const Program &prog, const DecodedProgram &decoded,
     }
     ReferenceModel model(prog, mem, predictor, cfg, opts);
     return model.run();
+}
+
+bool
+threadedDispatchAvailable()
+{
+    return VANGUARD_THREADED_DISPATCH != 0;
+}
+
+bool
+referenceForcedByEnv()
+{
+    const char *env = std::getenv("VANGUARD_FORCE_REFERENCE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<BatchLaneResult>
+simulateBatch(const Program &prog, const DecodedProgram &decoded,
+              const std::vector<BatchLaneInput> &lanes,
+              const MachineConfig &cfg, const SimOptions &opts)
+{
+    std::vector<BatchLaneResult> results(lanes.size());
+
+    if (!fastEligible(opts)) {
+        // Kill switches (forceReference, VANGUARD_FORCE_REFERENCE)
+        // route every lane through the reference path, back to back;
+        // per-lane results and failure isolation are preserved.
+        for (size_t i = 0; i < lanes.size(); ++i) {
+            SimOptions lane_opts = opts;
+            lane_opts.predictOutcomes = lanes[i].predictOutcomes;
+            try {
+                ReferenceModel model(prog, *lanes[i].mem,
+                                     *lanes[i].predictor, cfg,
+                                     lane_opts);
+                results[i].stats = model.run();
+            } catch (const SimError &e) {
+                results[i].failed = true;
+                results[i].errorKind = e.kind();
+                results[i].errorMessage = e.what();
+            }
+        }
+        return results;
+    }
+
+    const uint64_t quantum = opts.batchQuantum != 0
+        ? opts.batchQuantum
+        : kDefaultBatchQuantum;
+
+    // Per-lane options must outlive the models (each model keeps a
+    // reference); sized once up front so the addresses are stable.
+    std::vector<SimOptions> lane_opts(lanes.size(), opts);
+    std::vector<std::unique_ptr<FastModel>> models(lanes.size());
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        lane_opts[i].predictOutcomes = lanes[i].predictOutcomes;
+        models[i] = std::make_unique<FastModel>(decoded, *lanes[i].mem,
+                                                *lanes[i].predictor,
+                                                cfg, lane_opts[i]);
+    }
+
+    // Round-robin quanta: each turn is exactly a chunk of that lane's
+    // solo run, so interleaving cannot change any lane's results. A
+    // lane that halts (or errors) drains out of the rotation and the
+    // survivors keep going.
+    size_t active = models.size();
+    while (active > 0) {
+        for (size_t i = 0; i < models.size(); ++i) {
+            if (models[i] == nullptr)
+                continue;
+            try {
+                models[i]->resume(quantum);
+                if (models[i]->finished()) {
+                    results[i].stats = models[i]->takeStats();
+                    models[i].reset();
+                    --active;
+                }
+            } catch (const SimError &e) {
+                results[i].failed = true;
+                results[i].errorKind = e.kind();
+                results[i].errorMessage = e.what();
+                models[i].reset();
+                --active;
+            }
+        }
+    }
+    return results;
 }
 
 MetricSnapshot

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The batched-simulation identity contract (PR 6): every lane of
+ * simulateBatch/simulateConfigBatch must be bit-identical — every
+ * SimStats field, every exported metric, the per-branch stall map —
+ * to a solo run of the same (seed, predictor), for every predictor,
+ * every machine width, both compiled configs, and any interleave
+ * quantum. Plus lane-failure isolation (a faulting lane must not
+ * disturb its neighbors), the reference fallback inside the batch
+ * layer, and whole-sweep registry-dump identity across worker counts
+ * and batching modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/factory.hh"
+#include "core/runner.hh"
+#include "core/vanguard.hh"
+#include "exec/decoded_program.hh"
+#include "exec/memory.hh"
+#include "support/metrics.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/kernel.hh"
+#include "workloads/suites.hh"
+
+namespace vanguard {
+namespace {
+
+BenchmarkSpec
+smallSpec(const char *name = "h264ref-like", unsigned iterations = 600)
+{
+    BenchmarkSpec spec = findBenchmark(name);
+    spec.iterations = iterations;
+    return spec;
+}
+
+std::vector<uint64_t>
+allRefSeeds()
+{
+    return {kRefSeeds, kRefSeeds + kNumRefSeeds};
+}
+
+/** Full bit-identity: scalar core, exported snapshot, stall map. */
+void
+expectStatsIdentical(const SimStats &got, const SimStats &want,
+                     const std::string &what)
+{
+    EXPECT_EQ(got.cycles, want.cycles) << what;
+    EXPECT_EQ(got.dynamicInsts, want.dynamicInsts) << what;
+    EXPECT_EQ(got.brMispredicts, want.brMispredicts) << what;
+    EXPECT_EQ(got.branchStallCycles, want.branchStallCycles) << what;
+    MetricSnapshot gs = simStatsSnapshot(got);
+    MetricSnapshot ws = simStatsSnapshot(want);
+    ASSERT_EQ(gs.entries.size(), ws.entries.size()) << what;
+    for (size_t i = 0; i < gs.entries.size(); ++i) {
+        EXPECT_EQ(gs.entries[i].path, ws.entries[i].path) << what;
+        EXPECT_EQ(gs.entries[i].value, ws.entries[i].value)
+            << what << ": metric " << gs.entries[i].path;
+    }
+    EXPECT_TRUE(got.branchStalls == want.branchStalls) << what;
+}
+
+/**
+ * Batch all REF seeds through one call and compare each lane against
+ * a solo simulateConfig of the same seed; optionally also against the
+ * retained reference path (via the process-wide kill switch).
+ */
+void
+expectBatchMatchesSolo(const BenchmarkSpec &spec,
+                       const VanguardOptions &vopts,
+                       const std::string &what,
+                       bool also_against_reference = false)
+{
+    BenchmarkArtifacts art = prepareBenchmark(spec, vopts);
+    std::vector<uint64_t> seeds = allRefSeeds();
+    for (const CompiledConfig *config : {&art.base, &art.exp}) {
+        std::string tag =
+            what + (config->decomposed ? " [exp]" : " [base]");
+        std::vector<BatchLaneResult> lanes =
+            simulateConfigBatch(spec, *config, vopts, seeds, true);
+        ASSERT_EQ(lanes.size(), seeds.size()) << tag;
+        for (size_t i = 0; i < seeds.size(); ++i) {
+            std::string lane_tag = tag + " lane " + std::to_string(i);
+            ASSERT_FALSE(lanes[i].failed)
+                << lane_tag << ": " << lanes[i].errorMessage;
+            SimStats solo =
+                simulateConfig(spec, *config, vopts, seeds[i], true);
+            expectStatsIdentical(lanes[i].stats, solo, lane_tag);
+            if (also_against_reference) {
+                ASSERT_EQ(setenv("VANGUARD_FORCE_REFERENCE", "1", 1), 0);
+                SimStats ref = simulateConfig(spec, *config, vopts,
+                                              seeds[i], true);
+                unsetenv("VANGUARD_FORCE_REFERENCE");
+                expectStatsIdentical(lanes[i].stats, ref,
+                                     lane_tag + " vs reference");
+            }
+        }
+    }
+}
+
+TEST(Batched, BitIdenticalAcrossPredictors)
+{
+    BenchmarkSpec spec = smallSpec();
+    // Every factory predictor, including the oracle (which exercises
+    // the per-lane PREDICT-outcome prerecord) and the virtual-dispatch
+    // fallbacks. gshare3 and tage additionally check the full chain
+    // batch == solo fast == reference; the others rely on
+    // test_fastpath.cc for the fast == reference leg.
+    for (const char *pred :
+         {"bimodal", "local", "gshare", "gshare3", "gshare3-big",
+          "perceptron", "tage", "isltage", "ideal:0.9"}) {
+        VanguardOptions vopts;
+        vopts.predictor = pred;
+        bool deep = std::string(pred) == "gshare3" ||
+            std::string(pred) == "tage";
+        expectBatchMatchesSolo(spec, vopts,
+                               std::string("predictor ") + pred, deep);
+    }
+}
+
+TEST(Batched, BitIdenticalAcrossWidths)
+{
+    for (unsigned width : {2u, 4u, 8u}) {
+        for (const char *pred : {"gshare3", "tage"}) {
+            VanguardOptions vopts;
+            vopts.width = width;
+            vopts.predictor = pred;
+            expectBatchMatchesSolo(
+                smallSpec("mcf-like", 500), vopts,
+                "width " + std::to_string(width) + " " + pred,
+                width == 4);
+        }
+    }
+}
+
+/**
+ * Chunked round-robin stepping must be observationally identical to
+ * one uninterrupted run at any quantum — including the degenerate
+ * one-instruction quantum and a quantum larger than the whole run.
+ */
+TEST(Batched, QuantumIndependence)
+{
+    BenchmarkSpec spec = smallSpec("bzip2-like", 300);
+    VanguardOptions vopts;
+    BenchmarkArtifacts art = prepareBenchmark(spec, vopts);
+    const CompiledConfig &config = art.exp;
+    ASSERT_NE(config.decoded, nullptr);
+    std::vector<uint64_t> seeds = allRefSeeds();
+
+    auto run_at_quantum = [&](uint64_t quantum) {
+        std::vector<BuiltKernel> refs;
+        std::vector<std::unique_ptr<DirectionPredictor>> preds;
+        std::vector<BatchLaneInput> lanes(seeds.size());
+        for (size_t i = 0; i < seeds.size(); ++i) {
+            refs.push_back(buildKernel(spec, seeds[i]));
+            preds.push_back(makePredictor(vopts.predictor, seeds[i]));
+            lanes[i].mem = refs[i].mem.get();
+            lanes[i].predictor = preds[i].get();
+        }
+        SimOptions sopts;
+        sopts.maxInsts = vopts.simMaxInsts;
+        sopts.cycleBudget = vopts.simCycleBudget;
+        sopts.progressWindow = vopts.simProgressWindow;
+        sopts.collectBranchStalls = true;
+        if (!config.hoistedMask.empty())
+            sopts.hoistedMask = &config.hoistedMask;
+        sopts.batchQuantum = quantum;
+        return simulateBatch(config.prog, *config.decoded, lanes,
+                             vopts.machine(), sopts);
+    };
+
+    std::vector<BatchLaneResult> dflt = run_at_quantum(0);
+    for (uint64_t quantum : {uint64_t{1}, uint64_t{257},
+                             uint64_t{1} << 40}) {
+        std::vector<BatchLaneResult> got = run_at_quantum(quantum);
+        ASSERT_EQ(got.size(), dflt.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            std::string tag = "quantum " + std::to_string(quantum) +
+                " lane " + std::to_string(i);
+            ASSERT_FALSE(got[i].failed) << tag;
+            ASSERT_FALSE(dflt[i].failed) << tag;
+            expectStatsIdentical(got[i].stats, dflt[i].stats, tag);
+        }
+    }
+}
+
+/**
+ * A lane that faults mid-batch must be reported failed in its own
+ * slot, and the surviving lanes must still be bit-identical to solo
+ * runs — failure isolation inside the shared dispatch loop.
+ */
+TEST(Batched, LaneFailureIsIsolated)
+{
+    BenchmarkSpec spec = smallSpec("mcf-like", 400);
+    VanguardOptions vopts;
+    BenchmarkArtifacts art = prepareBenchmark(spec, vopts);
+    const CompiledConfig &config = art.exp;
+    ASSERT_NE(config.decoded, nullptr);
+    std::vector<uint64_t> seeds = allRefSeeds();
+
+    std::vector<BuiltKernel> refs;
+    std::vector<std::unique_ptr<DirectionPredictor>> preds;
+    std::vector<BatchLaneInput> lanes(seeds.size());
+    Memory bad(0); // every data access faults out of bounds
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        refs.push_back(buildKernel(spec, seeds[i]));
+        preds.push_back(makePredictor(vopts.predictor, seeds[i]));
+        lanes[i].mem = i == 1 ? &bad : refs[i].mem.get();
+        lanes[i].predictor = preds[i].get();
+    }
+    SimOptions sopts;
+    sopts.maxInsts = vopts.simMaxInsts;
+    sopts.cycleBudget = vopts.simCycleBudget;
+    sopts.progressWindow = vopts.simProgressWindow;
+    sopts.collectBranchStalls = true;
+    if (!config.hoistedMask.empty())
+        sopts.hoistedMask = &config.hoistedMask;
+
+    std::vector<BatchLaneResult> out = simulateBatch(
+        config.prog, *config.decoded, lanes, vopts.machine(), sopts);
+    ASSERT_EQ(out.size(), seeds.size());
+    EXPECT_TRUE(out[1].failed);
+    EXPECT_EQ(static_cast<int>(out[1].errorKind),
+              static_cast<int>(SimError::Kind::Fault));
+    EXPECT_FALSE(out[1].errorMessage.empty());
+    for (size_t i : {size_t{0}, size_t{2}}) {
+        ASSERT_FALSE(out[i].failed) << "lane " << i;
+        SimStats solo =
+            simulateConfig(spec, config, vopts, seeds[i], true);
+        expectStatsIdentical(out[i].stats, solo,
+                             "surviving lane " + std::to_string(i));
+    }
+}
+
+/**
+ * The process-wide kill switch routes batch lanes through the
+ * reference path (back to back) with unchanged per-lane results.
+ */
+TEST(Batched, ReferenceFallbackPreservesLanes)
+{
+    BenchmarkSpec spec = smallSpec("bzip2-like", 300);
+    VanguardOptions vopts;
+    BenchmarkArtifacts art = prepareBenchmark(spec, vopts);
+    std::vector<uint64_t> seeds = allRefSeeds();
+
+    std::vector<BatchLaneResult> fast =
+        simulateConfigBatch(spec, art.exp, vopts, seeds, true);
+    ASSERT_EQ(setenv("VANGUARD_FORCE_REFERENCE", "1", 1), 0);
+    std::vector<BatchLaneResult> ref =
+        simulateConfigBatch(spec, art.exp, vopts, seeds, true);
+    unsetenv("VANGUARD_FORCE_REFERENCE");
+
+    ASSERT_EQ(fast.size(), ref.size());
+    for (size_t i = 0; i < fast.size(); ++i) {
+        ASSERT_FALSE(fast[i].failed);
+        ASSERT_FALSE(ref[i].failed);
+        expectStatsIdentical(fast[i].stats, ref[i].stats,
+                             "kill switch lane " + std::to_string(i));
+    }
+}
+
+/**
+ * Whole-sweep identity across worker counts and batching modes: the
+ * metrics-registry dump must come out byte-identical for jobs {1, 8}
+ * x {batched (lanes=8), solo (lanes=1), forced-reference}. This is
+ * the sweep-level closure of the per-lane identity above — grouping
+ * seed jobs into batches must be invisible in every deterministic
+ * output.
+ */
+TEST(Batched, SweepDumpIdenticalAcrossJobsAndBatching)
+{
+    BenchmarkSpec spec = smallSpec("mcf-like", 400);
+    VanguardOptions vopts;
+
+    std::vector<std::string> dumps;
+    for (int mode = 0; mode < 3; ++mode) {
+        if (mode == 2) {
+            ASSERT_EQ(setenv("VANGUARD_FORCE_REFERENCE", "1", 1), 0);
+        }
+        for (unsigned jobs : {1u, 8u}) {
+            RunnerOptions ropts;
+            ropts.jobs = jobs;
+            ropts.batchLanes = mode == 1 ? 1u : 8u;
+            MetricsRegistry registry;
+            ropts.metrics = &registry;
+            SuiteReport report =
+                runSuiteWidthsReport({spec}, {2u, 4u}, vopts, ropts);
+            ASSERT_TRUE(report.failures.empty());
+            dumps.push_back(registry.toJson());
+        }
+        if (mode == 2)
+            unsetenv("VANGUARD_FORCE_REFERENCE");
+    }
+    for (size_t i = 1; i < dumps.size(); ++i)
+        EXPECT_EQ(dumps[0], dumps[i]) << "dump " << i;
+}
+
+/**
+ * Batched sweeps must isolate failures exactly like solo sweeps: a
+ * benchmark whose simulations fault produces the same root-cause
+ * failure records (kind, attempts, identity) whether its seed jobs
+ * ran batched or solo, and healthy benchmarks are unaffected.
+ */
+TEST(Batched, SweepFailureRecordsMatchSolo)
+{
+    BenchmarkSpec spec = smallSpec("mcf-like", 400);
+    VanguardOptions vopts;
+    // An impossibly small cycle budget makes every REF simulation
+    // raise a structured Hang (train and compile don't simulate, so
+    // they are unaffected); the failure records a batched sweep
+    // produces for them must equal a solo sweep's byte for byte.
+    vopts.simCycleBudget = 20'000;
+
+    auto sweep = [&](unsigned lanes) {
+        RunnerOptions ropts;
+        ropts.jobs = 4;
+        ropts.batchLanes = lanes;
+        return runSuiteWidthsReport({spec}, {4u}, vopts, ropts);
+    };
+    SuiteReport batched = sweep(8);
+    SuiteReport solo = sweep(1);
+
+    ASSERT_FALSE(solo.failures.empty());
+    ASSERT_EQ(batched.failures.size(), solo.failures.size());
+    for (size_t i = 0; i < solo.failures.size(); ++i) {
+        const JobFailure &b = batched.failures[i];
+        const JobFailure &s = solo.failures[i];
+        EXPECT_EQ(std::string(b.id.phase), std::string(s.id.phase));
+        EXPECT_EQ(b.id.benchmark, s.id.benchmark);
+        EXPECT_EQ(b.id.seed, s.id.seed);
+        EXPECT_EQ(b.id.index, s.id.index);
+        EXPECT_EQ(static_cast<int>(b.kind), static_cast<int>(s.kind));
+        EXPECT_EQ(b.message, s.message);
+        EXPECT_EQ(b.attempts, s.attempts);
+    }
+    ASSERT_EQ(batched.results.size(), solo.results.size());
+}
+
+} // namespace
+} // namespace vanguard

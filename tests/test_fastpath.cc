@@ -37,7 +37,7 @@ smallSpec(const char *name = "h264ref-like", unsigned iterations = 800)
 SimStats
 runOnce(const BenchmarkSpec &spec, const BenchmarkArtifacts &art,
         const CompiledConfig &config, const VanguardOptions &vopts,
-        bool force_reference)
+        bool force_reference, bool no_threaded = false)
 {
     BuiltKernel ref = buildKernel(spec, kRefSeeds[0]);
     auto pred = makePredictor(vopts.predictor, kRefSeeds[0]);
@@ -47,6 +47,7 @@ runOnce(const BenchmarkSpec &spec, const BenchmarkArtifacts &art,
     sopts.progressWindow = vopts.simProgressWindow;
     sopts.collectBranchStalls = true;
     sopts.forceReference = force_reference;
+    sopts.noThreadedDispatch = no_threaded;
     if (!config.hoistedMask.empty())
         sopts.hoistedMask = &config.hoistedMask;
     (void)art;
@@ -120,6 +121,43 @@ TEST(FastPath, BitIdenticalAcrossWidths)
             expectBitIdentical(smallSpec("mcf-like", 600), vopts,
                                "width " + std::to_string(width) + " " +
                                    pred);
+        }
+    }
+}
+
+/**
+ * The computed-goto and portable-switch dispatchers run the same loop
+ * body, so choosing between them must select machine code only, never
+ * behavior — both the SimOptions flag and the VANGUARD_THREADED env
+ * kill switch. Skips (trivially passes) in builds without the
+ * threaded dispatcher, where the flag is a documented no-op.
+ */
+TEST(FastPath, ThreadedAndSwitchDispatchersBitIdentical)
+{
+    if (!threadedDispatchAvailable())
+        GTEST_SKIP() << "portable build: no threaded dispatcher";
+    BenchmarkSpec spec = smallSpec("mcf-like", 500);
+    for (const char *pred : {"gshare3", "tage"}) {
+        VanguardOptions vopts;
+        vopts.predictor = pred;
+        BenchmarkArtifacts art = prepareBenchmark(spec, vopts);
+        for (const CompiledConfig *config : {&art.base, &art.exp}) {
+            std::string tag = std::string("dispatcher ") + pred +
+                (config->decomposed ? " [exp]" : " [base]");
+            SimStats threaded =
+                runOnce(spec, art, *config, vopts, false, false);
+            SimStats sw =
+                runOnce(spec, art, *config, vopts, false, true);
+            EXPECT_EQ(threaded.cycles, sw.cycles) << tag;
+            expectSnapshotsIdentical(threaded, sw, tag);
+            EXPECT_TRUE(threaded.branchStalls == sw.branchStalls) << tag;
+
+            // The env kill switch must behave exactly like the flag.
+            ASSERT_EQ(setenv("VANGUARD_THREADED", "0", 1), 0);
+            SimStats env_sw =
+                runOnce(spec, art, *config, vopts, false, false);
+            unsetenv("VANGUARD_THREADED");
+            expectSnapshotsIdentical(env_sw, sw, tag + " env");
         }
     }
 }

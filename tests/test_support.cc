@@ -1,12 +1,17 @@
 /**
  * @file
  * Unit tests for the support library: RNG, saturating counters,
- * circular buffer, and stats helpers.
+ * circular buffer, ring FIFO / bounded min-heap, and stats helpers.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "support/circular_buffer.hh"
+#include "support/ring.hh"
 #include "support/rng.hh"
 #include "support/sat_counter.hh"
 #include "support/stats.hh"
@@ -220,6 +225,154 @@ TEST(Stats, Mean)
 {
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(RingFifo, FifoOrderAcrossWraparound)
+{
+    RingFifo<int> q(4);
+    // Advance head so pushes wrap the physical end of the slot array.
+    q.push_back(-1);
+    q.push_back(-2);
+    q.pop_front();
+    q.pop_front();
+    for (int v : {10, 20, 30, 40})
+        q.push_back(v);
+    EXPECT_TRUE(q.full());
+    for (int v : {10, 20, 30, 40}) {
+        EXPECT_EQ(q.front(), v);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingFifo, FillDrainAtExactCapacityEveryOffset)
+{
+    // Exercise full()/empty() transitions starting from every possible
+    // head offset: the index arithmetic must be offset-invariant.
+    constexpr size_t cap = 5;
+    RingFifo<size_t> q(cap);
+    for (size_t offset = 0; offset <= cap; ++offset) {
+        for (size_t i = 0; i < offset; ++i)
+            q.push_back(0);
+        for (size_t i = 0; i < offset; ++i)
+            q.pop_front();
+        ASSERT_TRUE(q.empty());
+        for (size_t i = 0; i < cap; ++i)
+            q.push_back(i);
+        ASSERT_TRUE(q.full());
+        ASSERT_EQ(q.size(), cap);
+        for (size_t i = 0; i < cap; ++i) {
+            ASSERT_EQ(q.front(), i) << "offset " << offset;
+            q.pop_front();
+        }
+        ASSERT_TRUE(q.empty());
+    }
+}
+
+TEST(RingFifo, ZeroCapacityGetsOneSlot)
+{
+    RingFifo<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    q.push_back(7);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.front(), 7);
+}
+
+TEST(RingFifo, GrowableDoublesAndPreservesOrder)
+{
+    RingFifo<int> q(2, /*growable=*/true);
+    // Wrap the live span before growing so grow() must linearize it.
+    q.push_back(1);
+    q.pop_front();
+    q.push_back(2);
+    q.push_back(3);
+    ASSERT_TRUE(q.full());
+    q.push_back(4); // triggers grow from a wrapped state
+    EXPECT_EQ(q.capacity(), 4u);
+    for (int i = 5; i <= 9; ++i)
+        q.push_back(i); // grows again
+    EXPECT_EQ(q.capacity(), 8u);
+    for (int v = 2; v <= 9; ++v) {
+        EXPECT_EQ(q.front(), v);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingFifo, ClearResetsToEmpty)
+{
+    RingFifo<int> q(3);
+    q.push_back(1);
+    q.push_back(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    for (int v : {4, 5, 6})
+        q.push_back(v);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.front(), 4);
+}
+
+TEST(BoundedMinHeap, PopsInSortedOrder)
+{
+    BoundedMinHeap h(8);
+    for (uint64_t v : {9u, 3u, 7u, 1u, 8u, 2u})
+        h.push(v);
+    std::vector<uint64_t> out;
+    while (!h.empty()) {
+        out.push_back(h.min());
+        h.pop_min();
+    }
+    EXPECT_EQ(out, (std::vector<uint64_t>{1, 2, 3, 7, 8, 9}));
+}
+
+TEST(BoundedMinHeap, DuplicateKeysPopOneInstanceEach)
+{
+    // The MSHR model relies on multiset::erase(begin()) semantics:
+    // each pop removes exactly one instance of the minimum.
+    BoundedMinHeap h(8);
+    for (uint64_t v : {5u, 5u, 2u, 2u, 2u, 9u})
+        h.push(v);
+    EXPECT_EQ(h.size(), 6u);
+    std::vector<uint64_t> out;
+    while (!h.empty()) {
+        out.push_back(h.min());
+        h.pop_min();
+    }
+    EXPECT_EQ(out, (std::vector<uint64_t>{2, 2, 2, 5, 5, 9}));
+}
+
+TEST(BoundedMinHeap, InterleavedPushPopTracksMultisetModel)
+{
+    // Deterministic interleaving against a sorted-vector model.
+    BoundedMinHeap h(16);
+    std::vector<uint64_t> model;
+    Rng rng(12345);
+    for (int step = 0; step < 500; ++step) {
+        bool push = model.empty() ||
+            (model.size() < 16 && rng.below(3) != 0);
+        if (push) {
+            uint64_t v = rng.below(10); // small range forces duplicates
+            h.push(v);
+            model.insert(
+                std::lower_bound(model.begin(), model.end(), v), v);
+        } else {
+            ASSERT_EQ(h.min(), model.front()) << "step " << step;
+            h.pop_min();
+            model.erase(model.begin());
+        }
+        ASSERT_EQ(h.size(), model.size());
+    }
+}
+
+TEST(BoundedMinHeap, ClearThenReuse)
+{
+    BoundedMinHeap h(4);
+    h.push(3);
+    h.push(1);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    h.push(42);
+    EXPECT_EQ(h.min(), 42u);
 }
 
 } // namespace
