@@ -53,6 +53,17 @@
  *                          journaled jobs, run only the missing ones
  *     --inject SPEC        arm the deterministic fault injector,
  *                          e.g. "io:0.01,hang:0.005,seed=7"
+ *     --isolate-jobs       with --all-refs: run train/simulate job
+ *                          bodies in supervised worker processes
+ *                          (crash/hang/OOM isolation; byte-identical
+ *                          output to the in-process pool)
+ *     --worker-heartbeat MS  worker heartbeat deadline (default
+ *                          10000; silent workers are killed and the
+ *                          job fails with SimError(Hang))
+ *     --worker-rlimit-mb MB  RLIMIT_AS cap per worker process
+ *     --worker FD          internal: run as a pool worker speaking
+ *                          the frame protocol on FD (spawned by the
+ *                          supervisor, never by hand)
  *     --selfbench          benchmark the simulator itself: run the
  *                          pinned workload x width x predictor matrix
  *                          through every execution path (switch /
@@ -86,6 +97,7 @@
 #include "core/replay.hh"
 #include "core/runner.hh"
 #include "core/selfbench.hh"
+#include "core/worker_pool.hh"
 #include "core/vanguard.hh"
 #include "profile/profile_io.hh"
 #include "support/atomic_file.hh"
@@ -150,6 +162,8 @@ printUsage(std::FILE *to)
         "[--lockstep] [--cycle-budget N] [--replay-dir D] "
         "[--fail-threshold N] [--replay FILE] "
         "[--checkpoint-dir D] [--resume] [--inject SPEC] "
+        "[--isolate-jobs] [--worker-heartbeat MS] "
+        "[--worker-rlimit-mb MB] "
         "[--selfbench] [--selfbench-out F] [--selfbench-repeats N] "
         "[--selfbench-iters N] [--help]\n"
         "\n"
@@ -185,15 +199,35 @@ printUsage(std::FILE *to)
         "seed=7\"\n"
         "                      (also via VANGUARD_FAULT_PLAN)\n"
         "\n"
+        "process isolation (with --all-refs):\n"
+        "  --isolate-jobs      run train/simulate job bodies in "
+        "supervised\n"
+        "                      worker processes (SIGSEGV/OOM/hang in "
+        "a job\n"
+        "                      cannot kill the sweep; output is byte-"
+        "identical\n"
+        "                      to the in-process pool)\n"
+        "  --worker-heartbeat MS  heartbeat deadline before a silent "
+        "worker\n"
+        "                      is killed (default 10000)\n"
+        "  --worker-rlimit-mb MB  RLIMIT_AS cap per worker process\n"
+        "\n"
         "exit codes:\n"
         "  0  success\n"
         "  1  simulator error (SimError: config, fault, hang, "
         "divergence, io, ...)\n"
-        "  2  usage error (unknown flag or missing argument)\n"
+        "  2  usage error (unknown flag or missing argument, or "
+        "--isolate-jobs\n"
+        "     on a platform without fork/exec support)\n"
         "  3  sweep job failures exceeded --fail-threshold\n"
         "  4  sweep interrupted by SIGINT/SIGTERM; checkpointed work "
         "is\n"
-        "     resumable with --resume\n");
+        "     resumable with --resume\n"
+        "\n"
+        "worker processes (internal: spawned by --isolate-jobs "
+        "supervisors)\n"
+        "exit 0 on a clean drain, 1 on protocol failure, 127 when "
+        "exec fails\n");
 }
 
 [[noreturn]] void
@@ -263,6 +297,33 @@ runCli(int argc, char **argv);
 int
 main(int argc, char **argv)
 {
+    // Worker mode is dispatched before anything else: the process is
+    // a supervised child speaking the frame protocol on an inherited
+    // fd, and all of its configuration (fault plan, heartbeat
+    // interval) arrives over that channel, not from argv or env.
+    if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+        if (argc != 3) {
+            std::fprintf(stderr,
+                         "vanguard_cli: --worker needs exactly one "
+                         "file-descriptor argument\n");
+            return 2;
+        }
+        char *end = nullptr;
+        long fd = std::strtol(argv[2], &end, 10);
+        if (end == argv[2] || *end != '\0' || fd < 0) {
+            std::fprintf(stderr,
+                         "vanguard_cli: bad --worker fd '%s'\n",
+                         argv[2]);
+            return 2;
+        }
+        try {
+            return runWorkerProcess(static_cast<int>(fd));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "vanguard_cli worker: %s\n",
+                         e.what());
+            return 1;
+        }
+    }
     try {
         return runCli(argc, argv);
     } catch (const SimError &e) {
@@ -299,6 +360,9 @@ runCli(int argc, char **argv)
     std::string selfbench_out;
     SelfBenchOptions sb_opts;
     unsigned batch_lanes = 0; ///< 0 = keep the per-subsystem default
+    bool isolate_jobs = false;
+    unsigned worker_heartbeat_ms = 0; ///< 0 = runner default
+    unsigned worker_rlimit_mb = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -384,6 +448,14 @@ runCli(int argc, char **argv)
             resume = true;
         } else if (arg == "--inject") {
             inject_spec = next();
+        } else if (arg == "--isolate-jobs") {
+            isolate_jobs = true;
+        } else if (arg == "--worker-heartbeat") {
+            worker_heartbeat_ms = parseUnsignedOrDie(
+                "--worker-heartbeat", next(), 50, 3600000);
+        } else if (arg == "--worker-rlimit-mb") {
+            worker_rlimit_mb = parseUnsignedOrDie(
+                "--worker-rlimit-mb", next(), 16, 1048576);
         } else if (arg == "--dump-ir") {
             dump_ir = true;
         } else if (arg == "--dump-asm") {
@@ -422,6 +494,26 @@ runCli(int argc, char **argv)
         std::fprintf(stderr, "vanguard_cli: --checkpoint-dir only "
                              "applies to --all-refs sweeps\n");
         usageAndExit();
+    }
+    if (isolate_jobs && !all_refs) {
+        std::fprintf(stderr, "vanguard_cli: --isolate-jobs only "
+                             "applies to --all-refs sweeps\n");
+        usageAndExit();
+    }
+    if ((worker_heartbeat_ms != 0 || worker_rlimit_mb != 0) &&
+        !isolate_jobs) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --worker-heartbeat/"
+                     "--worker-rlimit-mb need --isolate-jobs\n");
+        usageAndExit();
+    }
+    if (isolate_jobs && !WorkerPool::supported()) {
+        // Unsupported platform is a usage-level rejection (exit 2),
+        // not a SimError abort: scripts can probe for support.
+        std::fprintf(stderr,
+                     "vanguard_cli: --isolate-jobs is not supported "
+                     "on this platform (needs fork/exec/socketpair)\n");
+        return 2;
     }
 
     // Deterministic fault injection: an explicit --inject wins over
@@ -483,6 +575,12 @@ runCli(int argc, char **argv)
         ropts.replayDir = replay_dir;
         ropts.checkpointDir = checkpoint_dir;
         ropts.resume = resume;
+        if (isolate_jobs) {
+            ropts.isolation = JobIsolation::process;
+            if (worker_heartbeat_ms != 0)
+                ropts.workerHeartbeatMs = worker_heartbeat_ms;
+            ropts.workerRlimitMb = worker_rlimit_mb;
+        }
 
         // Telemetry sinks: the registry is wired in unconditionally
         // (the engine asserts snapshot bit-identity through it either

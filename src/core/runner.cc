@@ -14,6 +14,7 @@
 
 #include "core/journal.hh"
 #include "core/replay.hh"
+#include "core/worker_pool.hh"
 #include "profile/profile_io.hh"
 #include "support/atomic_file.hh"
 #include "support/checksum.hh"
@@ -58,11 +59,13 @@ jobScopeKey(const JobIdentity &id, unsigned attempt)
  * every job is a pure function of its inputs. Retries tick the
  * engine.jobs.retries counter and emit a trace instant; final
  * failures emit one too, so the timeline shows where a sweep bled.
+ * The body receives the 1-based attempt number so process-isolated
+ * dispatch can rebuild the attempt's fault scope worker-side.
  */
 std::optional<JobFailure>
 runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
            Tracer *tracer, Counter &retries,
-           const std::function<void()> &body)
+           const std::function<void(unsigned)> &body)
 {
     unsigned max_attempts = std::max(1u, ropts.maxAttempts);
     for (unsigned attempt = 1;; ++attempt) {
@@ -71,7 +74,7 @@ runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
             faultinject::site("job.attempt", SimError::Kind::Io);
             if (ropts.faultInjection)
                 ropts.faultInjection(id);
-            body();
+            body(attempt);
             return std::nullopt;
         } catch (const SimError &e) {
             if (SimError::isTransient(e.kind()) &&
@@ -374,6 +377,16 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         cycle_bounds.push_back(uint64_t{1} << shift);
     Histogram &sim_cycles =
         reg.histogram("engine.sim.cycles", cycle_bounds);
+    // Worker-supervision instruments exist in BOTH isolation modes
+    // (all-zero under inproc) so registry dumps differ between modes
+    // only in values that are genuinely wall-clock (job_rtt) — never
+    // in shape. job_rtt is the one deliberate carve-out from the
+    // cross-mode identity contract.
+    reg.counter("engine.worker.restarts");
+    reg.counter("engine.worker.heartbeat_misses");
+    reg.counter("engine.worker.quarantined_jobs");
+    reg.counter("engine.worker.frames");
+    reg.histogram("engine.worker.job_rtt", workerRttBoundsMs());
     jobs_total.add(report.totalJobs);
 
     std::unique_ptr<Checkpoint> ckpt =
@@ -398,6 +411,27 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                     faultinject::injectedCount(kind)));
         }
     };
+
+    // Process isolation: train and simulate bodies execute inside a
+    // supervised pool of worker processes; compile and all bookkeeping
+    // stay here. Declared before the thread pool so destruction joins
+    // the job threads first, then drains the workers (QUIT + one
+    // SIGTERM each, bounded reap — no zombies).
+    std::unique_ptr<WorkerPool> wpool;
+    if (ropts.isolation == JobIsolation::process) {
+        if (!WorkerPool::supported()) {
+            vg_throw(Config,
+                     "process isolation (--isolate-jobs) is not "
+                     "supported on this platform");
+        }
+        WorkerPool::Options wo;
+        wo.workers = ThreadPool::resolveWorkerCount(ropts.jobs);
+        wo.execPath = ropts.workerExecPath;
+        wo.heartbeatTimeoutMs = ropts.workerHeartbeatMs;
+        wo.rlimitMb = ropts.workerRlimitMb;
+        wo.metrics = &reg;
+        wpool = std::make_unique<WorkerPool>(wo);
+    }
 
     // Graceful drain: once a shutdown is requested, queued jobs are
     // discarded (leaving no result and no journal record — exactly
@@ -487,8 +521,38 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                               {{"benchmark", suite[b].name},
                                {"index", std::to_string(b)}}));
                 train_fail[b] = runGuarded(
-                    id, ropts, tracer, jobs_retries, [&] {
-                        trains[b] = trainBenchmark(suite[b], base);
+                    id, ropts, tracer, jobs_retries,
+                    [&](unsigned attempt) {
+                        if (wpool == nullptr) {
+                            trains[b] = trainBenchmark(suite[b], base);
+                            return;
+                        }
+                        // Worker-side profiling; selection re-derives
+                        // here via trainFromProfile, bit-identical to
+                        // trainBenchmark (same guarantee the resume
+                        // path relies on).
+                        WorkerJob wj;
+                        wj.phase = "train";
+                        wj.slot = b;
+                        wj.scopeKey = jobScopeKey(id, attempt);
+                        wj.scopeStartDraw =
+                            faultinject::currentDrawCount();
+                        wj.spec = suite[b];
+                        wj.specName = suite[b].name;
+                        wj.bindSpecName();
+                        wj.options = base;
+                        WorkerResult res = wpool->execute(std::move(wj));
+                        ProfileParseResult parsed =
+                            deserializeProfile(res.profileText);
+                        if (!parsed.ok) {
+                            vg_throw(Io,
+                                     "worker returned an unreadable "
+                                     "TRAIN profile for %s: %s",
+                                     suite[b].name,
+                                     parsed.error.c_str());
+                        }
+                        trains[b] = trainFromProfile(
+                            suite[b], std::move(parsed.profile), base);
                     });
             }
             if (train_fail[b].has_value()) {
@@ -531,6 +595,17 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         stampReplayed();
         stampFaultGauges();
         return report;
+    }
+
+    // Process mode ships each simulate job its benchmark's serialized
+    // TRAIN profile (jobs must be self-contained); serialize each one
+    // exactly once, up front.
+    std::vector<std::string> profile_text(B);
+    if (wpool != nullptr) {
+        for (size_t b = 0; b < B; ++b) {
+            if (!train_fail[b].has_value())
+                profile_text[b] = serializeProfile(trains[b].profile);
+        }
     }
 
     // Phase 2: compile each (benchmark, width) pair once. Compiles of
@@ -601,8 +676,10 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                                {"width",
                                 std::to_string(widths[w])},
                                {"index", std::to_string(i)}}));
+                // Compile stays supervisor-local in both isolation
+                // modes: artifacts must live in this process anyway.
                 compile_fail[i] = runGuarded(
-                    id, ropts, tracer, jobs_retries, [&] {
+                    id, ropts, tracer, jobs_retries, [&](unsigned) {
                         arts[i] = compileBenchmark(
                             suite[b], trains[b], wopts[w]);
                     });
@@ -673,10 +750,13 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // sequences, the lockstep checker) or that will not run the fast
     // path anyway (VANGUARD_FORCE_REFERENCE) keep solo seed jobs
     // inside the same group items — same slots, same records.
+    // Process isolation forces solo seed jobs: PR 6 proved batched
+    // and solo stats byte-identical, and solo jobs are the natural
+    // redelivery/quarantine unit.
     const bool batch_eligible =
         ropts.batchLanes > 1 && !base.lockstep &&
         !ropts.faultInjection && !faultinject::armed() &&
-        !referenceForcedByEnv();
+        !referenceForcedByEnv() && wpool == nullptr;
 
     {
         TraceSpan phase_span(tracer, "phase.simulate");
@@ -866,14 +946,36 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                 {
                     TraceSpan span(tracer, "simulate", spanArgs(s));
                     sim_fail[i] = runGuarded(
-                        id, ropts, tracer, jobs_retries, [&] {
-                            sims[i] = cfg == 0
-                                ? simulateConfig(
-                                      spec, config, opts,
-                                      kRefSeeds[s],
-                                      /*collect_branch_stalls=*/true)
-                                : simulateConfig(spec, config, opts,
-                                                 kRefSeeds[s]);
+                        id, ropts, tracer, jobs_retries,
+                        [&](unsigned attempt) {
+                            if (wpool == nullptr) {
+                                sims[i] = cfg == 0
+                                    ? simulateConfig(
+                                          spec, config, opts,
+                                          kRefSeeds[s],
+                                          /*collect_branch_stalls=*/
+                                          true)
+                                    : simulateConfig(spec, config,
+                                                     opts,
+                                                     kRefSeeds[s]);
+                                return;
+                            }
+                            WorkerJob wj;
+                            wj.phase = "simulate";
+                            wj.slot = i;
+                            wj.scopeKey = jobScopeKey(id, attempt);
+                            wj.scopeStartDraw =
+                                faultinject::currentDrawCount();
+                            wj.spec = spec;
+                            wj.specName = spec.name;
+                            wj.bindSpecName();
+                            wj.options = opts;
+                            wj.config = static_cast<int>(cfg);
+                            wj.seed = kRefSeeds[s];
+                            wj.collectStalls = cfg == 0;
+                            wj.profileText = profile_text[b];
+                            sims[i] =
+                                wpool->execute(std::move(wj)).stats;
                         });
                 }
                 if (sim_fail[i].has_value())

@@ -92,11 +92,40 @@ struct JobFailure
     std::string bundlePath;     ///< replay bundle, "" if not written
 };
 
+/**
+ * Where job bodies execute. `inproc` (the default) runs them on the
+ * shared thread pool; `process` routes train and simulate bodies
+ * through a supervised pool of worker processes (core/worker_pool.hh)
+ * so a SIGSEGV, OOM kill, or hang in one job cannot take down the
+ * sweep. Every piece of bookkeeping stays in the supervisor, so sweep
+ * output is byte-identical between the modes at any worker count.
+ */
+enum class JobIsolation
+{
+    inproc,
+    process,
+};
+
 struct RunnerOptions
 {
     /** Worker threads; 0 defers to VANGUARD_JOBS, then
      *  hardware_concurrency (ThreadPool::resolveWorkerCount). */
     unsigned jobs = 0;
+
+    /** Job-body execution mode; `process` requires
+     *  WorkerPool::supported() (SimError(Config) otherwise). */
+    JobIsolation isolation = JobIsolation::inproc;
+
+    /** Process mode: worker heartbeat deadline in ms (a silent worker
+     *  past it is SIGKILLed and its job fails with SimError(Hang)). */
+    unsigned workerHeartbeatMs = 10000;
+
+    /** Process mode: RLIMIT_AS cap per worker in MiB (0 = none). */
+    unsigned workerRlimitMb = 0;
+
+    /** Process mode: binary to exec for workers ("" = this
+     *  executable); must understand `--worker <fd>`. */
+    std::string workerExecPath;
 
     /**
      * Maximum REF-seed lanes per batched simulation (1 disables

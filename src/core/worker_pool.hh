@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Process-isolated worker pool: supervised out-of-process execution
+ * of experiment-job bodies.
+ *
+ * The in-process pool (support/thread_pool.hh) can only contain
+ * failures that unwind as C++ exceptions; a SIGSEGV, OOM kill, or
+ * runaway allocation in one (benchmark × width × config × seed) job
+ * takes the whole sweep down. This pool moves job *bodies* into N
+ * long-lived worker processes — re-execs of `vanguard_cli --worker
+ * <fd>` speaking the `vanguard-worker v1` frame protocol of
+ * support/ipc.hh — while every piece of sweep bookkeeping (journal,
+ * metrics merges, result slots, retry policy, failure tables) stays in
+ * the supervisor. That split is what makes sweep output byte-identical
+ * between isolation modes: the supervisor runs the same code over the
+ * same slot-indexed results either way; only where the body computed
+ * is different.
+ *
+ * Job bodies cross the boundary fully self-contained (complete
+ * BenchmarkSpec, exact hexfloat-encoded options, and — for simulate
+ * jobs — the serialized TRAIN profile), so workers never touch the
+ * filesystem and any single job is replayable by construction. Train
+ * jobs return the serialized profile (the supervisor re-derives
+ * selection via trainFromProfile, proven bit-identical by the resume
+ * path); simulate jobs return SimStats through the journal's
+ * CRC-guarded record codec, the same bytes a resumed sweep replays.
+ *
+ * Supervision policy (all owned here, not by the runner):
+ *   - heartbeats: workers beat every deadline/4 while a job runs; a
+ *     silent worker past the deadline is SIGKILLed and the in-flight
+ *     job fails with SimError(Hang), mirroring the in-process
+ *     watchdog taxonomy;
+ *   - exit triage: signal death, nonzero exit, and protocol desync
+ *     each map into the SimError taxonomy with the worker's fate in
+ *     the message;
+ *   - restart with exponential backoff (BackoffPolicy below), plus a
+ *     restart-storm circuit breaker: too many consecutive worker
+ *     losses with no completed job in between breaks the pool rather
+ *     than melting the host;
+ *   - poison-job quarantine: a job that kills kQuarantineDeaths
+ *     consecutive workers is recorded as a non-transient root-cause
+ *     failure (the runner's ordinary bundle path then writes its
+ *     replay bundle) instead of being retried forever;
+ *   - optional setrlimit() address-space / CPU caps applied between
+ *     fork and exec;
+ *   - graceful drain: shutdown() sends each live worker a QUIT frame
+ *     and exactly one SIGTERM, reaps with a bounded deadline, and
+ *     SIGKILLs stragglers — no zombie outlives the pool.
+ *
+ * POSIX-only (fork/exec/waitpid); WorkerPool::supported() gates it and
+ * the CLI turns unsupported platforms into exit 2.
+ */
+
+#ifndef VANGUARD_CORE_WORKER_POOL_HH
+#define VANGUARD_CORE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/vanguard.hh"
+#include "support/fault_inject.hh"
+#include "support/ipc.hh"
+#include "support/metrics.hh"
+#include "uarch/pipeline.hh"
+#include "workloads/kernel.hh"
+
+namespace vanguard {
+
+/**
+ * Exponential backoff schedule for worker restarts. Pure function of
+ * the consecutive-failure count: delayMs(0) = 0 (first spawn is
+ * free), then base, 2*base, 4*base, ... clamped to cap.
+ */
+struct BackoffPolicy
+{
+    unsigned baseMs = 25;
+    unsigned capMs = 1000;
+
+    unsigned
+    delayMs(unsigned consecutive_failures) const
+    {
+        if (consecutive_failures == 0)
+            return 0;
+        unsigned shift = consecutive_failures - 1;
+        if (shift > 20)
+            shift = 20;
+        uint64_t d = static_cast<uint64_t>(baseMs) << shift;
+        return d > capMs ? capMs : static_cast<unsigned>(d);
+    }
+};
+
+/** Workers beat at a quarter of the supervisor's deadline: four
+ *  missed beats, not one scheduling hiccup, trip the watchdog. */
+inline unsigned
+heartbeatIntervalMs(unsigned deadline_ms)
+{
+    unsigned interval = deadline_ms / 4;
+    return interval == 0 ? 1 : interval;
+}
+
+/**
+ * The scope key under which a worker draws the `worker.kill` site:
+ * mixes the job scope with the delivery ordinal, so a job whose first
+ * delivery killed its worker draws fresh on redelivery (a fault-plan
+ * kill is a one-shot crash, not a poison job). Distinct from the job
+ * scope itself so kill draws never perturb in-body draw sequences.
+ */
+inline uint64_t
+workerKillScope(uint64_t job_scope, uint64_t delivery)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t v : {job_scope, delivery, uint64_t{0x6b696c6c}}) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+/** Per-job heartbeat-suppression scope (see worker.heartbeat site):
+ *  every beat of a job draws under the same key at draw 0, so a plan
+ *  either suppresses all of a job's beats (guaranteed watchdog trip)
+ *  or none — a worker-count-independent pattern. */
+inline uint64_t
+workerHeartbeatScope(uint64_t job_scope)
+{
+    return workerKillScope(job_scope, uint64_t{0xb3a7});
+}
+
+/**
+ * One job body shipped to a worker. Everything the worker needs is in
+ * here; `spec.name` points into `specName` after parse (call
+ * bindSpecName() after copying or assignment).
+ */
+struct WorkerJob
+{
+    std::string phase = "simulate"; ///< "train" | "simulate"
+    size_t slot = 0;                ///< job index within its phase
+    uint64_t scopeKey = 0;          ///< fault-injection scope key
+    /** Draws the supervisor already consumed under scopeKey before
+     *  dispatch (the job.attempt probe); the worker resumes there. */
+    uint64_t scopeStartDraw = 1;
+    uint64_t delivery = 0;          ///< stamped by the pool per send
+
+    BenchmarkSpec spec;
+    std::string specName;           ///< owning storage for spec.name
+    VanguardOptions options;        ///< width already applied
+
+    int config = 1;                 ///< 0 base, 1 exp (simulate)
+    uint64_t seed = 0;              ///< REF seed (simulate)
+    bool collectStalls = false;     ///< simulate: base-config stalls
+    std::string profileText;        ///< simulate: serialized TRAIN profile
+
+    void bindSpecName() { spec.name = specName.c_str(); }
+};
+
+/** What came back over the result frame. */
+struct WorkerResult
+{
+    bool ok = false;
+    size_t slot = 0;
+
+    // ok payloads
+    std::string profileText;        ///< train
+    SimStats stats;                 ///< simulate
+
+    // fail payload: rethrown by the supervisor verbatim, so journal
+    // and failure-table bytes match the in-process pool.
+    SimError::Kind kind = SimError::Kind::Internal;
+    std::string message;
+
+    /** Per-kind faults injected while the job body ran (folded into
+     *  the supervisor's counters for gauge identity across modes). */
+    uint64_t injected[FaultPlan::kNumKinds] = {};
+};
+
+/** Bucket bounds (ms, powers of two) for the engine.worker.job_rtt
+ *  histogram — shared by the pool and the runner's unconditional
+ *  registration so both isolation modes dump identical shapes. */
+std::vector<uint64_t> workerRttBoundsMs();
+
+/** Frame-body codecs (versioned text, exact numeric round-trips). */
+std::string serializeWorkerJob(const WorkerJob &job);
+bool parseWorkerJob(const std::string &body, WorkerJob *out,
+                    std::string *error);
+std::string serializeWorkerResult(const WorkerResult &res);
+bool parseWorkerResult(const std::string &body, WorkerResult *out,
+                       std::string *error);
+
+class WorkerPool
+{
+  public:
+    struct Options
+    {
+        unsigned workers = 1;
+        /** Binary to exec ("" = this executable, via /proc/self/exe);
+         *  must understand `--worker <fd>`. */
+        std::string execPath;
+        unsigned heartbeatTimeoutMs = 10000;
+        unsigned helloTimeoutMs = 10000;
+        unsigned rlimitMb = 0;          ///< RLIMIT_AS cap (0 = none)
+        unsigned rlimitCpuSec = 0;      ///< RLIMIT_CPU cap (0 = none)
+        unsigned quarantineDeaths = 3;  ///< K consecutive deaths
+        unsigned restartStormLimit = 10;
+        unsigned reapTimeoutMs = 2000;  ///< graceful-drain deadline
+        BackoffPolicy backoff{};
+        /** Fault plan forwarded to workers ("" = the ambient armed
+         *  plan, if any). */
+        std::string faultPlanSpec;
+        /** Registry for the engine.worker.* instruments (optional). */
+        MetricsRegistry *metrics = nullptr;
+    };
+
+    /** Does this build/platform carry fork/exec supervision? */
+    static bool supported();
+
+    explicit WorkerPool(const Options &opts);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run one job body out of process (blocking; thread-safe; called
+     * from pool worker threads). Returns only an ok result. Worker-
+     * reported failures rethrow as SimError(kind, message) with the
+     * worker's message verbatim; worker deaths retry internally on a
+     * fresh worker until the job completes or kills quarantineDeaths
+     * consecutive workers (then SimError(Internal) quarantine);
+     * heartbeat expiry SIGKILLs the worker and throws SimError(Hang).
+     */
+    WorkerResult execute(WorkerJob job);
+
+    /**
+     * Graceful drain: QUIT frame + exactly one SIGTERM per live
+     * worker, bounded reap, SIGKILL stragglers. Idempotent; the
+     * destructor calls it. No child of this pool survives it.
+     */
+    void shutdown();
+
+    /** Live worker pids (test hooks: SIGSTOP/SIGKILL drills). */
+    std::vector<int> workerPids() const;
+
+    struct Stats
+    {
+        uint64_t spawns = 0;            ///< successful worker spawns
+        uint64_t restarts = 0;          ///< spawns after a loss
+        uint64_t heartbeatMisses = 0;
+        uint64_t quarantinedJobs = 0;
+        uint64_t dataFrames = 0;        ///< JOB + RESULT frames
+    };
+    Stats stats() const;
+
+  private:
+    struct Slot;
+
+    size_t acquireSlot();
+    void releaseSlot(size_t idx);
+    void ensureAlive(Slot &slot);
+    void spawnWorker(Slot &slot);
+    void killWorker(Slot &slot, bool already_dead);
+    std::string reapWorker(Slot &slot);
+    void noteLoss(const std::string &job_key);
+    void noteCompletion();
+    void bumpCounter(const char *name, uint64_t delta = 1);
+
+    Options opts_;
+    mutable std::mutex mutex_;
+    std::condition_variable slotFree_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::map<std::string, unsigned> consecutiveDeaths_;
+    std::map<std::string, uint64_t> deliveries_;
+    uint64_t spawnAttempts_ = 0; ///< worker.spawn draw ordinal
+    unsigned consecutiveLosses_ = 0; ///< resets on any completed job
+    bool broken_ = false;
+    std::string brokenReason_;
+    bool shutdownDone_ = false;
+    Stats stats_;
+};
+
+/**
+ * Worker-process entry (the `--worker <fd>` mode of vanguard_cli and
+ * of any test binary that embeds the pool): speak the protocol on fd
+ * until QUIT/EOF. Returns the process exit code. Installs the
+ * shutdown latch so a process-group SIGINT/SIGTERM finishes the
+ * in-flight job before exiting (the supervisor owns drain policy).
+ */
+int runWorkerProcess(int fd);
+
+} // namespace vanguard
+
+#endif // VANGUARD_CORE_WORKER_POOL_HH

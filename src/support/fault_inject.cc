@@ -102,6 +102,34 @@ parseFaultPlan(const std::string &spec_in)
     return plan;
 }
 
+std::string
+faultPlanSpec(const FaultPlan &plan)
+{
+    std::string out;
+    char buf[64];
+    for (size_t k = 0; k < FaultPlan::kNumKinds; ++k) {
+        if (plan.rates[k] <= 0.0)
+            continue;
+        std::string lower =
+            SimError::kindName(static_cast<SimError::Kind>(k));
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        // %.17g round-trips doubles exactly through strtod.
+        std::snprintf(buf, sizeof(buf), "%.17g", plan.rates[k]);
+        if (!out.empty())
+            out += ',';
+        out += lower;
+        out += ':';
+        out += buf;
+    }
+    if (!out.empty())
+        out += ',';
+    std::snprintf(buf, sizeof(buf), "seed=%llu",
+                  static_cast<unsigned long long>(plan.seed));
+    out += buf;
+    return out;
+}
+
 namespace faultinject {
 
 void
@@ -126,6 +154,27 @@ injectedCount(SimError::Kind kind)
         std::memory_order_relaxed);
 }
 
+FaultPlan
+currentPlan()
+{
+    return g_plan;
+}
+
+uint64_t
+currentDrawCount()
+{
+    return tl_draw_count;
+}
+
+void
+recordRemoteInjections(SimError::Kind kind, uint64_t count)
+{
+    if (count == 0)
+        return;
+    g_injected[static_cast<size_t>(kind)].fetch_add(
+        count, std::memory_order_relaxed);
+}
+
 bool
 maybeArmFromEnv()
 {
@@ -143,18 +192,25 @@ Scope::Scope(uint64_t key)
     tl_draw_count = 0;
 }
 
+Scope::Scope(uint64_t key, uint64_t start_draw)
+    : prev_key_(tl_scope_key), prev_count_(tl_draw_count)
+{
+    tl_scope_key = key;
+    tl_draw_count = start_draw;
+}
+
 Scope::~Scope()
 {
     tl_scope_key = prev_key_;
     tl_draw_count = prev_count_;
 }
 
-void
-detail::fire(const char *site_name, SimError::Kind kind)
+bool
+detail::draw(const char *site_name, SimError::Kind kind)
 {
     double rate = g_plan.rateFor(kind);
     if (rate <= 0.0)
-        return;
+        return false;
     uint64_t draw = tl_draw_count++;
     uint64_t x = mix64(g_plan.seed ^
                        mix64(fnv1a64(site_name,
@@ -163,8 +219,15 @@ detail::fire(const char *site_name, SimError::Kind kind)
                        mix64(draw));
     // 53-bit uniform in [0, 1).
     double u = static_cast<double>(x >> 11) * 0x1.0p-53;
-    if (u >= rate)
+    return u < rate;
+}
+
+void
+detail::fire(const char *site_name, SimError::Kind kind)
+{
+    if (!detail::draw(site_name, kind))
         return;
+    uint64_t draw = tl_draw_count - 1;
     g_injected[static_cast<size_t>(kind)].fetch_add(
         1, std::memory_order_relaxed);
     throw SimError(kind,

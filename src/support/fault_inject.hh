@@ -23,12 +23,34 @@
  *   interp.step        Hang   functional interpreter, every 4096 insts
  *   pipeline.cycle     Hang   timing model, every 4096 retired insts
  *   pipeline.commit    Fault  timing model, every 4096 retired insts
+ *   worker.spawn       Io     supervisor, before each worker fork/exec
+ *                             (transient: exercises backoff restart)
+ *   worker.frame.write Io     supervisor, before each job-frame send
+ *                             (transient: exercises desync recovery)
+ *   worker.heartbeat   Hang   worker heartbeat thread, before each
+ *                             beat (a fire suppresses the beat, so the
+ *                             supervisor's deadline watchdog trips)
+ *   worker.kill        Internal  worker job preamble; the worker
+ *                             converts a fire into raise(SIGKILL), so
+ *                             an `internal:p` plan SIGKILLs workers
+ *                             mid-job deterministically. Keyed by
+ *                             (job scope, delivery ordinal): a
+ *                             redelivered job draws fresh, so a killed
+ *                             job recovers on its next delivery. No
+ *                             other site uses kind Internal, and a
+ *                             killed worker never reports the firing,
+ *                             so `internal:p` plans leave inproc runs
+ *                             and fault gauges untouched.
  *
  * Scoping: the experiment runner wraps each job attempt in a
  * faultinject::Scope keyed by (phase, job index, attempt), which
  * resets the thread-local draw counter — the draw sequence inside a
  * job is single-threaded and therefore deterministic. Site calls
  * outside any scope (e.g. CLI-level writes) use the ambient scope 0.
+ * Worker processes re-enter the job scope with the draw counter
+ * pre-advanced past the draws the supervisor already consumed
+ * (Scope's start_draw overload), so the in-job draw sequence is
+ * byte-identical between isolation modes.
  *
  * Disarmed (the default), site() is one relaxed atomic load; nothing
  * else in the simulator changes. Arm via parseFaultPlan +
@@ -86,6 +108,13 @@ struct FaultPlan
  */
 FaultPlan parseFaultPlan(const std::string &spec);
 
+/**
+ * Serialize a plan back to parseFaultPlan() syntax, rates at full
+ * precision ("io:0.25,seed=7"). Used to forward the supervisor's
+ * armed plan to worker processes so both sides draw identically.
+ */
+std::string faultPlanSpec(const FaultPlan &plan);
+
 namespace faultinject {
 
 namespace detail {
@@ -94,6 +123,9 @@ inline std::atomic<bool> g_armed{false};
 
 /** Slow path: draw and maybe throw. Defined in fault_inject.cc. */
 void fire(const char *site_name, SimError::Kind kind);
+
+/** Draw only: true when the site would fire. No count, no throw. */
+bool draw(const char *site_name, SimError::Kind kind);
 
 } // namespace detail
 
@@ -121,6 +153,18 @@ site(const char *name, SimError::Kind kind)
 }
 
 /**
+ * Like site(), but reports the outcome instead of throwing and does
+ * not touch the injected counters. For probes whose "fault" is an
+ * omission (the worker heartbeat suppressor) rather than an error —
+ * keeping the throwing counters deterministic across isolation modes.
+ */
+inline bool
+siteFires(const char *name, SimError::Kind kind)
+{
+    return armed() && detail::draw(name, kind);
+}
+
+/**
  * RAII scope key: resets the thread-local draw counter so the draw
  * sequence is a pure function of the scope, not of what ran earlier
  * on this worker thread. Nests (restores the outer scope's counter).
@@ -129,6 +173,12 @@ class Scope
 {
   public:
     explicit Scope(uint64_t key);
+    /**
+     * Enter `key` with the draw counter already at `start_draw`.
+     * Worker processes use this to skip the draws the supervisor
+     * consumed under the same key before dispatching the job.
+     */
+    Scope(uint64_t key, uint64_t start_draw);
     ~Scope();
 
     Scope(const Scope &) = delete;
@@ -141,6 +191,24 @@ class Scope
 
 /** Injections of `kind` actually thrown since the last arm(). */
 uint64_t injectedCount(SimError::Kind kind);
+
+/**
+ * The calling thread's draw count within the current Scope. The
+ * supervisor samples this at job-dispatch time and ships it as the
+ * worker's start_draw, so the worker's in-body draw sequence continues
+ * exactly where the supervisor's left off.
+ */
+uint64_t currentDrawCount();
+
+/** A copy of the armed plan (meaningful only while armed()). */
+FaultPlan currentPlan();
+
+/**
+ * Fold injections that fired in a worker process into this process's
+ * counters (reported back per job over the result frame), so
+ * engine.faults.injected.* gauges match the in-process pool.
+ */
+void recordRemoteInjections(SimError::Kind kind, uint64_t count);
 
 /** Arm from VANGUARD_FAULT_PLAN if set; returns whether it armed. */
 bool maybeArmFromEnv();

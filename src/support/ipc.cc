@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Frame transport implementation (see ipc.hh for the wire format).
+ */
+
+#include "support/ipc.hh"
+
+#include <cstring>
+
+#include "support/checksum.hh"
+#include "support/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VANGUARD_IPC_POSIX 1
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace vanguard {
+namespace ipc {
+
+bool
+ipcSupported()
+{
+#ifdef VANGUARD_IPC_POSIX
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef VANGUARD_IPC_POSIX
+
+namespace {
+
+void
+putU32(std::string *out, uint32_t v)
+{
+    out->push_back(static_cast<char>(v & 0xff));
+    out->push_back(static_cast<char>((v >> 8) & 0xff));
+    out->push_back(static_cast<char>((v >> 16) & 0xff));
+    out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t
+getU32(const char *p)
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+           (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+           (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+           (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+} // namespace
+
+void
+writeFrame(int fd, char type, const std::string &body)
+{
+    std::string payload;
+    payload.reserve(1 + body.size());
+    payload.push_back(type);
+    payload.append(body);
+    if (payload.size() > kMaxFramePayload)
+        vg_throw(Io, "ipc frame too large (%zu bytes, max %u)",
+                 payload.size(), kMaxFramePayload);
+
+    std::string wire;
+    wire.reserve(8 + payload.size());
+    putU32(&wire, static_cast<uint32_t>(payload.size()));
+    putU32(&wire, crc32(payload));
+    wire.append(payload);
+
+    size_t off = 0;
+    while (off < wire.size()) {
+        // MSG_NOSIGNAL: a dead peer must yield EPIPE, not SIGPIPE.
+        ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            vg_throw(Io, "ipc write failed on fd %d: %s", fd,
+                     std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+ReadStatus
+FrameChannel::read(Frame *out, int timeout_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms < 0
+                                                     ? 0
+                                                     : timeout_ms);
+    for (;;) {
+        // A complete frame may already be buffered.
+        if (buf_.size() >= 8) {
+            uint32_t len = getU32(buf_.data());
+            if (len == 0 || len > kMaxFramePayload)
+                vg_throw(Io,
+                         "ipc protocol desync on fd %d: frame length %u",
+                         fd_, len);
+            if (buf_.size() >= 8 + static_cast<size_t>(len)) {
+                uint32_t want = getU32(buf_.data() + 4);
+                uint32_t got = crc32(buf_.data() + 8, len);
+                if (want != got)
+                    vg_throw(Io,
+                             "ipc frame CRC mismatch on fd %d "
+                             "(stored %08x computed %08x)",
+                             fd_, want, got);
+                out->type = buf_[8];
+                out->body.assign(buf_, 9, len - 1);
+                buf_.erase(0, 8 + static_cast<size_t>(len));
+                return ReadStatus::Ok;
+            }
+        }
+
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+            if (left <= 0)
+                return ReadStatus::Timeout;
+            wait_ms = static_cast<int>(left);
+        }
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int pr = ::poll(&pfd, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            vg_throw(Io, "ipc poll failed on fd %d: %s", fd_,
+                     std::strerror(errno));
+        }
+        if (pr == 0)
+            return ReadStatus::Timeout;
+
+        char chunk[16384];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            vg_throw(Io, "ipc read failed on fd %d: %s", fd_,
+                     std::strerror(errno));
+        }
+        if (n == 0) {
+            // Peer closed. Leftover bytes are a torn frame: report EOF
+            // (the supervisor triages the worker's exit status).
+            return ReadStatus::Eof;
+        }
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+void
+makeSocketPair(int fds[2])
+{
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        vg_throw(Io, "socketpair failed: %s", std::strerror(errno));
+    // Supervisor end must not leak into workers exec'd later; the
+    // worker end is inherited deliberately (spawn passes its number on
+    // the command line).
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+}
+
+#else // !VANGUARD_IPC_POSIX
+
+void
+writeFrame(int, char, const std::string &)
+{
+    vg_throw(Config, "worker ipc is not supported on this platform");
+}
+
+ReadStatus
+FrameChannel::read(Frame *, int)
+{
+    vg_throw(Config, "worker ipc is not supported on this platform");
+}
+
+void
+makeSocketPair(int[2])
+{
+    vg_throw(Config, "worker ipc is not supported on this platform");
+}
+
+#endif // VANGUARD_IPC_POSIX
+
+} // namespace ipc
+} // namespace vanguard

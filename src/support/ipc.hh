@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Length-prefixed frame transport for the process-isolated worker
+ * pool (core/worker_pool.hh) — and, later, for the distributed sweep
+ * fabric, which swaps the socketpair for a TCP socket without
+ * touching the frame layer.
+ *
+ * Wire format (all integers little-endian):
+ *
+ *   u32 payload_len | u32 crc32(payload) | payload bytes
+ *
+ * The first payload byte is the frame type; the rest is the body.
+ * Every frame is CRC'd (support/checksum.hh) so a torn write, a
+ * half-dead worker, or a protocol desync surfaces as a loud
+ * SimError(Io) instead of silently corrupt results. Text bodies
+ * (hello/config/job/result) carry their own `vanguard-* vN` headers
+ * validated through support/versioned_format.hh, so a version-skewed
+ * worker binary is refused by name at handshake time.
+ *
+ * Reading is deadline-based: FrameChannel buffers partial reads
+ * across calls and poll()s the descriptor, so the supervisor's
+ * heartbeat watchdog is simply "readFrame with the heartbeat deadline
+ * as the timeout". EOF (worker death) and timeout (worker hang) are
+ * ordinary statuses, not exceptions — only malformed traffic throws.
+ *
+ * POSIX-only (socketpair/poll); on other platforms the API exists but
+ * every call raises SimError(Config) — see ipcSupported().
+ */
+
+#ifndef VANGUARD_SUPPORT_IPC_HH
+#define VANGUARD_SUPPORT_IPC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hh"
+
+namespace vanguard {
+namespace ipc {
+
+/** Frame types: the first payload byte. */
+enum : char
+{
+    kFrameHello = 'H',      ///< worker -> supervisor, once at startup
+    kFrameConfig = 'C',     ///< supervisor -> worker, once per spawn
+    kFrameJob = 'J',        ///< supervisor -> worker
+    kFrameResult = 'R',     ///< worker -> supervisor
+    kFrameHeartbeat = 'B',  ///< worker -> supervisor while a job runs
+    kFrameQuit = 'Q',       ///< supervisor -> worker: drain and exit
+};
+
+/** Frames larger than this are protocol desync, not data. */
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame
+{
+    char type = 0;
+    std::string body;       ///< payload minus the type byte
+};
+
+enum class ReadStatus
+{
+    Ok,
+    Eof,        ///< peer closed (worker death / supervisor gone)
+    Timeout,    ///< deadline expired with no complete frame
+};
+
+/** Does this build carry the POSIX transport? */
+bool ipcSupported();
+
+/**
+ * Write one frame (blocking, retrying short writes). Throws
+ * SimError(Io) on a closed/failed peer; never raises SIGPIPE (the
+ * descriptor is a socket and writes use MSG_NOSIGNAL).
+ */
+void writeFrame(int fd, char type, const std::string &body);
+
+/**
+ * Buffered frame reader over one descriptor. Partial frames persist
+ * in the buffer across calls, so a Timeout can be retried without
+ * losing bytes.
+ */
+class FrameChannel
+{
+  public:
+    FrameChannel() = default;
+    explicit FrameChannel(int fd) : fd_(fd) {}
+
+    int fd() const { return fd_; }
+    void reset(int fd) { fd_ = fd; buf_.clear(); }
+
+    /**
+     * Read one frame. timeout_ms < 0 blocks indefinitely; otherwise
+     * the whole frame must arrive within the deadline. Throws
+     * SimError(Io) on CRC mismatch, an oversize length prefix, or an
+     * empty payload — all protocol desync, unrecoverable on this
+     * connection.
+     */
+    ReadStatus read(Frame *out, int timeout_ms);
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+/**
+ * A connected AF_UNIX stream pair: fds[0] for the supervisor (marked
+ * close-on-exec so sibling workers cannot hold it open), fds[1] for
+ * the worker (inherited across exec). Throws SimError(Io) on failure.
+ */
+void makeSocketPair(int fds[2]);
+
+} // namespace ipc
+} // namespace vanguard
+
+#endif // VANGUARD_SUPPORT_IPC_HH

@@ -17,12 +17,20 @@
 
 #include "core/journal.hh"
 #include "core/runner.hh"
+#include "core/worker_pool.hh"
 #include "profile/profile_io.hh"
 #include "support/atomic_file.hh"
 #include "support/fault_inject.hh"
 #include "support/shutdown.hh"
 #include "support/thread_pool.hh"
 #include "workloads/suites.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace vanguard {
 namespace {
@@ -338,6 +346,39 @@ TEST(Shutdown, DrainDiscardsQueuedJobsButFinishesInFlight)
     pool.wait();
     EXPECT_EQ(ran.load(), 16);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Shutdown, WorkerPoolDrainUnderShutdownLeavesNoZombies)
+{
+    // The process-isolation twin of the drain test: with the drain
+    // flag already latched (as a SIGTERM handler would leave it), a
+    // worker pool still shuts down cleanly — QUIT + one SIGTERM per
+    // live worker, bounded reap — and no child outlives it, running
+    // or zombie.
+    if (!WorkerPool::supported())
+        GTEST_SKIP() << "no fork/exec supervision on this platform";
+    clearShutdownRequest();
+    requestShutdown(SIGTERM);
+    std::vector<int> pids;
+    {
+        WorkerPool::Options o;
+        o.workers = 2;
+        o.execPath = VANGUARD_CLI_BIN;
+        WorkerPool wpool(o);
+        pids = wpool.workerPids();
+        EXPECT_EQ(pids.size(), 2u);
+    } // destructor drains
+    for (int pid : pids) {
+        EXPECT_EQ(::kill(pid, 0), -1)
+            << "worker " << pid << " survived the drain";
+        EXPECT_EQ(errno, ESRCH);
+    }
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD) << "a zombie outlived the pool";
+    clearShutdownRequest();
+}
+#endif
 
 TEST(CheckpointResume, InterruptedSweepResumesBitIdentical)
 {
