@@ -64,6 +64,23 @@
  *     --worker FD          internal: run as a pool worker speaking
  *                          the frame protocol on FD (spawned by the
  *                          supervisor, never by hand)
+ *     --serve-sweep PORT   with --all-refs: serve the sweep as a TCP
+ *                          coordinator leasing job bodies to remote
+ *                          workers (0 = ephemeral port; the resolved
+ *                          port is printed to stderr); byte-identical
+ *                          output to the local paths
+ *     --lease-ms MS        lease duration / renew base for
+ *                          --serve-sweep (500..3600000, default
+ *                          10000)
+ *     --remote-worker H:P  standalone mode: connect to a coordinator
+ *                          at host H port P, claim and execute leased
+ *                          jobs until drained or signalled;
+ *                          reconnects across coordinator restarts
+ *     --net-inject SPEC    arm the deterministic network-fault
+ *                          injector (frame drops/delays/disconnects;
+ *                          also via VANGUARD_NET_FAULT_PLAN);
+ *                          orthogonal to --inject — network chaos
+ *                          never perturbs simulation results
  *     --selfbench          benchmark the simulator itself: run the
  *                          pinned workload x width x predictor matrix
  *                          through every execution path (switch /
@@ -86,6 +103,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include <fstream>
@@ -94,6 +112,7 @@
 #include "bpred/factory.hh"
 #include "compiler/layout.hh"
 #include "compiler/select.hh"
+#include "core/coordinator.hh"
 #include "core/replay.hh"
 #include "core/runner.hh"
 #include "core/selfbench.hh"
@@ -164,6 +183,8 @@ printUsage(std::FILE *to)
         "[--checkpoint-dir D] [--resume] [--inject SPEC] "
         "[--isolate-jobs] [--worker-heartbeat MS] "
         "[--worker-rlimit-mb MB] "
+        "[--serve-sweep PORT] [--lease-ms MS] "
+        "[--remote-worker HOST:PORT] [--net-inject SPEC] "
         "[--selfbench] [--selfbench-out F] [--selfbench-repeats N] "
         "[--selfbench-iters N] [--help]\n"
         "\n"
@@ -211,6 +232,35 @@ printUsage(std::FILE *to)
         "worker\n"
         "                      is killed (default 10000)\n"
         "  --worker-rlimit-mb MB  RLIMIT_AS cap per worker process\n"
+        "\n"
+        "distributed sweeps (with --all-refs):\n"
+        "  --serve-sweep PORT  lease train/simulate bodies to remote "
+        "workers\n"
+        "                      over TCP (0 = ephemeral; resolved port "
+        "printed\n"
+        "                      to stderr); output is byte-identical "
+        "to the\n"
+        "                      local paths, including under worker "
+        "crashes,\n"
+        "                      partitions, and duplicate completions\n"
+        "  --lease-ms MS       lease duration / renew interval base "
+        "(default\n"
+        "                      10000); an expired lease is re-granted "
+        "to a\n"
+        "                      live worker\n"
+        "  --remote-worker H:P standalone: claim and execute jobs "
+        "from the\n"
+        "                      coordinator at H:P until drained or "
+        "signalled;\n"
+        "                      reconnects with jittered backoff "
+        "across\n"
+        "                      coordinator restarts\n"
+        "  --net-inject SPEC   deterministic network-fault injector "
+        "(frame\n"
+        "                      drop/delay/disconnect; also via\n"
+        "                      VANGUARD_NET_FAULT_PLAN); orthogonal "
+        "to\n"
+        "                      --inject\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
@@ -363,6 +413,11 @@ runCli(int argc, char **argv)
     bool isolate_jobs = false;
     unsigned worker_heartbeat_ms = 0; ///< 0 = runner default
     unsigned worker_rlimit_mb = 0;
+    bool serve_sweep = false;
+    unsigned serve_port = 0;
+    unsigned lease_ms = 0;      ///< 0 = coordinator default
+    std::string remote_worker;  ///< "host:port", "" = not a worker
+    std::string net_inject_spec;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -456,6 +511,17 @@ runCli(int argc, char **argv)
         } else if (arg == "--worker-rlimit-mb") {
             worker_rlimit_mb = parseUnsignedOrDie(
                 "--worker-rlimit-mb", next(), 16, 1048576);
+        } else if (arg == "--serve-sweep") {
+            serve_sweep = true;
+            serve_port =
+                parseUnsignedOrDie("--serve-sweep", next(), 0, 65535);
+        } else if (arg == "--remote-worker") {
+            remote_worker = next();
+        } else if (arg == "--lease-ms") {
+            lease_ms =
+                parseUnsignedOrDie("--lease-ms", next(), 500, 3600000);
+        } else if (arg == "--net-inject") {
+            net_inject_spec = next();
         } else if (arg == "--dump-ir") {
             dump_ir = true;
         } else if (arg == "--dump-asm") {
@@ -515,13 +581,74 @@ runCli(int argc, char **argv)
                      "on this platform (needs fork/exec/socketpair)\n");
         return 2;
     }
+    if (serve_sweep && !all_refs) {
+        std::fprintf(stderr, "vanguard_cli: --serve-sweep only "
+                             "applies to --all-refs sweeps\n");
+        usageAndExit();
+    }
+    if (serve_sweep && isolate_jobs) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --serve-sweep and --isolate-jobs "
+                     "are mutually exclusive (pick one remote-body "
+                     "transport)\n");
+        usageAndExit();
+    }
+    if (lease_ms != 0 && !serve_sweep) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --lease-ms needs --serve-sweep\n");
+        usageAndExit();
+    }
+    if (!remote_worker.empty() &&
+        (all_refs || serve_sweep || isolate_jobs)) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --remote-worker is a standalone "
+                     "mode (no sweep flags)\n");
+        usageAndExit();
+    }
+    if ((serve_sweep || !remote_worker.empty()) &&
+        !Coordinator::supported()) {
+        std::fprintf(stderr,
+                     "vanguard_cli: the sweep fabric is not supported "
+                     "on this platform (needs POSIX sockets)\n");
+        return 2;
+    }
 
     // Deterministic fault injection: an explicit --inject wins over
-    // the VANGUARD_FAULT_PLAN environment variable.
+    // the VANGUARD_FAULT_PLAN environment variable; same precedence
+    // for the network-fault plan (--net-inject over
+    // VANGUARD_NET_FAULT_PLAN). The two plans are orthogonal: job
+    // draws and frame draws never share a stream, so network chaos
+    // cannot perturb simulation results.
     if (!inject_spec.empty())
         faultinject::arm(parseFaultPlan(inject_spec));
     else
         faultinject::maybeArmFromEnv();
+    if (!net_inject_spec.empty())
+        faultinject::armNet(parseFaultPlan(net_inject_spec));
+    else
+        faultinject::maybeArmNetFromEnv();
+
+    if (!remote_worker.empty()) {
+        // Remote-worker mode: claim/execute/report against a
+        // coordinator until drained or signalled. The fault plans
+        // armed above are provisional — the coordinator's CONFIG
+        // frame overrides them.
+        size_t colon = remote_worker.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == remote_worker.size()) {
+            std::fprintf(stderr,
+                         "vanguard_cli: --remote-worker expects "
+                         "HOST:PORT, got '%s'\n",
+                         remote_worker.c_str());
+            usageAndExit();
+        }
+        unsigned port = parseUnsignedOrDie(
+            "--remote-worker port", remote_worker.c_str() + colon + 1,
+            1, 65535);
+        installShutdownHandlers();
+        return runRemoteWorker(remote_worker.substr(0, colon),
+                               static_cast<uint16_t>(port));
+    }
 
     if (!replay_path.empty())
         return runReplay(replay_path, /*lockstep=*/true);
@@ -596,8 +723,34 @@ runCli(int argc, char **argv)
         // checkpoint, and we exit 4 with a --resume hint.
         installShutdownHandlers();
 
+        // Distributed mode: lease train/simulate bodies to remote
+        // workers over TCP. All bookkeeping stays here, so the sweep
+        // output is byte-identical to the local paths.
+        std::optional<Coordinator> coord;
+        if (serve_sweep) {
+            Coordinator::Options copts;
+            copts.port = static_cast<uint16_t>(serve_port);
+            if (lease_ms != 0)
+                copts.leaseMs = lease_ms;
+            copts.metrics = &registry;
+            coord.emplace(copts);
+            // Tests and scripts parse this line for the resolved
+            // port, so flush it before blocking on workers.
+            std::fprintf(stderr,
+                         "serving sweep on port %u; start workers "
+                         "with --remote-worker HOST:%u\n",
+                         coord->port(), coord->port());
+            std::fflush(stderr);
+            ropts.coordinator = &*coord;
+        }
+
         SuiteReport report =
             runSuiteWidthsReport({spec}, {opts.width}, opts, ropts);
+
+        // Stop the fabric before reading the registry: shutdown joins
+        // the service thread, making the engine.net.* counters final.
+        if (coord.has_value())
+            coord->shutdown();
 
         // Telemetry dumps are written even for an interrupted sweep —
         // a partial timeline is exactly what explains the

@@ -1,0 +1,1447 @@
+/**
+ * @file
+ * Sweep-fabric implementation: lease bookkeeping, the coordinator
+ * service thread, and the remote-worker client loop. See
+ * coordinator.hh for the protocol and state machine.
+ */
+
+#include "core/coordinator.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "support/fault_inject.hh"
+#include "support/logging.hh"
+#include "support/shutdown.hh"
+#include "support/versioned_format.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VANGUARD_FABRIC_POSIX 1
+#include <unistd.h>
+#endif
+
+namespace vanguard {
+
+namespace {
+
+constexpr unsigned kRemoteHelloVersion = 1;
+constexpr unsigned kLeaseVersion = 1;
+constexpr unsigned kClaimVersion = 1;
+constexpr unsigned kRenewVersion = 1;
+constexpr unsigned kRemoteResultVersion = 1;
+constexpr unsigned kAckVersion = 1;
+constexpr unsigned kDrainVersion = 1;
+constexpr unsigned kWorkerConfigVersion = 1; // shared with worker_pool
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+claimBody()
+{
+    return detail::csprintf("vanguard-claim v%u\n", kClaimVersion);
+}
+
+std::string
+renewBody(uint64_t lease)
+{
+    return detail::csprintf("vanguard-renew v%u\nlease %llu\n",
+                            kRenewVersion,
+                            static_cast<unsigned long long>(lease));
+}
+
+std::string
+ackBody(uint64_t lease)
+{
+    return detail::csprintf("vanguard-ack v%u\nlease %llu\n",
+                            kAckVersion,
+                            static_cast<unsigned long long>(lease));
+}
+
+std::string
+drainBody(bool final_drain)
+{
+    return detail::csprintf("vanguard-drain v%u\nfinal %d\n",
+                            kDrainVersion, final_drain ? 1 : 0);
+}
+
+/** Parse "lease <id>" out of a renew/result/ack body (after the
+ *  versioned header line). Returns 0 on a malformed body (lease ids
+ *  start at 1). */
+uint64_t
+parseLeaseField(ipc::BodyCursor *cur)
+{
+    std::string line;
+    while (cur->line(&line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "lease") {
+            unsigned long long v = 0;
+            ls >> v;
+            return v;
+        }
+        if (key == "blob")
+            break; // lease line must precede blobs
+    }
+    return 0;
+}
+
+/** splitmix64 finalizer, local copy for connection-backoff jitter. */
+uint64_t
+mixJitter(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+#ifdef VANGUARD_FABRIC_POSIX
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+struct Coordinator::Impl
+{
+    struct Peer
+    {
+        int fd = -1;
+        ipc::FrameChannel chan;
+        std::string addr;       ///< ip:port of the connection
+        std::string identity;   ///< "pid@ip" from the hello frame
+        bool helloed = false;
+        bool claimPending = false;
+        bool dead = false;
+        uint64_t leaseId = 0;   ///< active lease on this connection
+        uint64_t connScope = 0; ///< net.* draw scope
+        uint64_t drawCursor = 0;
+        Clock::time_point notBefore;  ///< backoff gate for grants
+        Clock::time_point lastTx;     ///< for idle heartbeats
+    };
+
+    struct Offer
+    {
+        enum State { Queued, Leased, Done };
+        State state = Queued;
+        uint64_t id = 0;
+        WorkerJob job;
+        std::string key;        ///< "phase:slot" (policy bookkeeping)
+        unsigned grants = 0;    ///< deliveries so far
+        uint64_t leaseId = 0;   ///< current lease (Leased only)
+        std::string leasedTo;   ///< identity of the leaseholder
+        Clock::time_point leaseExpiry;
+        bool discarded = false; ///< drained before any lease
+        std::string resultBytes; ///< recorded result (Done)
+        bool failSynthesized = false; ///< poison-quarantine failure
+        std::string failMessage;
+    };
+
+    explicit Impl(const Options &opts) : opts_(opts)
+    {
+        if (opts_.leaseMs == 0)
+            opts_.leaseMs = 1;
+        if (opts_.faultPlanSpec.empty() && faultinject::armed())
+            opts_.faultPlanSpec =
+                faultPlanSpec(faultinject::currentPlan());
+        if (faultinject::netArmed())
+            netPlanSpec_ = faultPlanSpec(faultinject::currentNetPlan());
+        listenFd_ = ipc::listenTcp(opts_.port);
+        port_ = ipc::listenPort(listenFd_);
+        service_ = std::thread([this] { serviceLoop(); });
+    }
+
+    ~Impl()
+    {
+        shutdown();
+    }
+
+    void
+    bumpCounter(const char *name, uint64_t delta = 1)
+    {
+        if (opts_.metrics != nullptr)
+            opts_.metrics->counter(name).add(delta);
+    }
+
+    // ---- execute() side (runner pool threads) ----
+
+    WorkerResult
+    execute(WorkerJob job)
+    {
+        job.bindSpecName();
+        const std::string key =
+            job.phase + ":" + std::to_string(job.slot);
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        throwIfBroken();
+        if (draining_ || shutdownRequested())
+            throw JobDiscarded();
+        uint64_t id = nextOfferId_++;
+        {
+            Offer &o = offers_[id];
+            o.id = id;
+            o.job = std::move(job);
+            o.job.bindSpecName();
+            o.key = key;
+            queue_.push_back(id);
+        }
+        cv_.wait(lock, [&] {
+            const Offer &o = offers_[id];
+            return broken_ || o.state == Offer::Done || o.discarded;
+        });
+        throwIfBroken();
+        Offer &o = offers_[id];
+        if (o.discarded)
+            throw JobDiscarded();
+        if (o.failSynthesized)
+            throw SimError(SimError::Kind::Internal, o.failMessage);
+
+        WorkerResult res;
+        std::string err;
+        if (!parseWorkerResult(o.resultBytes, &res, &err)) {
+            // The bytes were CRC-clean on the wire and parse-checked
+            // at receive time; failing here is a coordinator bug.
+            throw SimError(SimError::Kind::Internal,
+                           "recorded result for " + o.key +
+                               " unreadable: " + err);
+        }
+        lock.unlock();
+        for (size_t k = 0; k < FaultPlan::kNumKinds; ++k)
+            faultinject::recordRemoteInjections(
+                static_cast<SimError::Kind>(k), res.injected[k]);
+        if (!res.ok)
+            throw SimError(res.kind, res.message);
+        return res;
+    }
+
+    /** Caller holds mutex_. */
+    void
+    throwIfBroken()
+    {
+        if (broken_)
+            throw SimError(brokenKind_, brokenReason_);
+    }
+
+    void
+    markBroken(SimError::Kind kind, std::string reason)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!broken_) {
+            broken_ = true;
+            brokenKind_ = kind;
+            brokenReason_ = std::move(reason);
+        }
+        cv_.notify_all();
+    }
+
+    // ---- service thread ----
+
+    ipc::SendStatus
+    sendToPeer(Peer &p, char type, const std::string &body)
+    {
+        ipc::SendStatus st =
+            ipc::sendFrameNet(p.fd, type, body, p.connScope,
+                              &p.drawCursor);
+        p.lastTx = Clock::now();
+        if (st == ipc::SendStatus::Ok) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.frames++;
+        }
+        if (st == ipc::SendStatus::Ok)
+            bumpCounter("engine.net.frames");
+        if (st == ipc::SendStatus::Disconnected)
+            p.dead = true;
+        return st;
+    }
+
+    void
+    serviceLoop()
+    {
+        while (!stop_.load(std::memory_order_acquire)) {
+            if (shutdownRequested())
+                discardQueued();
+            acceptPeers();
+            pumpPeers();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                expireLeases();
+            }
+            grantLeases();
+            heartbeatIdlePeers();
+            reapDeadPeers();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        // Final drain: every connected peer gets its goodbye, sent
+        // injection-free — shutdown is a control path, not a chaos
+        // subject (an injected drop here would strand a worker
+        // retrying a dead port forever).
+        discardQueued();
+        std::set<std::string> drained;
+        auto drainPeer = [&](Peer &p) {
+            if (p.dead)
+                return;
+            try {
+                ipc::writeFrame(p.fd, ipc::kFrameDrain,
+                                drainBody(true));
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    stats_.frames++;
+                }
+                bumpCounter("engine.net.frames");
+                if (!p.identity.empty())
+                    drained.insert(p.identity);
+            } catch (const SimError &) {
+                // Peer gone mid-goodbye; if it reconnects it gets
+                // the lame-duck DRAIN below instead.
+            }
+            p.dead = true;
+        };
+        for (auto &p : peers_)
+            drainPeer(*p);
+        reapDeadPeers();
+
+        // Lame duck: a worker knocked off right at sweep end (an
+        // injected disconnect, plain bad timing) reconnects with
+        // sub-second backoff and must find a goodbye, not a dead
+        // port. Keep accepting for a bounded window, answering every
+        // HELLO with an immediate final DRAIN, until each identity
+        // this sweep ever saw has one (an identity that never returns
+        // — a SIGKILLed worker, say — just costs the full window).
+        // Window > the worker's worst-case reconnect gap (backoff cap
+        // 1000ms + jitter up to half that, plus connect/hello time).
+        auto lame_duck_end =
+            Clock::now() + std::chrono::milliseconds(2500);
+        while (Clock::now() < lame_duck_end) {
+            bool all_drained = true;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (const std::string &ident : seenIdentities_) {
+                    if (drained.find(ident) == drained.end()) {
+                        all_drained = false;
+                        break;
+                    }
+                }
+            }
+            if (all_drained)
+                break;
+            acceptPeers();
+            for (auto &pp : peers_) {
+                Peer &p = *pp;
+                if (p.dead)
+                    continue;
+                ipc::Frame f;
+                ipc::ReadStatus st;
+                try {
+                    st = p.chan.read(&f, 0);
+                } catch (const SimError &) {
+                    p.dead = true;
+                    continue;
+                }
+                if (st == ipc::ReadStatus::Eof) {
+                    p.dead = true;
+                } else if (st == ipc::ReadStatus::Ok &&
+                           f.type == ipc::kFrameHello &&
+                           parseHello(p, f.body)) {
+                    drainPeer(p);
+                }
+            }
+            reapDeadPeers();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        for (auto &p : peers_)
+            ::close(p->fd);
+        peers_.clear();
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+    }
+
+    void
+    discardQueued()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bool any = false;
+        for (uint64_t id : queue_) {
+            Offer &o = offers_[id];
+            if (o.state == Offer::Queued && !o.discarded) {
+                o.discarded = true;
+                any = true;
+            }
+        }
+        queue_.clear();
+        if (any)
+            cv_.notify_all();
+    }
+
+    void
+    acceptPeers()
+    {
+        for (;;) {
+            std::string addr;
+            int fd;
+            try {
+                fd = ipc::acceptPeer(listenFd_, 0, &addr);
+            } catch (const SimError &e) {
+                vg_warn("fabric accept failed: %s", e.detail().c_str());
+                return;
+            }
+            if (fd < 0)
+                return;
+            uint64_t ord = acceptOrdinal_++;
+            uint64_t scope = ipc::netConnScope(ord, 0);
+            if (faultinject::netSiteFires("net.accept",
+                                          SimError::Kind::Io, scope,
+                                          0)) {
+                ::close(fd);
+                continue;
+            }
+            auto p = std::make_unique<Peer>();
+            p->fd = fd;
+            p->chan.reset(fd);
+            p->addr = addr;
+            p->connScope = scope;
+            p->notBefore = Clock::now();
+            p->lastTx = Clock::now();
+            peers_.push_back(std::move(p));
+        }
+    }
+
+    void
+    pumpPeers()
+    {
+        for (auto &pp : peers_) {
+            Peer &p = *pp;
+            if (p.dead)
+                continue;
+            for (;;) {
+                ipc::Frame f;
+                ipc::ReadStatus st;
+                try {
+                    st = p.chan.read(&f, 0); // non-blocking drain
+                } catch (const SimError &e) {
+                    losePeer(p, "protocol desync (" + e.detail() +
+                                    ")");
+                    break;
+                }
+                if (st == ipc::ReadStatus::Timeout)
+                    break;
+                if (st == ipc::ReadStatus::Eof) {
+                    losePeer(p, "disconnected");
+                    break;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    stats_.frames++;
+                }
+                bumpCounter("engine.net.frames");
+                if (!handleFrame(p, f))
+                    break;
+            }
+        }
+    }
+
+    bool
+    handleFrame(Peer &p, const ipc::Frame &f)
+    {
+        switch (f.type) {
+        case ipc::kFrameHello:
+            return handleHello(p, f.body);
+        case ipc::kFrameClaim:
+            if (p.helloed)
+                p.claimPending = true;
+            return true;
+        case ipc::kFrameRenew: {
+            ipc::BodyCursor cur{f.body};
+            std::string line;
+            if (!cur.line(&line) ||
+                !parseVersionedHeader(line, "vanguard-renew",
+                                      kRenewVersion, nullptr))
+                return true; // tolerate malformed renew: lease expires
+            uint64_t lease = parseLeaseField(&cur);
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = leaseHistory_.find(lease);
+            if (it != leaseHistory_.end()) {
+                Offer &o = offers_[it->second];
+                if (o.state == Offer::Leased && o.leaseId == lease)
+                    o.leaseExpiry =
+                        Clock::now() +
+                        std::chrono::milliseconds(opts_.leaseMs);
+            }
+            return true;
+        }
+        case ipc::kFrameResult:
+            return handleResult(p, f.body);
+        case ipc::kFrameHeartbeat:
+            return true;
+        default:
+            losePeer(p, detail::csprintf(
+                            "protocol desync (frame '%c')", f.type));
+            return false;
+        }
+    }
+
+    /** Parse a HELLO body into p.identity ("pid@ip") and p.helloed;
+     *  no reply. False (peer untouched) on a malformed header. */
+    bool
+    parseHello(Peer &p, const std::string &body)
+    {
+        ipc::BodyCursor cur{body};
+        std::string line;
+        if (!cur.line(&line) ||
+            !parseVersionedHeader(line, "vanguard-remote",
+                                  kRemoteHelloVersion, nullptr)) {
+            return false;
+        }
+        long long pid = 0;
+        while (cur.line(&line)) {
+            std::istringstream ls(line);
+            std::string key;
+            ls >> key;
+            if (key == "pid")
+                ls >> pid;
+        }
+        std::string ip = p.addr.substr(0, p.addr.rfind(':'));
+        p.identity = std::to_string(pid) + "@" + ip;
+        p.helloed = true;
+        return true;
+    }
+
+    bool
+    handleHello(Peer &p, const std::string &body)
+    {
+        if (!parseHello(p, body)) {
+            losePeer(p, "hello carries no vanguard-remote header");
+            return false;
+        }
+        bool reconnect;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Same identity back again = a reconnect (source ports
+            // change per connection, so the hello pid is the anchor).
+            reconnect = !seenIdentities_.insert(p.identity).second;
+            if (reconnect) {
+                stats_.reconnects++;
+                p.notBefore =
+                    Clock::now() +
+                    std::chrono::milliseconds(
+                        opts_.backoff.delayMs(losses_[p.identity]));
+            }
+        }
+        if (reconnect)
+            bumpCounter("engine.net.reconnects");
+
+        std::ostringstream cfg;
+        cfg << "vanguard-workerconfig v" << kWorkerConfigVersion
+            << "\n";
+        cfg << "heartbeat-ms " << opts_.leaseMs << "\n";
+        std::string cfg_body = cfg.str();
+        ipc::appendBlob(&cfg_body, "fault-plan", opts_.faultPlanSpec);
+        ipc::appendBlob(&cfg_body, "net-fault-plan", netPlanSpec_);
+        if (sendToPeer(p, ipc::kFrameConfig, cfg_body) ==
+            ipc::SendStatus::Disconnected) {
+            losePeer(p, "lost during config");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    handleResult(Peer &p, const std::string &body)
+    {
+        ipc::BodyCursor cur{body};
+        std::string line;
+        if (!cur.line(&line) ||
+            !parseVersionedHeader(line, "vanguard-remoteresult",
+                                  kRemoteResultVersion, nullptr)) {
+            losePeer(p, "result carries no vanguard-remoteresult "
+                        "header");
+            return false;
+        }
+        uint64_t lease = 0;
+        std::string result_bytes;
+        bool have_result = false;
+        while (cur.line(&line)) {
+            std::istringstream ls(line);
+            std::string key;
+            ls >> key;
+            if (key == "lease") {
+                unsigned long long v = 0;
+                ls >> v;
+                lease = v;
+            } else if (key == "blob") {
+                std::string name;
+                size_t len = 0;
+                ls >> name >> len;
+                std::string data;
+                if (!cur.raw(len, &data)) {
+                    losePeer(p, "truncated result blob");
+                    return false;
+                }
+                if (name == "result") {
+                    result_bytes = std::move(data);
+                    have_result = true;
+                }
+            }
+        }
+        if (lease == 0 || !have_result) {
+            losePeer(p, "malformed result frame");
+            return false;
+        }
+        // Validate the payload before recording it as the truth
+        // duplicates get compared against.
+        {
+            WorkerResult parsed;
+            std::string err;
+            if (!parseWorkerResult(result_bytes, &parsed, &err)) {
+                losePeer(p, "unreadable worker result (" + err + ")");
+                return false;
+            }
+        }
+        if (p.leaseId == lease)
+            p.leaseId = 0;
+
+        bool duplicate = false;
+        bool divergence = false;
+        std::string divergence_msg;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = leaseHistory_.find(lease);
+            if (it == leaseHistory_.end()) {
+                vg_warn("fabric: result for unknown lease %llu from "
+                        "%s; acknowledged and ignored",
+                        static_cast<unsigned long long>(lease),
+                        p.identity.c_str());
+            } else {
+                Offer &o = offers_[it->second];
+                if (o.state == Offer::Done) {
+                    stats_.duplicateResults++;
+                    duplicate = true;
+                    // The exactly-once proof: a duplicate completion
+                    // must be bit-identical to the recorded one. (A
+                    // quarantined offer has no recorded bytes; its
+                    // late result is just dropped.)
+                    if (!o.resultBytes.empty() &&
+                        o.resultBytes != result_bytes) {
+                        divergence = true;
+                        divergence_msg = detail::csprintf(
+                            "duplicate completion of %s diverges from "
+                            "the recorded result (%zu vs %zu bytes); "
+                            "a worker is computing different bits for "
+                            "the same job",
+                            o.key.c_str(), result_bytes.size(),
+                            o.resultBytes.size());
+                    }
+                } else {
+                    // First completion wins — whether it came from the
+                    // current leaseholder or a presumed-dead worker
+                    // whose lease already expired and was requeued.
+                    if (o.state == Offer::Queued)
+                        removeFromQueue(o.id);
+                    o.state = Offer::Done;
+                    o.leaseId = 0;
+                    o.resultBytes = std::move(result_bytes);
+                    consecutiveDeaths_.erase(o.key);
+                    losses_[p.identity] = 0;
+                    consecutiveLosses_ = 0;
+                    cv_.notify_all();
+                }
+            }
+        }
+        if (duplicate)
+            bumpCounter("engine.net.duplicate_results");
+        if (divergence) {
+            markBroken(SimError::Kind::Divergence, divergence_msg);
+            return true;
+        }
+        if (sendToPeer(p, ipc::kFrameResultAck, ackBody(lease)) ==
+            ipc::SendStatus::Disconnected) {
+            losePeer(p, "lost during result ack");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    removeFromQueue(uint64_t id)
+    {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (*it == id) {
+                queue_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** A lease-holding peer vanished or a lease expired: requeue the
+     *  offer and run the loss policy. Caller holds mutex_. */
+    void
+    loseLeaseLocked(Offer &o, const std::string &why)
+    {
+        const uint64_t lost_lease = o.leaseId;
+        o.state = Offer::Queued;
+        o.leaseId = 0;
+        const std::string identity = o.leasedTo;
+        o.leasedTo.clear();
+
+        unsigned deaths = ++consecutiveDeaths_[o.key];
+        losses_[identity]++;
+        for (auto &pp : peers_) {
+            // A still-connected holder of the lost lease becomes
+            // grantable again (its eventual result reconciles through
+            // leaseHistory_), after the backoff delay.
+            if (pp->leaseId == lost_lease)
+                pp->leaseId = 0;
+            if (pp->identity == identity && !pp->dead)
+                pp->notBefore =
+                    Clock::now() +
+                    std::chrono::milliseconds(
+                        opts_.backoff.delayMs(losses_[identity]));
+        }
+        if (++consecutiveLosses_ > opts_.restartStormLimit &&
+            !broken_) {
+            broken_ = true;
+            brokenKind_ = SimError::Kind::Internal;
+            brokenReason_ = detail::csprintf(
+                "lease-loss storm: %u consecutive lost leases with no "
+                "completed job; breaking the fabric",
+                consecutiveLosses_);
+            cv_.notify_all();
+        }
+        if (deaths >= opts_.quarantineDeaths) {
+            consecutiveDeaths_.erase(o.key);
+            o.state = Offer::Done;
+            o.failSynthesized = true;
+            o.failMessage = detail::csprintf(
+                "poison job quarantined: %s lost %u consecutive "
+                "leases (last: %s)",
+                o.key.c_str(), deaths, why.c_str());
+            cv_.notify_all();
+        } else {
+            queue_.push_back(o.id);
+            vg_warn("fabric: %s lease on %s %s; requeued "
+                    "(loss %u of %u)",
+                    identity.c_str(), o.key.c_str(), why.c_str(),
+                    deaths, opts_.quarantineDeaths);
+        }
+    }
+
+    void
+    losePeer(Peer &p, const std::string &why)
+    {
+        if (p.dead)
+            return;
+        p.dead = true;
+        if (p.helloed)
+            vg_warn("fabric: worker %s %s", p.identity.c_str(),
+                    why.c_str());
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (p.leaseId != 0) {
+            auto it = leaseHistory_.find(p.leaseId);
+            if (it != leaseHistory_.end()) {
+                Offer &o = offers_[it->second];
+                if (o.state == Offer::Leased &&
+                    o.leaseId == p.leaseId)
+                    loseLeaseLocked(o, "holder " + why);
+            }
+            p.leaseId = 0;
+        }
+    }
+
+    /** Caller holds mutex_. */
+    void
+    expireLeases()
+    {
+        Clock::time_point now = Clock::now();
+        for (auto &kv : offers_) {
+            Offer &o = kv.second;
+            if (o.state != Offer::Leased || o.leaseExpiry > now)
+                continue;
+            stats_.leasesExpired++;
+            expiredToBump_++;
+            loseLeaseLocked(o, "expired");
+        }
+    }
+
+    void
+    grantLeases()
+    {
+        // Counter bumps deferred out of the lock.
+        uint64_t granted = 0, regranted = 0, expired = 0;
+        struct Grant
+        {
+            Peer *peer;
+            uint64_t lease;
+            std::string body;
+        };
+        std::vector<Grant> grants;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            expired = expiredToBump_;
+            expiredToBump_ = 0;
+            Clock::time_point now = Clock::now();
+            bool stop_granting =
+                broken_ || draining_ || shutdownRequested();
+            if (!stop_granting) {
+                for (auto &pp : peers_) {
+                    Peer &p = *pp;
+                    if (p.dead || !p.helloed || !p.claimPending ||
+                        p.leaseId != 0 || p.notBefore > now)
+                        continue;
+                    uint64_t id = 0;
+                    bool found = false;
+                    while (!queue_.empty()) {
+                        id = queue_.front();
+                        queue_.pop_front();
+                        Offer &cand = offers_[id];
+                        if (cand.state == Offer::Queued &&
+                            !cand.discarded) {
+                            found = true;
+                            break;
+                        }
+                    }
+                    if (!found)
+                        break; // queue empty: idle heartbeats cover it
+                    Offer &o = offers_[id];
+                    o.job.delivery = deliveries_[o.key]++;
+                    o.state = Offer::Leased;
+                    o.leaseId = nextLeaseId_++;
+                    o.leasedTo = p.identity;
+                    o.leaseExpiry =
+                        now + std::chrono::milliseconds(opts_.leaseMs);
+                    leaseHistory_[o.leaseId] = o.id;
+                    o.grants++;
+                    stats_.leasesGranted++;
+                    granted++;
+                    if (o.grants > 1) {
+                        stats_.leasesRegranted++;
+                        regranted++;
+                    }
+                    std::ostringstream os;
+                    os << "vanguard-lease v" << kLeaseVersion << "\n";
+                    os << "lease " << o.leaseId << "\n";
+                    os << "lease-ms " << opts_.leaseMs << "\n";
+                    std::string body = os.str();
+                    ipc::appendBlob(&body, "job",
+                                    serializeWorkerJob(o.job));
+                    p.claimPending = false;
+                    grants.push_back({&p, o.leaseId, std::move(body)});
+                }
+            }
+        }
+        bumpCounter("engine.net.leases_granted", granted);
+        bumpCounter("engine.net.leases_regranted", regranted);
+        bumpCounter("engine.net.leases_expired", expired);
+        for (Grant &g : grants) {
+            ipc::SendStatus st =
+                sendToPeer(*g.peer, ipc::kFrameLease, g.body);
+            if (st == ipc::SendStatus::Disconnected) {
+                losePeer(*g.peer, "lost during lease grant");
+            } else if (st == ipc::SendStatus::Ok ||
+                       st == ipc::SendStatus::Dropped) {
+                // Dropped: the worker never saw the lease; its claim
+                // times out and the lease expiry requeues the job —
+                // the injected-duplicate/requeue drill path.
+                g.peer->leaseId = g.lease;
+            }
+        }
+    }
+
+    void
+    heartbeatIdlePeers()
+    {
+        unsigned interval = heartbeatIntervalMs(opts_.leaseMs);
+        Clock::time_point now = Clock::now();
+        for (auto &pp : peers_) {
+            Peer &p = *pp;
+            if (p.dead || !p.helloed)
+                continue;
+            if (now - p.lastTx >=
+                std::chrono::milliseconds(interval)) {
+                // Keeps waiting workers from mistaking an empty queue
+                // for a dead coordinator.
+                if (sendToPeer(p, ipc::kFrameHeartbeat, "") ==
+                    ipc::SendStatus::Disconnected)
+                    losePeer(p, "lost during heartbeat");
+            }
+        }
+    }
+
+    void
+    reapDeadPeers()
+    {
+        for (size_t i = 0; i < peers_.size();) {
+            if (peers_[i]->dead) {
+                ::close(peers_[i]->fd);
+                peers_.erase(peers_.begin() + static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (shutdownDone_)
+                return;
+            shutdownDone_ = true;
+            draining_ = true;
+        }
+        stop_.store(true, std::memory_order_release);
+        if (service_.joinable())
+            service_.join();
+        // Wake any straggling execute() callers (their offers were
+        // discarded by the service thread's final drain pass).
+        cv_.notify_all();
+    }
+
+    Options opts_;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::string netPlanSpec_;
+    std::thread service_;
+    std::atomic<bool> stop_{false};
+
+    // Service-thread-private:
+    std::vector<std::unique_ptr<Peer>> peers_;
+    uint64_t acceptOrdinal_ = 0;
+
+    // Shared (guarded by mutex_):
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<uint64_t, Offer> offers_;
+    std::deque<uint64_t> queue_;
+    std::map<uint64_t, uint64_t> leaseHistory_; ///< lease -> offer
+    std::map<std::string, uint64_t> deliveries_;
+    std::map<std::string, unsigned> consecutiveDeaths_;
+    std::map<std::string, unsigned> losses_;
+    std::set<std::string> seenIdentities_;
+    uint64_t nextOfferId_ = 1;
+    uint64_t nextLeaseId_ = 1;
+    uint64_t expiredToBump_ = 0;
+    unsigned consecutiveLosses_ = 0;
+    bool broken_ = false;
+    SimError::Kind brokenKind_ = SimError::Kind::Internal;
+    std::string brokenReason_;
+    bool draining_ = false;
+    bool shutdownDone_ = false;
+    Stats stats_;
+};
+
+bool
+Coordinator::supported()
+{
+    return ipc::ipcSupported();
+}
+
+Coordinator::Coordinator(const Options &opts)
+    : impl_(new Impl(opts))
+{
+}
+
+Coordinator::~Coordinator() = default;
+
+uint16_t
+Coordinator::port() const
+{
+    return impl_->port_;
+}
+
+WorkerResult
+Coordinator::execute(WorkerJob job)
+{
+    return impl_->execute(std::move(job));
+}
+
+void
+Coordinator::shutdown()
+{
+    impl_->shutdown();
+}
+
+Coordinator::Stats
+Coordinator::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex_);
+    return impl_->stats_;
+}
+
+// ---------------------------------------------------------------------
+// Remote worker
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Sleep `ms` in small steps, bailing early on the shutdown latch.
+ *  Returns false if shutdown was requested. */
+bool
+interruptibleSleep(unsigned ms)
+{
+    unsigned slept = 0;
+    while (slept < ms) {
+        if (shutdownRequested())
+            return false;
+        unsigned step = ms - slept < 25 ? ms - slept : 25;
+        std::this_thread::sleep_for(std::chrono::milliseconds(step));
+        slept += step;
+    }
+    return !shutdownRequested();
+}
+
+enum class ConnOutcome
+{
+    Drained,    ///< coordinator sent a final DRAIN: exit cleanly
+    Lost,       ///< connection lost: reconnect with backoff
+    Shutdown,   ///< local SIGINT/SIGTERM latch: exit cleanly
+    Acked,      ///< (serveLease only) result recorded: claim again
+};
+
+struct RemoteConn
+{
+    int fd;
+    ipc::FrameChannel chan;
+    uint64_t connScope;
+    uint64_t drawCursor = 0;
+    std::mutex writeMutex;
+    unsigned leaseMs = 10000;
+
+    ipc::SendStatus
+    send(char type, const std::string &body)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        return ipc::sendFrameNet(fd, type, body, connScope,
+                                 &drawCursor);
+    }
+
+    /**
+     * Read one frame in shutdown-aware slices. `silence_ms` bounds
+     * how long we tolerate a totally quiet coordinator before
+     * declaring it partitioned (Timeout).
+     */
+    ipc::ReadStatus
+    readSliced(ipc::Frame *f, unsigned silence_ms)
+    {
+        Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(silence_ms);
+        for (;;) {
+            if (shutdownRequested())
+                return ipc::ReadStatus::Timeout;
+            int left = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count());
+            if (left <= 0)
+                return ipc::ReadStatus::Timeout;
+            int slice = left < 200 ? left : 200;
+            ipc::ReadStatus st = chan.read(f, slice);
+            if (st != ipc::ReadStatus::Timeout)
+                return st;
+        }
+    }
+};
+
+/** Handle the coordinator's CONFIG frame: lease duration and the two
+ *  forwarded fault plans. */
+bool
+applyRemoteConfig(RemoteConn &conn, const std::string &body)
+{
+    ipc::BodyCursor cur{body};
+    std::string line;
+    if (!cur.line(&line) ||
+        !parseVersionedHeader(line, "vanguard-workerconfig",
+                              kWorkerConfigVersion, nullptr))
+        return false;
+    std::string plan_spec, net_plan_spec;
+    while (cur.line(&line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "heartbeat-ms") {
+            ls >> conn.leaseMs;
+            if (conn.leaseMs == 0)
+                conn.leaseMs = 1;
+        } else if (key == "blob") {
+            std::string name;
+            size_t len = 0;
+            ls >> name >> len;
+            std::string data;
+            if (!cur.raw(len, &data))
+                return false;
+            if (name == "fault-plan")
+                plan_spec = std::move(data);
+            else if (name == "net-fault-plan")
+                net_plan_spec = std::move(data);
+        }
+    }
+    try {
+        if (plan_spec.empty())
+            faultinject::disarm();
+        else
+            faultinject::arm(parseFaultPlan(plan_spec));
+        if (net_plan_spec.empty())
+            faultinject::disarmNet();
+        else
+            faultinject::armNet(parseFaultPlan(net_plan_spec));
+    } catch (const SimError &) {
+        return false;
+    }
+    return true;
+}
+
+/** Execute one leased job: renew from a side thread while the body
+ *  runs, then deliver the result until acknowledged. */
+ConnOutcome
+serveLease(RemoteConn &conn, JobBodyRunner &runner, uint64_t lease,
+           const WorkerJob &job)
+{
+    std::atomic<bool> done{false};
+    std::atomic<bool> conn_lost{false};
+    std::thread renew([&] {
+        unsigned interval = heartbeatIntervalMs(conn.leaseMs);
+        while (!done.load(std::memory_order_acquire)) {
+            unsigned slept = 0;
+            while (slept < interval &&
+                   !done.load(std::memory_order_acquire)) {
+                unsigned step =
+                    interval - slept < 25 ? interval - slept : 25;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(step));
+                slept += step;
+            }
+            if (done.load(std::memory_order_acquire))
+                break;
+            if (conn.send(ipc::kFrameRenew, renewBody(lease)) ==
+                ipc::SendStatus::Disconnected)
+                conn_lost.store(true, std::memory_order_release);
+        }
+    });
+
+    WorkerResult res = runner.run(job);
+
+    done.store(true, std::memory_order_release);
+    renew.join();
+    if (conn_lost.load(std::memory_order_acquire))
+        return ConnOutcome::Lost;
+
+    std::ostringstream os;
+    os << "vanguard-remoteresult v" << kRemoteResultVersion << "\n";
+    os << "lease " << lease << "\n";
+    std::string body = os.str();
+    ipc::appendBlob(&body, "result", serializeWorkerResult(res));
+
+    // At-least-once delivery: retransmit until the coordinator ACKs.
+    // A lost ACK therefore produces a duplicate completion on the
+    // coordinator, which reconciles it by byte-comparison. On
+    // connection loss the unACKed result is simply discarded —
+    // re-execution after the re-grant is idempotent.
+    for (unsigned attempt = 0; attempt < 5; ++attempt) {
+        ipc::SendStatus st = conn.send(ipc::kFrameResult, body);
+        if (st == ipc::SendStatus::Disconnected)
+            return ConnOutcome::Lost;
+        // Await the ACK (a Dropped send just looks like a lost ACK).
+        Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(conn.leaseMs);
+        while (Clock::now() < deadline) {
+            ipc::Frame f;
+            ipc::ReadStatus rst;
+            try {
+                rst = conn.readSliced(
+                    &f, static_cast<unsigned>(
+                            std::chrono::duration_cast<
+                                std::chrono::milliseconds>(
+                                deadline - Clock::now())
+                                .count() +
+                            1));
+            } catch (const SimError &) {
+                return ConnOutcome::Lost;
+            }
+            if (rst == ipc::ReadStatus::Eof)
+                return ConnOutcome::Lost;
+            if (rst == ipc::ReadStatus::Timeout)
+                break; // retransmit
+            if (f.type == ipc::kFrameResultAck) {
+                ipc::BodyCursor cur{f.body};
+                std::string line;
+                if (cur.line(&line) &&
+                    parseVersionedHeader(line, "vanguard-ack",
+                                         kAckVersion, nullptr) &&
+                    parseLeaseField(&cur) == lease)
+                    return ConnOutcome::Acked;
+                continue; // stale ack for an older lease
+            }
+            if (f.type == ipc::kFrameDrain) {
+                // The coordinator only drains once the sweep has
+                // every result it needs; if ours mattered it was
+                // recorded (possibly via a re-grant). Exit cleanly.
+                return ConnOutcome::Drained;
+            }
+            // Heartbeats and anything else: keep waiting.
+        }
+        if (shutdownRequested())
+            return ConnOutcome::Shutdown;
+    }
+    return ConnOutcome::Lost; // coordinator unresponsive: reconnect
+}
+
+ConnOutcome
+serveConnection(RemoteConn &conn, JobBodyRunner &runner)
+{
+    std::ostringstream hello;
+    hello << "vanguard-remote v" << kRemoteHelloVersion << "\n";
+    hello << "pid " << ::getpid() << "\n";
+    if (conn.send(ipc::kFrameHello, hello.str()) !=
+        ipc::SendStatus::Ok)
+        return ConnOutcome::Lost;
+
+    // Config must arrive before any claim.
+    for (;;) {
+        ipc::Frame f;
+        ipc::ReadStatus st;
+        try {
+            st = conn.readSliced(&f, 10000);
+        } catch (const SimError &) {
+            return ConnOutcome::Lost;
+        }
+        if (shutdownRequested())
+            return ConnOutcome::Shutdown;
+        if (st != ipc::ReadStatus::Ok)
+            return ConnOutcome::Lost;
+        if (f.type == ipc::kFrameConfig) {
+            if (!applyRemoteConfig(conn, f.body))
+                return ConnOutcome::Lost;
+            break;
+        }
+        if (f.type == ipc::kFrameDrain)
+            return ConnOutcome::Drained;
+    }
+
+    // Claim/execute/report until drained.
+    for (;;) {
+        if (shutdownRequested())
+            return ConnOutcome::Shutdown;
+        if (conn.send(ipc::kFrameClaim, claimBody()) ==
+            ipc::SendStatus::Disconnected)
+            return ConnOutcome::Lost;
+
+        // Await the lease. Re-claim if the coordinator stays quiet
+        // for a lease period (a dropped CLAIM or LEASE frame), and
+        // declare it partitioned after two with *no* traffic at all.
+        Clock::time_point claim_sent = Clock::now();
+        bool leased = false;
+        uint64_t lease = 0;
+        WorkerJob job;
+        while (!leased) {
+            ipc::Frame f;
+            ipc::ReadStatus st;
+            try {
+                st = conn.readSliced(&f, 2 * conn.leaseMs);
+            } catch (const SimError &) {
+                return ConnOutcome::Lost;
+            }
+            if (shutdownRequested())
+                return ConnOutcome::Shutdown;
+            if (st == ipc::ReadStatus::Eof)
+                return ConnOutcome::Lost;
+            if (st == ipc::ReadStatus::Timeout)
+                return ConnOutcome::Lost; // total silence: reconnect
+            if (f.type == ipc::kFrameDrain) {
+                ipc::BodyCursor cur{f.body};
+                std::string line;
+                cur.line(&line);
+                bool final_drain = false;
+                while (cur.line(&line)) {
+                    std::istringstream ls(line);
+                    std::string key;
+                    int v = 0;
+                    ls >> key >> v;
+                    if (key == "final")
+                        final_drain = v != 0;
+                }
+                if (final_drain)
+                    return ConnOutcome::Drained;
+                continue; // soft drain: stay connected, stop claiming
+            }
+            if (f.type == ipc::kFrameLease) {
+                ipc::BodyCursor cur{f.body};
+                std::string line;
+                if (!cur.line(&line) ||
+                    !parseVersionedHeader(line, "vanguard-lease",
+                                          kLeaseVersion, nullptr))
+                    return ConnOutcome::Lost;
+                std::string job_bytes;
+                while (cur.line(&line)) {
+                    std::istringstream ls(line);
+                    std::string key;
+                    ls >> key;
+                    if (key == "lease") {
+                        unsigned long long v = 0;
+                        ls >> v;
+                        lease = v;
+                    } else if (key == "lease-ms") {
+                        ls >> conn.leaseMs;
+                        if (conn.leaseMs == 0)
+                            conn.leaseMs = 1;
+                    } else if (key == "blob") {
+                        std::string name;
+                        size_t len = 0;
+                        ls >> name >> len;
+                        std::string data;
+                        if (!cur.raw(len, &data))
+                            return ConnOutcome::Lost;
+                        if (name == "job")
+                            job_bytes = std::move(data);
+                    }
+                }
+                std::string err;
+                if (lease == 0 ||
+                    !parseWorkerJob(job_bytes, &job, &err))
+                    return ConnOutcome::Lost;
+                leased = true;
+                continue;
+            }
+            // Heartbeats (idle queue) and strays: keep waiting, but
+            // nudge with a fresh claim if a lease period passed (our
+            // CLAIM may have been dropped on the wire).
+            if (Clock::now() - claim_sent >
+                std::chrono::milliseconds(conn.leaseMs)) {
+                if (conn.send(ipc::kFrameClaim, claimBody()) ==
+                    ipc::SendStatus::Disconnected)
+                    return ConnOutcome::Lost;
+                claim_sent = Clock::now();
+            }
+        }
+
+        ConnOutcome out = serveLease(conn, runner, lease, job);
+        if (out != ConnOutcome::Acked)
+            return out;
+        // Result acknowledged: claim the next job.
+    }
+}
+
+} // namespace
+
+int
+runRemoteWorker(const std::string &host, uint16_t port)
+{
+    // One body runner for the whole process: the artifact cache
+    // survives reconnects, so a flapping network doesn't force
+    // retrain/recompile of what this worker already built.
+    JobBodyRunner runner;
+    faultinject::maybeArmNetFromEnv();
+
+    const uint64_t pid = static_cast<uint64_t>(::getpid());
+    uint64_t attempt = 0;
+    unsigned consecutive_failures = 0;
+    BackoffPolicy backoff;
+    bool warned = false;
+
+    for (;;) {
+        if (shutdownRequested())
+            return 0;
+        unsigned delay = backoff.delayMs(consecutive_failures);
+        if (delay != 0) {
+            // Jitter: a fleet of workers restarted together must not
+            // hammer a recovering coordinator in lockstep.
+            delay += static_cast<unsigned>(mixJitter(pid ^ attempt) %
+                                           (delay / 2 + 1));
+            if (!interruptibleSleep(delay))
+                return 0;
+        }
+        attempt++;
+
+        std::string err;
+        int fd = ipc::connectTcp(host, port, &err);
+        if (fd < 0) {
+            consecutive_failures++;
+            if (!warned || consecutive_failures % 32 == 0) {
+                vg_warn("remote worker: %s (attempt %llu); retrying",
+                        err.c_str(),
+                        static_cast<unsigned long long>(attempt));
+                warned = true;
+            }
+            continue;
+        }
+
+        RemoteConn conn{fd, ipc::FrameChannel(fd),
+                        ipc::netConnScope(pid, attempt)};
+        ConnOutcome out;
+        try {
+            out = serveConnection(conn, runner);
+        } catch (const SimError &e) {
+            vg_warn("remote worker: connection error: %s",
+                    e.detail().c_str());
+            out = ConnOutcome::Lost;
+        }
+        ::close(fd);
+        if (out == ConnOutcome::Drained) {
+            vg_inform("remote worker: drained by coordinator; exiting");
+            return 0;
+        }
+        if (out == ConnOutcome::Shutdown)
+            return 0;
+        consecutive_failures =
+            consecutive_failures == 0 ? 1 : consecutive_failures + 1;
+    }
+}
+
+#else // !VANGUARD_FABRIC_POSIX
+
+struct Coordinator::Impl
+{
+};
+
+bool
+Coordinator::supported()
+{
+    return false;
+}
+
+Coordinator::Coordinator(const Options &)
+{
+    vg_throw(Config,
+             "the sweep fabric is not supported on this platform");
+}
+
+Coordinator::~Coordinator() = default;
+
+uint16_t
+Coordinator::port() const
+{
+    return 0;
+}
+
+WorkerResult
+Coordinator::execute(WorkerJob)
+{
+    vg_throw(Config,
+             "the sweep fabric is not supported on this platform");
+}
+
+void Coordinator::shutdown() {}
+
+Coordinator::Stats
+Coordinator::stats() const
+{
+    return {};
+}
+
+int
+runRemoteWorker(const std::string &, uint16_t)
+{
+    return 2;
+}
+
+#endif // VANGUARD_FABRIC_POSIX
+
+} // namespace vanguard

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Distributed sweep fabric: a TCP coordinator that leases job indices
+ * to remote workers, plus the remote-worker client loop.
+ *
+ * This is the networked half of the worker architecture PR 7 started:
+ * the same self-contained job bodies (core/worker_pool.hh WorkerJob /
+ * WorkerResult, codecs and all) now cross a TCP socket instead of a
+ * socketpair, speaking the same CRC-framed protocol
+ * (support/ipc.hh). Every piece of sweep bookkeeping — journal,
+ * metric merges, result slots, retry policy, artifact reuse — stays
+ * in the coordinator process, which is exactly why a distributed run
+ * is byte-identical to an in-process one: the runner consumes the
+ * same slot-indexed results either way; only *where* a body computed
+ * differs.
+ *
+ * Lease protocol (all frame bodies versioned; see ipc.hh for types):
+ *
+ *   worker                    coordinator
+ *   ------                    -----------
+ *   HELLO "vanguard-remote"->
+ *                          <- CONFIG (lease-ms, fault plans)
+ *   CLAIM                  ->
+ *                          <- LEASE (lease id, job body)   [or: idle
+ *                                                           HEARTBEATs
+ *                                                           while the
+ *                                                           queue is
+ *                                                           empty]
+ *   RENEW (every lease/4)  ->
+ *   RESULT (lease id, body)->
+ *                          <- RESULT-ACK (lease id)
+ *   ...claim again...
+ *                          <- DRAIN (final)                [shutdown]
+ *
+ * Lease state machine (per offered job):
+ *
+ *   Queued --grant--> Leased --result--> Done
+ *     ^                  |                 ^
+ *     |   expiry/peer    |                 |  late/duplicate result:
+ *     +---- loss --------+                 |  byte-compare against the
+ *           (re-grant to a live peer;      |  recorded result; mismatch
+ *            kQuarantine consecutive       |  is a loud
+ *            losses fail the job)          +- SimError(Divergence)
+ *
+ * Delivery semantics: leases make delivery *at least once* — an
+ * expired lease is re-granted even though the original worker may
+ * still finish (a renew lost to the network looks identical to a dead
+ * worker). Completions are reconciled idempotently: the first result
+ * for an offer is recorded (and flows into the journal/metric merges,
+ * which are keyed by slot and already idempotent from the resume
+ * path); every later result must be bit-identical to the recorded
+ * bytes or the sweep dies with SimError(Divergence) — at-least-once
+ * delivery + idempotent ledger merge = exactly-once effect, and the
+ * byte-compare is the proof it held.
+ *
+ * Robustness policy (mirroring the PR 7 supervisor where it applies):
+ * late-joining workers are admitted at any time; a worker identity
+ * ("pid@ip") that loses leases is re-granted work only after the
+ * shared BackoffPolicy delay; a job that loses quarantineDeaths
+ * consecutive leases is failed as poison (SimError(Internal)) instead
+ * of starving the queue; restartStormLimit consecutive lease losses
+ * with no completion anywhere break the fabric loudly. SIGINT/SIGTERM
+ * (the process-wide shutdown latch) discards queued-but-unleased
+ * offers — their execute() calls raise JobDiscarded so the runner
+ * records *nothing* for them, keeping resume byte-identity — while
+ * leased offers run to completion and checkpoint.
+ *
+ * The remote worker (runRemoteWorker) wraps JobBodyRunner in a
+ * claim/execute/report loop, renews its lease from a side thread
+ * while the body runs, retransmits unacknowledged results, and
+ * reconnects with jittered exponential backoff across coordinator
+ * restarts and injected partitions (journal resume makes the
+ * coordinator itself crash-safe; an unACKed result is simply
+ * discarded on reconnect because re-execution is idempotent).
+ *
+ * POSIX-only, like the rest of the transport; Coordinator::supported()
+ * gates it and the CLI maps unsupported platforms to exit 2.
+ */
+
+#ifndef VANGUARD_CORE_COORDINATOR_HH
+#define VANGUARD_CORE_COORDINATOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.hh"
+#include "support/metrics.hh"
+
+namespace vanguard {
+
+/**
+ * Raised by Coordinator::execute for offers discarded by a
+ * SIGINT/SIGTERM drain before any worker leased them. Deliberately
+ * not a SimError: a discarded job did not run and must leave no
+ * journal record, no failure-table entry, no retry — exactly like a
+ * queued thread-pool job discarded by the in-process drain.
+ */
+struct JobDiscarded : std::exception
+{
+    const char *
+    what() const noexcept override
+    {
+        return "job discarded by shutdown drain before lease";
+    }
+};
+
+class Coordinator
+{
+  public:
+    struct Options
+    {
+        uint16_t port = 0;          ///< 0 = ephemeral (see port())
+        unsigned leaseMs = 10000;   ///< lease duration / renew base
+        unsigned quarantineDeaths = 3;
+        unsigned restartStormLimit = 10;
+        BackoffPolicy backoff{};
+        /** Job fault plan forwarded to workers ("" = ambient armed
+         *  plan, as the worker pool does). */
+        std::string faultPlanSpec;
+        /** Registry for the engine.net.* counters (optional). */
+        MetricsRegistry *metrics = nullptr;
+    };
+
+    /** Does this build/platform carry the TCP fabric? */
+    static bool supported();
+
+    /** Binds the listener and starts the service thread. Throws
+     *  SimError(Io) if the port cannot be bound. */
+    explicit Coordinator(const Options &opts);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** The bound port (resolves port 0 to the kernel's pick). */
+    uint16_t port() const;
+
+    /**
+     * Run one job body on some remote worker (blocking; thread-safe;
+     * called from runner pool threads). Returns only an ok result.
+     * Worker-reported failures rethrow as SimError(kind, message)
+     * verbatim; poison jobs throw SimError(Internal); a broken fabric
+     * (restart storm, divergent duplicate) throws its reason from
+     * every call; a shutdown drain throws JobDiscarded for offers no
+     * worker had leased.
+     */
+    WorkerResult execute(WorkerJob job);
+
+    /**
+     * Drain and stop: discards queued offers, sends every connected
+     * peer a final DRAIN frame, closes all sockets, joins the service
+     * thread. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    struct Stats
+    {
+        uint64_t leasesGranted = 0;
+        uint64_t leasesExpired = 0;
+        uint64_t leasesRegranted = 0;
+        uint64_t reconnects = 0;
+        uint64_t duplicateResults = 0;
+        uint64_t frames = 0;        ///< sent + received
+    };
+    Stats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Remote-worker entry (`vanguard_cli --remote-worker host:port`):
+ * claim/execute/report against a coordinator until a final DRAIN
+ * frame or a shutdown signal. Returns the process exit code (0 =
+ * drained or signalled, 1 = unrecoverable local error). Connection
+ * loss is not an error: the loop reconnects with jittered exponential
+ * backoff indefinitely, surviving coordinator restarts.
+ */
+int runRemoteWorker(const std::string &host, uint16_t port);
+
+} // namespace vanguard
+
+#endif // VANGUARD_CORE_COORDINATOR_HH

@@ -409,9 +409,31 @@ JournalWriter::append(const JournalRecord &rec)
                            "journal append to '" + path_ +
                                "' failed: " + std::strerror(errno));
         }
+        if (n == 0) {
+            // A zero-byte write that isn't EOF-of-pipe means no
+            // progress (typically a full disk on some filesystems);
+            // looping would spin forever.
+            throw SimError(SimError::Kind::Io,
+                           "journal append to '" + path_ +
+                               "' stalled (wrote 0 of " +
+                               std::to_string(line.size() - off) +
+                               " bytes)");
+        }
         off += static_cast<size_t>(n);
     }
-    ::fsync(fd_); // durability is the whole point; best effort
+    // Durability is the whole point: an unflushed record is a record
+    // the post-crash resume will silently re-run, so a failed fsync
+    // must be as loud as a failed write.
+    if (::fsync(fd_) != 0) {
+        int err = errno;
+        std::string msg = "journal fsync of '" + path_ +
+                          "' failed: " + std::strerror(err);
+        if (err == ENOSPC || err == EIO) {
+            msg += "; this record is not durable — free space or "
+                   "replace the device, then re-run with --resume";
+        }
+        throw SimError(SimError::Kind::Io, msg);
+    }
 }
 
 } // namespace vanguard

@@ -12,6 +12,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/coordinator.hh"
 #include "core/journal.hh"
 #include "core/replay.hh"
 #include "core/worker_pool.hh"
@@ -76,6 +77,12 @@ runGuarded(const JobIdentity &id, const RunnerOptions &ropts,
                 ropts.faultInjection(id);
             body(attempt);
             return std::nullopt;
+        } catch (const JobDiscarded &) {
+            // A shutdown drain discarded the offer before any worker
+            // leased it: not a failure, not retryable — the caller
+            // records nothing, exactly like a queued job the
+            // in-process drain never dequeued.
+            throw;
         } catch (const SimError &e) {
             if (SimError::isTransient(e.kind()) &&
                 attempt < max_attempts) {
@@ -387,6 +394,15 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     reg.counter("engine.worker.quarantined_jobs");
     reg.counter("engine.worker.frames");
     reg.histogram("engine.worker.job_rtt", workerRttBoundsMs());
+    // Sweep-fabric instruments follow the same rule: registered in
+    // every mode (all-zero without --serve-sweep) so dump shape is
+    // identical between local, process-isolated, and distributed runs.
+    reg.counter("engine.net.leases_granted");
+    reg.counter("engine.net.leases_expired");
+    reg.counter("engine.net.leases_regranted");
+    reg.counter("engine.net.reconnects");
+    reg.counter("engine.net.duplicate_results");
+    reg.counter("engine.net.frames");
     jobs_total.add(report.totalJobs);
 
     std::unique_ptr<Checkpoint> ckpt =
@@ -418,6 +434,12 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     // the job threads first, then drains the workers (QUIT + one
     // SIGTERM each, bounded reap — no zombies).
     std::unique_ptr<WorkerPool> wpool;
+    if (ropts.coordinator != nullptr &&
+        ropts.isolation == JobIsolation::process) {
+        vg_throw(Config,
+                 "--serve-sweep and --isolate-jobs are mutually "
+                 "exclusive: pick one remote-body transport");
+    }
     if (ropts.isolation == JobIsolation::process) {
         if (!WorkerPool::supported()) {
             vg_throw(Config,
@@ -432,6 +454,19 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         wo.metrics = &reg;
         wpool = std::make_unique<WorkerPool>(wo);
     }
+
+    // Distributed mode and process mode share one dispatch shape:
+    // train/simulate bodies are serialized into WorkerJobs and
+    // executed elsewhere; only the transport differs (socketpair to a
+    // supervised child vs. TCP lease to a remote worker). Everything
+    // below that chooses "remote body or inline body" keys off this.
+    const bool remote_bodies =
+        wpool != nullptr || ropts.coordinator != nullptr;
+    auto executeRemote = [&](WorkerJob &&wj) -> WorkerResult {
+        if (wpool != nullptr)
+            return wpool->execute(std::move(wj));
+        return ropts.coordinator->execute(std::move(wj));
+    };
 
     // Graceful drain: once a shutdown is requested, queued jobs are
     // discarded (leaving no result and no journal record — exactly
@@ -520,40 +555,52 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                         : Tracer::args(
                               {{"benchmark", suite[b].name},
                                {"index", std::to_string(b)}}));
-                train_fail[b] = runGuarded(
-                    id, ropts, tracer, jobs_retries,
-                    [&](unsigned attempt) {
-                        if (wpool == nullptr) {
-                            trains[b] = trainBenchmark(suite[b], base);
-                            return;
-                        }
-                        // Worker-side profiling; selection re-derives
-                        // here via trainFromProfile, bit-identical to
-                        // trainBenchmark (same guarantee the resume
-                        // path relies on).
-                        WorkerJob wj;
-                        wj.phase = "train";
-                        wj.slot = b;
-                        wj.scopeKey = jobScopeKey(id, attempt);
-                        wj.scopeStartDraw =
-                            faultinject::currentDrawCount();
-                        wj.spec = suite[b];
-                        wj.specName = suite[b].name;
-                        wj.bindSpecName();
-                        wj.options = base;
-                        WorkerResult res = wpool->execute(std::move(wj));
-                        ProfileParseResult parsed =
-                            deserializeProfile(res.profileText);
-                        if (!parsed.ok) {
-                            vg_throw(Io,
-                                     "worker returned an unreadable "
-                                     "TRAIN profile for %s: %s",
-                                     suite[b].name,
-                                     parsed.error.c_str());
-                        }
-                        trains[b] = trainFromProfile(
-                            suite[b], std::move(parsed.profile), base);
-                    });
+                try {
+                    train_fail[b] = runGuarded(
+                        id, ropts, tracer, jobs_retries,
+                        [&](unsigned attempt) {
+                            if (!remote_bodies) {
+                                trains[b] =
+                                    trainBenchmark(suite[b], base);
+                                return;
+                            }
+                            // Worker-side profiling; selection
+                            // re-derives here via trainFromProfile,
+                            // bit-identical to trainBenchmark (same
+                            // guarantee the resume path relies on).
+                            WorkerJob wj;
+                            wj.phase = "train";
+                            wj.slot = b;
+                            wj.scopeKey = jobScopeKey(id, attempt);
+                            wj.scopeStartDraw =
+                                faultinject::currentDrawCount();
+                            wj.spec = suite[b];
+                            wj.specName = suite[b].name;
+                            wj.bindSpecName();
+                            wj.options = base;
+                            WorkerResult res =
+                                executeRemote(std::move(wj));
+                            ProfileParseResult parsed =
+                                deserializeProfile(res.profileText);
+                            if (!parsed.ok) {
+                                vg_throw(Io,
+                                         "worker returned an "
+                                         "unreadable TRAIN profile "
+                                         "for %s: %s",
+                                         suite[b].name,
+                                         parsed.error.c_str());
+                            }
+                            trains[b] = trainFromProfile(
+                                suite[b], std::move(parsed.profile),
+                                base);
+                        });
+                } catch (const JobDiscarded &) {
+                    // Drained before any worker leased it: leave no
+                    // result, no failure, no journal record — the
+                    // post-phase shutdownRequested() check reports
+                    // the sweep interrupted.
+                    return;
+                }
             }
             if (train_fail[b].has_value()) {
                 writeBundle(*train_fail[b], suite[b], base, ropts);
@@ -597,11 +644,11 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         return report;
     }
 
-    // Process mode ships each simulate job its benchmark's serialized
-    // TRAIN profile (jobs must be self-contained); serialize each one
-    // exactly once, up front.
+    // Remote bodies (process or distributed mode) ship each simulate
+    // job its benchmark's serialized TRAIN profile (jobs must be
+    // self-contained); serialize each one exactly once, up front.
     std::vector<std::string> profile_text(B);
-    if (wpool != nullptr) {
+    if (remote_bodies) {
         for (size_t b = 0; b < B; ++b) {
             if (!train_fail[b].has_value())
                 profile_text[b] = serializeProfile(trains[b].profile);
@@ -756,7 +803,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     const bool batch_eligible =
         ropts.batchLanes > 1 && !base.lockstep &&
         !ropts.faultInjection && !faultinject::armed() &&
-        !referenceForcedByEnv() && wpool == nullptr;
+        !referenceForcedByEnv() && !remote_bodies;
 
     {
         TraceSpan phase_span(tracer, "phase.simulate");
@@ -943,12 +990,12 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                 size_t i = slotOf(s);
                 JobIdentity id = identity(s);
                 faultinject::Scope job_scope(jobScopeKey(id, 0));
-                {
+                try {
                     TraceSpan span(tracer, "simulate", spanArgs(s));
                     sim_fail[i] = runGuarded(
                         id, ropts, tracer, jobs_retries,
                         [&](unsigned attempt) {
-                            if (wpool == nullptr) {
+                            if (!remote_bodies) {
                                 sims[i] = cfg == 0
                                     ? simulateConfig(
                                           spec, config, opts,
@@ -975,8 +1022,14 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                             wj.collectStalls = cfg == 0;
                             wj.profileText = profile_text[b];
                             sims[i] =
-                                wpool->execute(std::move(wj)).stats;
+                                executeRemote(std::move(wj)).stats;
                         });
+                } catch (const JobDiscarded &) {
+                    // Drained before lease: record nothing for this
+                    // seed (journal, failure table, progress totals
+                    // all untouched — identical to a queued job the
+                    // in-process drain never dequeued).
+                    continue;
                 }
                 if (sim_fail[i].has_value())
                     seedFailed(s);

@@ -69,6 +69,8 @@
 
 namespace vanguard {
 
+class Coordinator;
+
 /** Which experiment job is (or was) running; attached to failures. */
 struct JobIdentity
 {
@@ -126,6 +128,18 @@ struct RunnerOptions
     /** Process mode: binary to exec for workers ("" = this
      *  executable); must understand `--worker <fd>`. */
     std::string workerExecPath;
+
+    /**
+     * Distributed mode: when set, train and simulate bodies are leased
+     * to remote workers through this sweep coordinator
+     * (core/coordinator.hh) instead of running in-process. All
+     * bookkeeping (journal, metrics, result slots, retries) stays
+     * local, so output is byte-identical to the in-process and
+     * --isolate-jobs paths. Mutually exclusive with
+     * JobIsolation::process; disables simulate batching (remote bodies
+     * are solo, like process mode). Not owned.
+     */
+    Coordinator *coordinator = nullptr;
 
     /**
      * Maximum REF-seed lanes per batched simulation (1 disables

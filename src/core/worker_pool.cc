@@ -69,58 +69,10 @@ parseU64(const std::string &tok)
     return std::strtoull(tok.c_str(), nullptr, 0);
 }
 
-/** "blob <name> <len>\n" followed by len raw bytes and '\n'. */
-void
-appendBlob(std::string *out, const char *name, const std::string &data)
-{
-    *out += "blob ";
-    *out += name;
-    *out += ' ';
-    *out += std::to_string(data.size());
-    *out += '\n';
-    *out += data;
-    *out += '\n';
-}
-
-/**
- * Sequential reader over a frame body: text lines interleaved with
- * length-prefixed raw blobs (so messages and profiles need no
- * escaping).
- */
-struct Cursor
-{
-    const std::string &s;
-    size_t pos = 0;
-
-    bool
-    line(std::string *out)
-    {
-        if (pos >= s.size())
-            return false;
-        size_t nl = s.find('\n', pos);
-        if (nl == std::string::npos) {
-            out->assign(s, pos, s.size() - pos);
-            pos = s.size();
-        } else {
-            out->assign(s, pos, nl - pos);
-            pos = nl + 1;
-        }
-        return true;
-    }
-
-    bool
-    raw(size_t n, std::string *out)
-    {
-        if (s.size() - pos < n)
-            return false;
-        out->assign(s, pos, n);
-        pos += n;
-        // Consume the trailing separator newline, if present.
-        if (pos < s.size() && s[pos] == '\n')
-            ++pos;
-        return true;
-    }
-};
+// Frame bodies are built with ipc::appendBlob and walked with
+// ipc::BodyCursor — shared with the coordinator's lease codecs.
+using ipc::appendBlob;
+using Cursor = ipc::BodyCursor;
 
 /**
  * Exact option serialization for job frames. Mirrors the replay
@@ -1153,6 +1105,57 @@ maybeDeliberateCrash(const WorkerJob &job)
 
 } // namespace
 
+struct JobBodyRunner::Cache
+{
+    ArtifactCache artifacts;
+};
+
+JobBodyRunner::JobBodyRunner() : cache_(new Cache) {}
+JobBodyRunner::~JobBodyRunner() = default;
+
+WorkerResult
+JobBodyRunner::run(const WorkerJob &job)
+{
+    maybeDeliberateCrash(job);
+
+    WorkerResult res;
+    res.slot = job.slot;
+    uint64_t before[FaultPlan::kNumKinds];
+    for (size_t k = 0; k < FaultPlan::kNumKinds; ++k)
+        before[k] =
+            faultinject::injectedCount(static_cast<SimError::Kind>(k));
+
+    try {
+        // Re-enter the job's fault scope past the draws the
+        // supervisor consumed, so in-body sites fire exactly as they
+        // would in the in-process pool.
+        faultinject::Scope scope(job.scopeKey, job.scopeStartDraw);
+        if (job.phase == "train") {
+            TrainArtifacts train = trainBenchmark(job.spec, job.options);
+            res.profileText = serializeProfile(train.profile);
+        } else {
+            CompiledConfig &config = cache_->artifacts.get(job);
+            res.stats = simulateConfig(job.spec, config, job.options,
+                                       job.seed, job.collectStalls);
+        }
+        res.ok = true;
+    } catch (const SimError &e) {
+        res.ok = false;
+        res.kind = e.kind();
+        res.message = e.detail();
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.kind = SimError::Kind::Internal;
+        res.message = e.what();
+    }
+
+    for (size_t k = 0; k < FaultPlan::kNumKinds; ++k)
+        res.injected[k] =
+            faultinject::injectedCount(static_cast<SimError::Kind>(k)) -
+            before[k];
+    return res;
+}
+
 int
 runWorkerProcess(int fd)
 {
@@ -1218,7 +1221,7 @@ runWorkerProcess(int fd)
         }
     });
 
-    ArtifactCache cache;
+    JobBodyRunner runner;
     int exit_code = 0;
     for (;;) {
         if (shutdownRequested())
@@ -1293,50 +1296,10 @@ runWorkerProcess(int fd)
             break;
         }
 
-        maybeDeliberateCrash(job);
-
-        WorkerResult res;
-        res.slot = job.slot;
-        uint64_t before[FaultPlan::kNumKinds];
-        for (size_t k = 0; k < FaultPlan::kNumKinds; ++k)
-            before[k] = faultinject::injectedCount(
-                static_cast<SimError::Kind>(k));
-
         hb_scope.store(job.scopeKey);
         job_active.store(true, std::memory_order_release);
-        try {
-            // Re-enter the job's fault scope past the draws the
-            // supervisor consumed, so in-body sites fire exactly as
-            // they would in the in-process pool.
-            faultinject::Scope scope(job.scopeKey,
-                                     job.scopeStartDraw);
-            if (job.phase == "train") {
-                TrainArtifacts train =
-                    trainBenchmark(job.spec, job.options);
-                res.profileText = serializeProfile(train.profile);
-            } else {
-                CompiledConfig &config = cache.get(job);
-                res.stats = simulateConfig(job.spec, config,
-                                           job.options, job.seed,
-                                           job.collectStalls);
-            }
-            res.ok = true;
-        } catch (const SimError &e) {
-            res.ok = false;
-            res.kind = e.kind();
-            res.message = e.detail();
-        } catch (const std::exception &e) {
-            res.ok = false;
-            res.kind = SimError::Kind::Internal;
-            res.message = e.what();
-        }
+        WorkerResult res = runner.run(job);
         job_active.store(false, std::memory_order_release);
-
-        for (size_t k = 0; k < FaultPlan::kNumKinds; ++k)
-            res.injected[k] =
-                faultinject::injectedCount(
-                    static_cast<SimError::Kind>(k)) -
-                before[k];
 
         std::lock_guard<std::mutex> lock(write_mutex);
         try {
@@ -1398,6 +1361,20 @@ int
 runWorkerProcess(int)
 {
     return 2;
+}
+
+struct JobBodyRunner::Cache
+{
+};
+
+JobBodyRunner::JobBodyRunner() : cache_(nullptr) {}
+JobBodyRunner::~JobBodyRunner() = default;
+
+WorkerResult
+JobBodyRunner::run(const WorkerJob &)
+{
+    vg_throw(Config,
+             "process isolation is not supported on this platform");
 }
 
 #endif // VANGUARD_WORKER_POSIX

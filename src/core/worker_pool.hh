@@ -194,6 +194,35 @@ std::string serializeWorkerResult(const WorkerResult &res);
 bool parseWorkerResult(const std::string &body, WorkerResult *out,
                        std::string *error);
 
+/**
+ * Per-process execution of one self-contained job body: the shared
+ * core of the pool's `--worker` loop and the sweep fabric's remote
+ * worker (core/coordinator.hh). Owns the (spec × options × config ×
+ * profile) compile cache so every REF seed of a group reuses one
+ * artifact, re-enters the job's fault scope past the draws the
+ * supervisor consumed, honors the deliberate-crash chaos hooks, and
+ * reports per-kind injected-fault deltas in the result. Job failures
+ * never throw — they come back as ok=false results carrying the
+ * SimError kind/message verbatim, which is what keeps journal bytes
+ * identical across execution modes. The job's spec.name must be bound
+ * (parseWorkerJob binds it).
+ */
+class JobBodyRunner
+{
+  public:
+    JobBodyRunner();
+    ~JobBodyRunner();
+
+    JobBodyRunner(const JobBodyRunner &) = delete;
+    JobBodyRunner &operator=(const JobBodyRunner &) = delete;
+
+    WorkerResult run(const WorkerJob &job);
+
+  private:
+    struct Cache;
+    std::unique_ptr<Cache> cache_;
+};
+
 class WorkerPool
 {
   public:

@@ -14,6 +14,10 @@ namespace {
 /** The one plan; written only by arm()/disarm() while quiescent. */
 FaultPlan g_plan;
 
+/** The network plan; written only by armNet()/disarmNet() while no
+ *  fabric connections are live. */
+FaultPlan g_net_plan;
+
 std::atomic<uint64_t> g_injected[FaultPlan::kNumKinds] = {};
 
 thread_local uint64_t tl_scope_key = 0;
@@ -182,6 +186,52 @@ maybeArmFromEnv()
     if (env == nullptr || *env == '\0')
         return false;
     arm(parseFaultPlan(env));
+    return true;
+}
+
+void
+armNet(const FaultPlan &plan)
+{
+    g_net_plan = plan;
+    detail::g_net_armed.store(true, std::memory_order_seq_cst);
+}
+
+void
+disarmNet()
+{
+    detail::g_net_armed.store(false, std::memory_order_seq_cst);
+}
+
+FaultPlan
+currentNetPlan()
+{
+    return g_net_plan;
+}
+
+bool
+netSiteFires(const char *site, SimError::Kind kind, uint64_t scope,
+             uint64_t draw)
+{
+    if (!netArmed())
+        return false;
+    double rate = g_net_plan.rateFor(kind);
+    if (rate <= 0.0)
+        return false;
+    uint64_t x = mix64(g_net_plan.seed ^
+                       mix64(fnv1a64(site, std::strlen(site)) ^
+                             mix64(scope)) ^
+                       mix64(draw));
+    double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    return u < rate;
+}
+
+bool
+maybeArmNetFromEnv()
+{
+    const char *env = std::getenv("VANGUARD_NET_FAULT_PLAN");
+    if (env == nullptr || *env == '\0')
+        return false;
+    armNet(parseFaultPlan(env));
     return true;
 }
 

@@ -42,6 +42,25 @@
  *                             so `internal:p` plans leave inproc runs
  *                             and fault gauges untouched.
  *
+ * Network sites live in a *separate* plan (armNet / netSiteFires /
+ * VANGUARD_NET_FAULT_PLAN) so the sweep fabric's chaos is orthogonal
+ * to job-body faults: arming net.* never perturbs the job draw
+ * streams, which is what lets a partition-riddled distributed run
+ * stay byte-identical to a clean local one. Net sites never throw and
+ * never count — every firing is an *omission* (a swallowed frame, a
+ * dropped connection, a stall) that the fabric's lease/retry machinery
+ * must absorb. They also take scope and draw index explicitly rather
+ * than via the thread-local Scope, because one coordinator service
+ * thread interleaves many connections: each connection carries its own
+ * draw cursor, keeping per-connection fault patterns scheduling-
+ * independent. Catalog:
+ *
+ *   net.accept         Io     coordinator, after each accept (a fire
+ *                             closes the new connection immediately)
+ *   net.frame.drop     Io     sendFrameNet: frame silently swallowed
+ *   net.frame.delay    Hang   sendFrameNet: ~40 ms stall before send
+ *   net.disconnect     Io     sendFrameNet: socket shut down both ways
+ *
  * Scoping: the experiment runner wraps each job attempt in a
  * faultinject::Scope keyed by (phase, job index, attempt), which
  * resets the thread-local draw counter — the draw sequence inside a
@@ -120,6 +139,7 @@ namespace faultinject {
 namespace detail {
 
 inline std::atomic<bool> g_armed{false};
+inline std::atomic<bool> g_net_armed{false};
 
 /** Slow path: draw and maybe throw. Defined in fault_inject.cc. */
 void fire(const char *site_name, SimError::Kind kind);
@@ -212,6 +232,39 @@ void recordRemoteInjections(SimError::Kind kind, uint64_t count);
 
 /** Arm from VANGUARD_FAULT_PLAN if set; returns whether it armed. */
 bool maybeArmFromEnv();
+
+// ---------------------------------------------------------------------
+// Network fault plan (sweep fabric; see the net.* catalog above)
+// ---------------------------------------------------------------------
+
+/** Arm the network plan. Call only while no connections are live. */
+void armNet(const FaultPlan &plan);
+
+/** Disarm the network plan. */
+void disarmNet();
+
+inline bool
+netArmed()
+{
+    return detail::g_net_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Draw a net.* site against the network plan with an explicit
+ * (scope, draw index) — pure function of (net seed, scope, site,
+ * draw), independent of threads and of the job plan's Scope state.
+ * Never throws, never counts: callers enact the omission themselves.
+ */
+bool netSiteFires(const char *site, SimError::Kind kind,
+                  uint64_t scope, uint64_t draw);
+
+/** Arm from VANGUARD_NET_FAULT_PLAN if set; returns whether it armed.
+ *  How remote workers inherit the coordinator's net chaos. */
+bool maybeArmNetFromEnv();
+
+/** A copy of the armed network plan (meaningful only while
+ *  netArmed()). Serialized into the remote-worker config frame. */
+FaultPlan currentNetPlan();
 
 } // namespace faultinject
 

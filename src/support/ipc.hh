@@ -1,9 +1,9 @@
 /**
  * @file
  * Length-prefixed frame transport for the process-isolated worker
- * pool (core/worker_pool.hh) — and, later, for the distributed sweep
- * fabric, which swaps the socketpair for a TCP socket without
- * touching the frame layer.
+ * pool (core/worker_pool.hh) and the distributed sweep fabric
+ * (core/coordinator.hh), which swaps the socketpair for a TCP socket
+ * without touching the frame layer.
  *
  * Wire format (all integers little-endian):
  *
@@ -13,9 +13,9 @@
  * Every frame is CRC'd (support/checksum.hh) so a torn write, a
  * half-dead worker, or a protocol desync surfaces as a loud
  * SimError(Io) instead of silently corrupt results. Text bodies
- * (hello/config/job/result) carry their own `vanguard-* vN` headers
- * validated through support/versioned_format.hh, so a version-skewed
- * worker binary is refused by name at handshake time.
+ * (hello/config/job/result/lease) carry their own `vanguard-* vN`
+ * headers validated through support/versioned_format.hh, so a
+ * version-skewed worker binary is refused by name at handshake time.
  *
  * Reading is deadline-based: FrameChannel buffers partial reads
  * across calls and poll()s the descriptor, so the supervisor's
@@ -23,8 +23,14 @@
  * as the timeout". EOF (worker death) and timeout (worker hang) are
  * ordinary statuses, not exceptions — only malformed traffic throws.
  *
- * POSIX-only (socketpair/poll); on other platforms the API exists but
- * every call raises SimError(Config) — see ipcSupported().
+ * The TCP half (listenTcp/acceptPeer/connectTcp) feeds the same
+ * FrameChannel; sendFrameNet additionally consults the deterministic
+ * network fault plan (support/fault_inject.hh `net.*` sites) so
+ * partition, frame-loss, and slow-peer behavior is reproducible in
+ * tests.
+ *
+ * POSIX-only (socketpair/poll/TCP); on other platforms the API exists
+ * but every call raises SimError(Config) — see ipcSupported().
  */
 
 #ifndef VANGUARD_SUPPORT_IPC_HH
@@ -44,13 +50,25 @@ enum : char
     kFrameHello = 'H',      ///< worker -> supervisor, once at startup
     kFrameConfig = 'C',     ///< supervisor -> worker, once per spawn
     kFrameJob = 'J',        ///< supervisor -> worker
-    kFrameResult = 'R',     ///< worker -> supervisor
-    kFrameHeartbeat = 'B',  ///< worker -> supervisor while a job runs
+    kFrameResult = 'R',     ///< worker -> supervisor / coordinator
+    kFrameHeartbeat = 'B',  ///< liveness while a job runs or a claim waits
     kFrameQuit = 'Q',       ///< supervisor -> worker: drain and exit
+
+    // Distributed sweep fabric (core/coordinator.hh):
+    kFrameClaim = 'M',      ///< remote worker -> coordinator: give me a job
+    kFrameLease = 'L',      ///< coordinator -> worker: leased job body
+    kFrameRenew = 'N',      ///< worker -> coordinator: extend my lease
+    kFrameResultAck = 'A',  ///< coordinator -> worker: result recorded
+    kFrameDrain = 'D',      ///< coordinator -> worker: stop claiming
 };
 
 /** Frames larger than this are protocol desync, not data. */
 constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/** FrameChannel's read buffer releases its capacity once drained past
+ *  this size, so one near-kMaxFramePayload frame does not pin tens of
+ *  MiB per long-lived coordinator connection. */
+constexpr size_t kBufRetainCapacity = size_t{1} << 20;
 
 struct Frame
 {
@@ -87,16 +105,22 @@ class FrameChannel
     explicit FrameChannel(int fd) : fd_(fd) {}
 
     int fd() const { return fd_; }
-    void reset(int fd) { fd_ = fd; buf_.clear(); }
+    void reset(int fd) { fd_ = fd; buf_.clear(); buf_.shrink_to_fit(); }
 
     /**
-     * Read one frame. timeout_ms < 0 blocks indefinitely; otherwise
-     * the whole frame must arrive within the deadline. Throws
-     * SimError(Io) on CRC mismatch, an oversize length prefix, or an
-     * empty payload — all protocol desync, unrecoverable on this
-     * connection.
+     * Read one frame. timeout_ms < 0 blocks indefinitely; timeout_ms
+     * == 0 is a non-blocking drain (consume whatever the socket
+     * already holds, Timeout once it runs dry — the coordinator's
+     * multi-peer service loop polls with this); otherwise the whole
+     * frame must arrive within the deadline. Throws SimError(Io) on
+     * CRC mismatch, an oversize length prefix, or an empty payload —
+     * all protocol desync, unrecoverable on this connection.
      */
     ReadStatus read(Frame *out, int timeout_ms);
+
+    /** Current read-buffer capacity (test hook for the shrink-on-
+     *  drain policy; see kBufRetainCapacity). */
+    size_t bufferCapacity() const { return buf_.capacity(); }
 
   private:
     int fd_ = -1;
@@ -109,6 +133,127 @@ class FrameChannel
  * the worker (inherited across exec). Throws SimError(Io) on failure.
  */
 void makeSocketPair(int fds[2]);
+
+// ---------------------------------------------------------------------
+// TCP transport for the distributed sweep fabric
+// ---------------------------------------------------------------------
+
+/**
+ * Bind and listen on `port` (0 = kernel-assigned ephemeral port; read
+ * it back with listenPort). SO_REUSEADDR so a restarted coordinator
+ * rebinds immediately; close-on-exec. Throws SimError(Io).
+ */
+int listenTcp(uint16_t port);
+
+/** The locally-bound port of a listenTcp descriptor. */
+uint16_t listenPort(int listen_fd);
+
+/**
+ * Accept one peer within `timeout_ms` (poll-based; -1 blocks).
+ * Returns the connected fd (TCP_NODELAY, close-on-exec) or -1 on
+ * timeout; fills `peer_addr` ("ip:port") when non-null. Throws
+ * SimError(Io) on a real accept failure.
+ */
+int acceptPeer(int listen_fd, int timeout_ms,
+               std::string *peer_addr);
+
+/**
+ * Connect to host:port (numeric or resolvable name). Returns the
+ * connected fd (TCP_NODELAY, close-on-exec) or -1 with `error`
+ * filled — connection refusal is an ordinary outcome the remote
+ * worker retries with backoff, not an exception.
+ */
+int connectTcp(const std::string &host, uint16_t port,
+               std::string *error);
+
+/** How a fault-aware frame send ended. */
+enum class SendStatus
+{
+    Ok,             ///< frame is on the wire
+    Dropped,        ///< injected net.frame.drop swallowed the frame
+    Disconnected,   ///< peer gone (real error or injected disconnect)
+};
+
+/**
+ * writeFrame for fabric connections: consults the armed *network*
+ * fault plan first. Draws, in fixed order per call, `net.frame.delay`
+ * (sleep before sending), `net.frame.drop` (silently swallow the
+ * frame — the peer's lease/claim deadline recovers it), and
+ * `net.disconnect` (shut the socket down both ways, so both ends
+ * observe a partition). `conn_scope` keys the connection's draw
+ * stream and `*draw_cursor` advances across calls, so the fault
+ * pattern is a pure function of (plan seed, connection, frame
+ * ordinal) — never of scheduling. Real write failures (EPIPE on a
+ * dead peer) map to Disconnected instead of throwing: peer loss is an
+ * ordinary fabric event.
+ */
+SendStatus sendFrameNet(int fd, char type, const std::string &body,
+                        uint64_t conn_scope, uint64_t *draw_cursor);
+
+/** Deterministic connection scope key for net.* fault draws (FNV-1a
+ *  over a fixed tag and two caller-chosen ordinals). */
+inline uint64_t
+netConnScope(uint64_t a, uint64_t b)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t v : {uint64_t{0x4e455443}, a, b}) { // "NETC"
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// Frame-body building blocks (shared by worker_pool and coordinator)
+// ---------------------------------------------------------------------
+
+/** Append "blob <name> <len>\n" followed by len raw bytes and '\n' —
+ *  the frame bodies' escape-free carrier for messages, profiles, and
+ *  nested records. */
+void appendBlob(std::string *out, const char *name,
+                const std::string &data);
+
+/**
+ * Sequential reader over a frame body: text lines interleaved with
+ * length-prefixed raw blobs (so messages and profiles need no
+ * escaping).
+ */
+struct BodyCursor
+{
+    const std::string &s;
+    size_t pos = 0;
+
+    bool
+    line(std::string *out)
+    {
+        if (pos >= s.size())
+            return false;
+        size_t nl = s.find('\n', pos);
+        if (nl == std::string::npos) {
+            out->assign(s, pos, s.size() - pos);
+            pos = s.size();
+        } else {
+            out->assign(s, pos, nl - pos);
+            pos = nl + 1;
+        }
+        return true;
+    }
+
+    bool
+    raw(size_t n, std::string *out)
+    {
+        if (s.size() - pos < n)
+            return false;
+        out->assign(s, pos, n);
+        pos += n;
+        // Consume the trailing separator newline, if present.
+        if (pos < s.size() && s[pos] == '\n')
+            ++pos;
+        return true;
+    }
+};
 
 } // namespace ipc
 } // namespace vanguard
