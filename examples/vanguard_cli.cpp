@@ -81,6 +81,20 @@
  *                          also via VANGUARD_NET_FAULT_PLAN);
  *                          orthogonal to --inject — network chaos
  *                          never perturbs simulation results
+ *     --telemetry-port P   with --all-refs: serve a live telemetry
+ *                          endpoint on port P (0 = ephemeral; the
+ *                          resolved port is printed to stderr):
+ *                          GET /metrics (Prometheus text),
+ *                          /progress (JSON), /healthz. Strictly
+ *                          observational — sweep output is
+ *                          byte-identical with it on or off
+ *     --flightrec-out F    with --all-refs: always dump the crash
+ *                          flight recorder (vanguard-flightrec v1)
+ *                          to F at sweep end; without it the ring is
+ *                          dumped into --replay-dir (or
+ *                          --checkpoint-dir) only when the sweep
+ *                          fails, is interrupted, or dies on a
+ *                          SimError
  *     --selfbench          benchmark the simulator itself: run the
  *                          pinned workload x width x predictor matrix
  *                          through every execution path (switch /
@@ -103,6 +117,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 
@@ -121,9 +136,11 @@
 #include "profile/profile_io.hh"
 #include "support/atomic_file.hh"
 #include "support/fault_inject.hh"
+#include "support/flight_recorder.hh"
 #include "support/metrics.hh"
 #include "support/shutdown.hh"
 #include "support/stats.hh"
+#include "support/telemetry.hh"
 #include "support/tracing.hh"
 #include "uarch/trace.hh"
 #include "workloads/suites.hh"
@@ -185,6 +202,7 @@ printUsage(std::FILE *to)
         "[--worker-rlimit-mb MB] "
         "[--serve-sweep PORT] [--lease-ms MS] "
         "[--remote-worker HOST:PORT] [--net-inject SPEC] "
+        "[--telemetry-port P] [--flightrec-out F] "
         "[--selfbench] [--selfbench-out F] [--selfbench-repeats N] "
         "[--selfbench-iters N] [--help]\n"
         "\n"
@@ -261,6 +279,30 @@ printUsage(std::FILE *to)
         "                      VANGUARD_NET_FAULT_PLAN); orthogonal "
         "to\n"
         "                      --inject\n"
+        "\n"
+        "live telemetry (with --all-refs):\n"
+        "  --telemetry-port P  serve GET /metrics (Prometheus text "
+        "exposition),\n"
+        "                      /progress (JSON: lease table, "
+        "throughput, ETA,\n"
+        "                      rtt/cycle percentiles), and /healthz "
+        "on port P\n"
+        "                      (0 = ephemeral; resolved port printed "
+        "to stderr).\n"
+        "                      Strictly observational: registry "
+        "dumps, journals,\n"
+        "                      and stdout are byte-identical with "
+        "telemetry on\n"
+        "                      or off\n"
+        "  --flightrec-out F   always dump the in-memory crash flight "
+        "recorder\n"
+        "                      (vanguard-flightrec v1) to F at sweep "
+        "end; by\n"
+        "                      default the ring is dumped into "
+        "--replay-dir (or\n"
+        "                      --checkpoint-dir) only on failure, "
+        "interrupt, or\n"
+        "                      a fatal SimError\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
@@ -418,6 +460,9 @@ runCli(int argc, char **argv)
     unsigned lease_ms = 0;      ///< 0 = coordinator default
     std::string remote_worker;  ///< "host:port", "" = not a worker
     std::string net_inject_spec;
+    bool telemetry_serve = false;
+    unsigned telemetry_port = 0;
+    std::string flightrec_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -522,6 +567,12 @@ runCli(int argc, char **argv)
                 parseUnsignedOrDie("--lease-ms", next(), 500, 3600000);
         } else if (arg == "--net-inject") {
             net_inject_spec = next();
+        } else if (arg == "--telemetry-port") {
+            telemetry_serve = true;
+            telemetry_port = parseUnsignedOrDie("--telemetry-port",
+                                                next(), 0, 65535);
+        } else if (arg == "--flightrec-out") {
+            flightrec_out = next();
         } else if (arg == "--dump-ir") {
             dump_ir = true;
         } else if (arg == "--dump-asm") {
@@ -609,6 +660,20 @@ runCli(int argc, char **argv)
         !Coordinator::supported()) {
         std::fprintf(stderr,
                      "vanguard_cli: the sweep fabric is not supported "
+                     "on this platform (needs POSIX sockets)\n");
+        return 2;
+    }
+    if ((telemetry_serve || !flightrec_out.empty()) && !all_refs) {
+        std::fprintf(stderr,
+                     "vanguard_cli: --telemetry-port/--flightrec-out "
+                     "only apply to --all-refs sweeps\n");
+        usageAndExit();
+    }
+    if (telemetry_serve && !TelemetryServer::supported()) {
+        // Same usage-level rejection (exit 2) as the other socket
+        // transports, so scripts can probe for support.
+        std::fprintf(stderr,
+                     "vanguard_cli: --telemetry-port is not supported "
                      "on this platform (needs POSIX sockets)\n");
         return 2;
     }
@@ -723,6 +788,60 @@ runCli(int argc, char **argv)
         // checkpoint, and we exit 4 with a --resume hint.
         installShutdownHandlers();
 
+        // Crash flight recorder: always armed (recording is a bounded
+        // in-memory ring), dumped on failure, interrupt, or a fatal
+        // SimError — or unconditionally with an explicit
+        // --flightrec-out path.
+        FlightRecorder flightrec;
+        ScopedFlightRecorder flightrec_scope(&flightrec);
+        auto flightrecPath = [&]() -> std::string {
+            if (!flightrec_out.empty())
+                return flightrec_out;
+            if (!replay_dir.empty())
+                return replay_dir + "/flightrec.vgfr";
+            if (!checkpoint_dir.empty())
+                return checkpoint_dir + "/flightrec.vgfr";
+            return "";
+        };
+        auto dumpFlightrec = [&](const char *why) {
+            std::string path = flightrecPath();
+            if (path.empty())
+                return;
+            std::error_code ec;
+            std::filesystem::create_directories(
+                std::filesystem::path(path).parent_path(), ec);
+            if (flightrec.dump(path)) {
+                std::fprintf(stderr,
+                             "flight recorder dumped to %s (%s)\n",
+                             path.c_str(), why);
+            }
+        };
+
+        // Live telemetry plane: strictly observational (sweep output
+        // is byte-identical with it on or off). Declared before the
+        // coordinator, which registers its lease table with the hub
+        // and clears it in shutdown() — so it must be destroyed
+        // first.
+        std::optional<TelemetryHub> hub;
+        std::optional<TelemetryServer> server;
+        if (telemetry_serve) {
+            TelemetryHub::Options hopts;
+            hopts.registry = &registry;
+            hub.emplace(hopts);
+            TelemetryServer::Options topts;
+            topts.port = static_cast<uint16_t>(telemetry_port);
+            topts.hub = &*hub;
+            server.emplace(topts);
+            // Tests and scripts parse this line for the resolved
+            // port, so flush it before the sweep starts.
+            std::fprintf(stderr,
+                         "telemetry on port %u (GET /metrics, "
+                         "/progress, /healthz)\n",
+                         server->port());
+            std::fflush(stderr);
+            ropts.telemetry = &*hub;
+        }
+
         // Distributed mode: lease train/simulate bodies to remote
         // workers over TCP. All bookkeeping stays here, so the sweep
         // output is byte-identical to the local paths.
@@ -733,6 +852,8 @@ runCli(int argc, char **argv)
             if (lease_ms != 0)
                 copts.leaseMs = lease_ms;
             copts.metrics = &registry;
+            if (hub.has_value())
+                copts.telemetry = &*hub;
             coord.emplace(copts);
             // Tests and scripts parse this line for the resolved
             // port, so flush it before blocking on workers.
@@ -744,8 +865,18 @@ runCli(int argc, char **argv)
             ropts.coordinator = &*coord;
         }
 
-        SuiteReport report =
-            runSuiteWidthsReport({spec}, {opts.width}, opts, ropts);
+        SuiteReport report;
+        try {
+            report = runSuiteWidthsReport({spec}, {opts.width}, opts,
+                                          ropts);
+        } catch (const SimError &e) {
+            // A fatal error escaping the engine is exactly what the
+            // flight recorder exists for: dump the ring, then let
+            // the CLI boundary report the error as usual.
+            flightRecord("error", "sweep.fatal", e.detail());
+            dumpFlightrec("fatal error");
+            throw;
+        }
 
         // Stop the fabric before reading the registry: shutdown joins
         // the service thread, making the engine.net.* counters final.
@@ -759,6 +890,16 @@ runCli(int argc, char **argv)
             writeMetricsFile(metrics_out, registry);
         if (!trace_out.empty())
             writeTraceFile(trace_out, tracer);
+
+        // Flight-recorder dump policy: always with an explicit
+        // --flightrec-out; otherwise only when there is something to
+        // post-mortem (an interrupt or job failures).
+        if (!flightrec_out.empty() || report.interrupted ||
+            !report.failures.empty()) {
+            dumpFlightrec(report.interrupted ? "sweep interrupted"
+                          : !report.failures.empty() ? "job failures"
+                                                     : "requested");
+        }
 
         if (report.replayedJobs != 0) {
             std::fprintf(stderr,

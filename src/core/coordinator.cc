@@ -15,8 +15,10 @@
 #include <sstream>
 
 #include "support/fault_inject.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
+#include "support/telemetry.hh"
 #include "support/versioned_format.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -154,6 +156,32 @@ struct Coordinator::Impl
             netPlanSpec_ = faultPlanSpec(faultinject::currentNetPlan());
         listenFd_ = ipc::listenTcp(opts_.port);
         port_ = ipc::listenPort(listenFd_);
+        if (opts_.telemetry != nullptr) {
+            // The /progress lease table reads the offer map under
+            // mutex_; shutdown() clears the provider before this Impl
+            // can die, so the closure never outlives `this`.
+            opts_.telemetry->setLeaseTableProvider([this] {
+                std::vector<LeaseInfo> out;
+                Clock::time_point now = Clock::now();
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (const auto &kv : offers_) {
+                    const Offer &o = kv.second;
+                    if (o.state != Offer::Leased)
+                        continue;
+                    LeaseInfo li;
+                    li.id = o.leaseId;
+                    li.key = o.key;
+                    li.peer = o.leasedTo;
+                    li.expiresInMs =
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(o.leaseExpiry -
+                                                       now)
+                            .count();
+                    out.push_back(std::move(li));
+                }
+                return out;
+            });
+        }
         service_ = std::thread([this] { serviceLoop(); });
     }
 
@@ -236,6 +264,7 @@ struct Coordinator::Impl
             broken_ = true;
             brokenKind_ = kind;
             brokenReason_ = std::move(reason);
+            flightRecord("error", "fabric.broken", brokenReason_);
         }
         cv_.notify_all();
     }
@@ -482,6 +511,19 @@ struct Coordinator::Impl
             return handleResult(p, f.body);
         case ipc::kFrameHeartbeat:
             return true;
+        case ipc::kFrameStats: {
+            // Advisory live stats for the telemetry hub. Identity is
+            // receiver-assigned (the HELLO-derived pid@ip), and a
+            // malformed body is dropped, never a desync — telemetry
+            // cannot cost a peer its connection.
+            PeerStats ps;
+            if (opts_.telemetry != nullptr && p.helloed &&
+                parsePeerStats(f.body, &ps)) {
+                ps.identity = p.identity;
+                opts_.telemetry->notePeerStats(ps);
+            }
+            return true;
+        }
         default:
             losePeer(p, detail::csprintf(
                             "protocol desync (frame '%c')", f.type));
@@ -694,6 +736,8 @@ struct Coordinator::Impl
 
         unsigned deaths = ++consecutiveDeaths_[o.key];
         losses_[identity]++;
+        flightRecord("event", "fabric.lease_lost",
+                     o.key + " held by " + identity + ": " + why);
         for (auto &pp : peers_) {
             // A still-connected holder of the lost lease becomes
             // grantable again (its eventual result reconciles through
@@ -724,6 +768,7 @@ struct Coordinator::Impl
                 "poison job quarantined: %s lost %u consecutive "
                 "leases (last: %s)",
                 o.key.c_str(), deaths, why.c_str());
+            flightRecord("error", "fabric.quarantine", o.failMessage);
             cv_.notify_all();
         } else {
             queue_.push_back(o.id);
@@ -740,9 +785,12 @@ struct Coordinator::Impl
         if (p.dead)
             return;
         p.dead = true;
-        if (p.helloed)
+        if (p.helloed) {
             vg_warn("fabric: worker %s %s", p.identity.c_str(),
                     why.c_str());
+            flightRecord("event", "fabric.peer_lost",
+                         p.identity + ": " + why);
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         if (p.leaseId != 0) {
             auto it = leaseHistory_.find(p.leaseId);
@@ -898,6 +946,10 @@ struct Coordinator::Impl
             shutdownDone_ = true;
             draining_ = true;
         }
+        // Unhook the lease-table closure before any teardown: an HTTP
+        // scrape racing shutdown must not call into a dying Impl.
+        if (opts_.telemetry != nullptr)
+            opts_.telemetry->setLeaseTableProvider(nullptr);
         stop_.store(true, std::memory_order_release);
         if (service_.joinable())
             service_.join();
@@ -1025,6 +1077,36 @@ struct RemoteConn
     }
 
     /**
+     * Advisory STATS push, deliberately injection-free: telemetry is
+     * not a chaos subject, and routing it through sendFrameNet would
+     * shift every existing net-fault draw sequence (plans key on the
+     * frame ordinal). Failures are swallowed — the read side will
+     * notice a dead coordinator on its own.
+     */
+    void
+    sendStatsAdvisory(JobBodyRunner &runner, const char *phase,
+                      uint64_t lease)
+    {
+        PeerStats ps;
+        ps.pid = static_cast<uint64_t>(::getpid());
+        ps.phase = phase;
+        JobBodyRunner::BodyStats bs = runner.bodyStats();
+        ps.jobsDone = bs.jobsDone;
+        ps.instsRetired = bs.instsRetired;
+        ps.cacheHits = bs.cacheHits;
+        ps.cacheMisses = bs.cacheMisses;
+        if (lease != 0)
+            ps.lease = std::to_string(lease);
+        std::lock_guard<std::mutex> lock(writeMutex);
+        try {
+            ipc::writeFrame(fd, ipc::kFrameStats,
+                            serializePeerStats(ps));
+        } catch (const SimError &) {
+            // Coordinator gone; the main loop will see it.
+        }
+    }
+
+    /**
      * Read one frame in shutdown-aware slices. `silence_ms` bounds
      * how long we tolerate a totally quiet coordinator before
      * declaring it partitioned (Timeout).
@@ -1124,6 +1206,9 @@ serveLease(RemoteConn &conn, JobBodyRunner &runner, uint64_t lease,
             if (conn.send(ipc::kFrameRenew, renewBody(lease)) ==
                 ipc::SendStatus::Disconnected)
                 conn_lost.store(true, std::memory_order_release);
+            else
+                conn.sendStatsAdvisory(runner, job.phase.c_str(),
+                                       lease);
         }
     });
 
@@ -1233,6 +1318,7 @@ serveConnection(RemoteConn &conn, JobBodyRunner &runner)
         if (conn.send(ipc::kFrameClaim, claimBody()) ==
             ipc::SendStatus::Disconnected)
             return ConnOutcome::Lost;
+        conn.sendStatsAdvisory(runner, "claim", 0);
 
         // Await the lease. Re-claim if the coordinator stays quiet
         // for a lease period (a dropped CLAIM or LEASE frame), and
@@ -1318,6 +1404,7 @@ serveConnection(RemoteConn &conn, JobBodyRunner &runner)
                 if (conn.send(ipc::kFrameClaim, claimBody()) ==
                     ipc::SendStatus::Disconnected)
                     return ConnOutcome::Lost;
+                conn.sendStatsAdvisory(runner, "claim", 0);
                 claim_sent = Clock::now();
             }
         }

@@ -127,6 +127,10 @@ class Coordinator
         std::string faultPlanSpec;
         /** Registry for the engine.net.* counters (optional). */
         MetricsRegistry *metrics = nullptr;
+        /** Live telemetry sink: peer STATS frames feed it, and the
+         *  coordinator registers its lease table as the hub's
+         *  /progress source. Advisory only (optional). */
+        TelemetryHub *telemetry = nullptr;
     };
 
     /** Does this build/platform carry the TCP fabric? */

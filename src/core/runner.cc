@@ -20,6 +20,7 @@
 #include "support/atomic_file.hh"
 #include "support/checksum.hh"
 #include "support/fault_inject.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
 #include "support/progress.hh"
 #include "support/shutdown.hh"
@@ -136,6 +137,13 @@ void
 writeBundle(JobFailure &f, const BenchmarkSpec &spec,
             const VanguardOptions &opts, const RunnerOptions &ropts)
 {
+    // Every call is a freshly-executed root-cause failure (replayed
+    // failures rematerialize from the journal without coming here),
+    // which makes this the one chokepoint to flight-record it.
+    flightRecord("error", "job.failed",
+                 f.id.describe() + ": " +
+                     std::string(SimError::kindName(f.kind)) + ": " +
+                     f.message);
     if (ropts.replayDir.empty())
         return;
     std::error_code ec;
@@ -393,7 +401,8 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     reg.counter("engine.worker.heartbeat_misses");
     reg.counter("engine.worker.quarantined_jobs");
     reg.counter("engine.worker.frames");
-    reg.histogram("engine.worker.job_rtt", workerRttBoundsMs());
+    Histogram &job_rtt =
+        reg.histogram("engine.worker.job_rtt", workerRttBoundsMs());
     // Sweep-fabric instruments follow the same rule: registered in
     // every mode (all-zero without --serve-sweep) so dump shape is
     // identical between local, process-isolated, and distributed runs.
@@ -452,6 +461,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
         wo.heartbeatTimeoutMs = ropts.workerHeartbeatMs;
         wo.rlimitMb = ropts.workerRlimitMb;
         wo.metrics = &reg;
+        wo.telemetry = ropts.telemetry;
         wpool = std::make_unique<WorkerPool>(wo);
     }
 
@@ -513,7 +523,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                         jobs_replayed.add();
                         jobs_failed.add();
                         train_failed.add();
-                        train_progress.jobFailed();
+                        train_progress.jobFailedReplayed();
                         return;
                     }
                     std::string path =
@@ -539,7 +549,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                                 Tracer::args(
                                     {{"job", id.describe()}}));
                         }
-                        train_progress.jobDone();
+                        train_progress.jobReplayed();
                         return;
                     }
                     vg_warn("checkpointed profile %s is unreadable; "
@@ -705,7 +715,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                         jobs_replayed.add();
                         jobs_failed.add();
                         compile_failed.add();
-                        compile_progress.jobFailed();
+                        compile_progress.jobFailedReplayed();
                         return;
                     }
                     journaled = true;
@@ -791,6 +801,11 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
     ProgressReporter progress(ropts.tag, "simulate", sims.size());
     progress.observeFailures(&sim_failed);
     progress.observeRetries(&jobs_retries);
+    // Surface job-latency and work-size percentiles on the simulate
+    // progress line (p50/p99 of worker RTT and of retired cycles).
+    // Reads are racy-but-monotonic counter loads; display only.
+    progress.observeRtt(&job_rtt);
+    progress.observeSimCycles(&sim_cycles);
 
     // Sweep-wide batching eligibility: modes that need per-job
     // isolation of process-global state (fault-injection draw
@@ -896,7 +911,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                                 identity(s), it->second);
                             jobs_failed.add();
                             sim_failed.add();
-                            progress.jobFailed();
+                            progress.jobFailedReplayed();
                         } else {
                             sims[i] = it->second.stats;
                             jobs_completed.add();
@@ -910,7 +925,7 @@ runSuiteWidthsReport(const std::vector<BenchmarkSpec> &suite,
                                           identity(s)
                                               .describe()}}));
                             }
-                            progress.jobDone();
+                            progress.jobReplayed();
                         }
                         continue;
                     }

@@ -70,6 +70,7 @@
 namespace vanguard {
 
 class Coordinator;
+class TelemetryHub;
 
 /** Which experiment job is (or was) running; attached to failures. */
 struct JobIdentity
@@ -210,6 +211,14 @@ struct RunnerOptions
      * tracing entirely (no overhead beyond a branch).
      */
     Tracer *tracer = nullptr;
+
+    /**
+     * Live telemetry sink (support/telemetry.hh): forwarded to the
+     * process pool / coordinator so worker STATS frames reach the
+     * hub. Strictly advisory — null or not, registry dumps, journals,
+     * and stdout are byte-identical. Not owned.
+     */
+    TelemetryHub *telemetry = nullptr;
 };
 
 /** Everything a fault-tolerant sweep produced. */

@@ -17,8 +17,10 @@
 #include "core/journal.hh"
 #include "profile/profile_io.hh"
 #include "support/checksum.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
 #include "support/shutdown.hh"
+#include "support/telemetry.hh"
 #include "support/versioned_format.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -847,6 +849,12 @@ WorkerPool::execute(WorkerJob job)
                     stats_.heartbeatMisses++;
                 }
                 bumpCounter("engine.worker.heartbeat_misses");
+                flightRecord("error", "worker.heartbeat_miss",
+                             detail::csprintf(
+                                 "pid %d silent past %u ms during %s "
+                                 "job %zu",
+                                 pid, opts_.heartbeatTimeoutMs,
+                                 job.phase.c_str(), job.slot));
                 // A hang is a determination about the job, not a
                 // supervision failure: non-transient, no quarantine
                 // bookkeeping (the runner will not retry it).
@@ -869,6 +877,19 @@ WorkerPool::execute(WorkerJob job)
             }
             if (f.type == ipc::kFrameHeartbeat)
                 continue;
+            if (f.type == ipc::kFrameStats) {
+                // Advisory live stats: feed the hub and move on. A
+                // malformed body is dropped, never a desync —
+                // telemetry must not be able to kill a worker.
+                PeerStats ps;
+                if (opts_.telemetry != nullptr &&
+                    parsePeerStats(f.body, &ps)) {
+                    ps.identity = detail::csprintf(
+                        "slot%zu:pid%d", idx, slot.pid);
+                    opts_.telemetry->notePeerStats(ps);
+                }
+                continue;
+            }
             if (f.type == ipc::kFrameResult) {
                 std::string err;
                 WorkerResult parsed;
@@ -897,6 +918,12 @@ WorkerPool::execute(WorkerJob job)
             }
             noteLoss(key);
             releaseSlot(idx);
+            flightRecord("event", "worker.lost",
+                         detail::csprintf("%s during %s job %zu "
+                                          "(death %u)",
+                                          fate.c_str(),
+                                          job.phase.c_str(), job.slot,
+                                          deaths));
             if (deaths >= opts_.quarantineDeaths) {
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
@@ -904,6 +931,11 @@ WorkerPool::execute(WorkerJob job)
                     consecutiveDeaths_.erase(key);
                 }
                 bumpCounter("engine.worker.quarantined_jobs");
+                flightRecord("error", "worker.quarantine",
+                             detail::csprintf("%s job %zu killed %u "
+                                              "consecutive workers",
+                                              job.phase.c_str(),
+                                              job.slot, deaths));
                 vg_throw(Internal,
                          "poison job quarantined: %s job %zu killed "
                          "%u consecutive workers (last worker %s)",
@@ -1057,12 +1089,17 @@ struct ArtifactCache
     }
 
     CompiledConfig &
-    get(const WorkerJob &job)
+    get(const WorkerJob &job, bool *hit_out)
     {
         uint64_t key = keyOf(job);
         for (Entry &e : entries)
-            if (e.key == key)
+            if (e.key == key) {
+                if (hit_out != nullptr)
+                    *hit_out = true;
                 return e.config;
+            }
+        if (hit_out != nullptr)
+            *hit_out = false;
         ProfileParseResult parsed =
             deserializeProfile(job.profileText);
         if (!parsed.ok)
@@ -1108,10 +1145,26 @@ maybeDeliberateCrash(const WorkerJob &job)
 struct JobBodyRunner::Cache
 {
     ArtifactCache artifacts;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
 };
 
 JobBodyRunner::JobBodyRunner() : cache_(new Cache) {}
 JobBodyRunner::~JobBodyRunner() = default;
+
+JobBodyRunner::BodyStats
+JobBodyRunner::bodyStats() const
+{
+    BodyStats out;
+    out.jobsDone = jobsDone_.load(std::memory_order_relaxed);
+    out.instsRetired = instsRetired_.load(std::memory_order_relaxed);
+    if (cache_ != nullptr) {
+        out.cacheHits = cache_->hits.load(std::memory_order_relaxed);
+        out.cacheMisses =
+            cache_->misses.load(std::memory_order_relaxed);
+    }
+    return out;
+}
 
 WorkerResult
 JobBodyRunner::run(const WorkerJob &job)
@@ -1134,11 +1187,17 @@ JobBodyRunner::run(const WorkerJob &job)
             TrainArtifacts train = trainBenchmark(job.spec, job.options);
             res.profileText = serializeProfile(train.profile);
         } else {
-            CompiledConfig &config = cache_->artifacts.get(job);
+            bool hit = false;
+            CompiledConfig &config = cache_->artifacts.get(job, &hit);
+            (hit ? cache_->hits : cache_->misses)
+                .fetch_add(1, std::memory_order_relaxed);
             res.stats = simulateConfig(job.spec, config, job.options,
                                        job.seed, job.collectStalls);
+            instsRetired_.fetch_add(res.stats.dynamicInsts,
+                                    std::memory_order_relaxed);
         }
         res.ok = true;
+        jobsDone_.fetch_add(1, std::memory_order_relaxed);
     } catch (const SimError &e) {
         res.ok = false;
         res.kind = e.kind();
@@ -1180,6 +1239,10 @@ runWorkerProcess(int fd)
     std::atomic<uint64_t> hb_scope{0};
     std::atomic<unsigned> hb_interval_ms{
         heartbeatIntervalMs(10000)};
+    JobBodyRunner runner;   ///< before the heartbeat thread: it reads
+                            ///< bodyStats() for the STATS frames
+    std::mutex meta_mutex;
+    std::string cur_phase;  ///< under meta_mutex
 
     std::thread heartbeat([&] {
         while (!stopping.load(std::memory_order_relaxed)) {
@@ -1215,13 +1278,31 @@ runWorkerProcess(int fd)
             std::lock_guard<std::mutex> lock(write_mutex);
             try {
                 ipc::writeFrame(fd, ipc::kFrameHeartbeat, "");
+                // Ride an advisory STATS frame on each *delivered*
+                // beat. Gating stats on the same suppression draw
+                // matters: a fault plan that silences a job's beats
+                // must silence its stats too, or the extra frames
+                // would keep re-arming the supervisor's watchdog
+                // deadline.
+                PeerStats ps;
+                ps.pid = static_cast<uint64_t>(::getpid());
+                {
+                    std::lock_guard<std::mutex> mlock(meta_mutex);
+                    ps.phase = cur_phase;
+                }
+                JobBodyRunner::BodyStats bs = runner.bodyStats();
+                ps.jobsDone = bs.jobsDone;
+                ps.instsRetired = bs.instsRetired;
+                ps.cacheHits = bs.cacheHits;
+                ps.cacheMisses = bs.cacheMisses;
+                ipc::writeFrame(fd, ipc::kFrameStats,
+                                serializePeerStats(ps));
             } catch (const SimError &) {
                 // Supervisor gone; the main loop will see EOF.
             }
         }
     });
 
-    JobBodyRunner runner;
     int exit_code = 0;
     for (;;) {
         if (shutdownRequested())
@@ -1297,6 +1378,10 @@ runWorkerProcess(int fd)
         }
 
         hb_scope.store(job.scopeKey);
+        {
+            std::lock_guard<std::mutex> mlock(meta_mutex);
+            cur_phase = job.phase;
+        }
         job_active.store(true, std::memory_order_release);
         WorkerResult res = runner.run(job);
         job_active.store(false, std::memory_order_release);
@@ -1369,6 +1454,12 @@ struct JobBodyRunner::Cache
 
 JobBodyRunner::JobBodyRunner() : cache_(nullptr) {}
 JobBodyRunner::~JobBodyRunner() = default;
+
+JobBodyRunner::BodyStats
+JobBodyRunner::bodyStats() const
+{
+    return {};
+}
 
 WorkerResult
 JobBodyRunner::run(const WorkerJob &)

@@ -54,6 +54,7 @@
 #ifndef VANGUARD_CORE_WORKER_POOL_HH
 #define VANGUARD_CORE_WORKER_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -71,6 +72,8 @@
 #include "workloads/kernel.hh"
 
 namespace vanguard {
+
+class TelemetryHub;
 
 /**
  * Exponential backoff schedule for worker restarts. Pure function of
@@ -218,9 +221,26 @@ class JobBodyRunner
 
     WorkerResult run(const WorkerJob &job);
 
+    /**
+     * Advisory running totals across every run() so far — the payload
+     * of the live STATS frames. Readable from another thread (the
+     * worker's heartbeat thread, the remote worker's renew thread)
+     * while a job runs; never part of any authoritative result.
+     */
+    struct BodyStats
+    {
+        uint64_t jobsDone = 0;
+        uint64_t instsRetired = 0;  ///< dynamic insts of ok simulates
+        uint64_t cacheHits = 0;     ///< compile-artifact cache hits
+        uint64_t cacheMisses = 0;
+    };
+    BodyStats bodyStats() const;
+
   private:
     struct Cache;
     std::unique_ptr<Cache> cache_;
+    std::atomic<uint64_t> jobsDone_{0};
+    std::atomic<uint64_t> instsRetired_{0};
 };
 
 class WorkerPool
@@ -245,6 +265,9 @@ class WorkerPool
         std::string faultPlanSpec;
         /** Registry for the engine.worker.* instruments (optional). */
         MetricsRegistry *metrics = nullptr;
+        /** Live telemetry sink for worker STATS frames (optional;
+         *  advisory only — never touches the registry merges). */
+        TelemetryHub *telemetry = nullptr;
     };
 
     /** Does this build/platform carry fork/exec supervision? */

@@ -41,6 +41,11 @@
  *                             killed worker never reports the firing,
  *                             so `internal:p` plans leave inproc runs
  *                             and fault gauges untouched.
+ *   telemetry.emit     Io     flight-recorder dump (FlightRecorder::
+ *                             dump is best-effort by contract: a fire
+ *                             is warned and swallowed, never fatal —
+ *                             chaos runs prove a failing dump cannot
+ *                             turn a drained sweep into a crash)
  *
  * Network sites live in a *separate* plan (armNet / netSiteFires /
  * VANGUARD_NET_FAULT_PLAN) so the sweep fabric's chaos is orthogonal

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Flight-recorder implementation: the bounded ring, the
+ * `vanguard-flightrec v1` codec, the best-effort atomic dump, and the
+ * process-global ambient pointer. See flight_recorder.hh.
+ */
+
+#include "support/flight_recorder.hh"
+
+#include <atomic>
+#include <sstream>
+
+#include "support/atomic_file.hh"
+#include "support/fault_inject.hh"
+#include "support/ipc.hh"
+#include "support/logging.hh"
+#include "support/versioned_format.hh"
+
+namespace vanguard {
+
+namespace {
+
+/** Fold free-form text into one whitespace-free token so it can sit
+ *  on an `event` line without quoting. */
+std::string
+tokenize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out += (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                   ? '-'
+                   : c;
+    return out.empty() ? std::string("event") : out;
+}
+
+std::atomic<FlightRecorder *> g_recorder{nullptr};
+
+} // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+    ring_.reserve(capacity_);
+}
+
+void
+FlightRecorder::record(const std::string &kind, const std::string &name,
+                       const std::string &detail)
+{
+    Event e;
+    e.tsMicros = nowMicros();
+    e.kind = tokenize(kind);
+    e.name = name;
+    e.detail = detail;
+    std::lock_guard<std::mutex> lock(mutex_);
+    e.seq = nextSeq_++;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(e));
+    } else {
+        ring_[head_] = std::move(e);
+        head_ = (head_ + 1) % capacity_;
+    }
+}
+
+size_t
+FlightRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextSeq_ - ring_.size();
+}
+
+std::vector<FlightRecorder::Event>
+FlightRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+FlightRecorder::serialize() const
+{
+    std::vector<Event> evs = events();
+    uint64_t drops;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drops = nextSeq_ - ring_.size();
+    }
+    std::ostringstream os;
+    os << kFlightRecMagic << " v" << kFlightRecVersion << "\n";
+    os << "capacity " << capacity_ << "\n";
+    os << "dropped " << drops << "\n";
+    os << "events " << evs.size() << "\n";
+    std::string out = os.str();
+    for (const Event &e : evs) {
+        std::ostringstream line;
+        line << "event " << e.seq << " " << e.tsMicros << " "
+             << e.kind << "\n";
+        out += line.str();
+        // name/detail ride as length-prefixed blobs so they need no
+        // escaping (the same carrier the frame bodies use).
+        ipc::appendBlob(&out, "name", e.name);
+        ipc::appendBlob(&out, "detail", e.detail);
+    }
+    return out;
+}
+
+bool
+FlightRecorder::dump(const std::string &path) const
+{
+    try {
+        faultinject::site("telemetry.emit", SimError::Kind::Io);
+        writeFileAtomic(path, serialize());
+        return true;
+    } catch (const SimError &e) {
+        vg_warn("flight-recorder dump to %s failed: %s", path.c_str(),
+                e.detail().c_str());
+        return false;
+    } catch (const std::exception &e) {
+        vg_warn("flight-recorder dump to %s failed: %s", path.c_str(),
+                e.what());
+        return false;
+    }
+}
+
+ParsedFlightRec
+parseFlightRec(const std::string &text)
+{
+    ParsedFlightRec out;
+    ipc::BodyCursor cur{text};
+    std::string line;
+    if (!cur.line(&line) ||
+        !parseVersionedHeader(line, kFlightRecMagic, kFlightRecVersion,
+                              &out.version)) {
+        out.error = "missing vanguard-flightrec header";
+        return out;
+    }
+    size_t expected = 0;
+    FlightRecorder::Event ev;
+    bool in_event = false;
+    auto flush = [&] {
+        if (in_event)
+            out.events.push_back(ev);
+        in_event = false;
+    };
+    while (cur.line(&line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "capacity") {
+            ls >> out.capacity;
+        } else if (key == "dropped") {
+            ls >> out.dropped;
+        } else if (key == "events") {
+            ls >> expected;
+        } else if (key == "event") {
+            flush();
+            ev = {};
+            ls >> ev.seq >> ev.tsMicros >> ev.kind;
+            if (ls.fail()) {
+                out.error = "malformed event line: " + line;
+                return out;
+            }
+            in_event = true;
+        } else if (key == "blob") {
+            std::string name;
+            size_t len = 0;
+            ls >> name >> len;
+            std::string data;
+            if (!cur.raw(len, &data)) {
+                out.error = "truncated blob: " + name;
+                return out;
+            }
+            if (in_event && name == "name")
+                ev.name = std::move(data);
+            else if (in_event && name == "detail")
+                ev.detail = std::move(data);
+        }
+    }
+    flush();
+    if (out.events.size() != expected) {
+        out.error = "event count mismatch: header says " +
+                    std::to_string(expected) + ", parsed " +
+                    std::to_string(out.events.size());
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+FlightRecorder *
+currentFlightRecorder()
+{
+    return g_recorder.load(std::memory_order_acquire);
+}
+
+void
+flightRecord(const std::string &kind, const std::string &name,
+             const std::string &detail)
+{
+    FlightRecorder *rec = currentFlightRecorder();
+    if (rec != nullptr)
+        rec->record(kind, name, detail);
+}
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder *rec)
+    : prev_(g_recorder.exchange(rec, std::memory_order_acq_rel))
+{
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder()
+{
+    g_recorder.store(prev_, std::memory_order_release);
+}
+
+} // namespace vanguard

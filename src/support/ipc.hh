@@ -60,6 +60,13 @@ enum : char
     kFrameRenew = 'N',      ///< worker -> coordinator: extend my lease
     kFrameResultAck = 'A',  ///< coordinator -> worker: result recorded
     kFrameDrain = 'D',      ///< coordinator -> worker: stop claiming
+
+    // Live telemetry plane (support/telemetry.hh):
+    kFrameStats = 'S',      ///< worker/remote -> supervisor/coordinator:
+                            ///< periodic partial stats ("vanguard-stats
+                            ///< v1"), advisory only — feeds the live
+                            ///< TelemetryHub view, never the
+                            ///< authoritative end-of-job merge
 };
 
 /** Frames larger than this are protocol desync, not data. */

@@ -182,6 +182,37 @@ MetricsRegistry::findHistogram(const std::string &path) const
     return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+RegistrySample
+MetricsRegistry::sample() const
+{
+    RegistrySample out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const auto &[path, c] : counters_)
+        out.counters.push_back({path, c->value()});
+    out.gauges.reserve(gauges_.size());
+    for (const auto &[path, g] : gauges_)
+        out.gauges.push_back({path, g->value()});
+    out.histograms.reserve(histograms_.size());
+    for (const auto &[path, h] : histograms_) {
+        RegistrySample::HistogramSample hs;
+        hs.path = path;
+        hs.bounds = h->bounds();
+        hs.bucketCounts.reserve(hs.bounds.size() + 1);
+        for (size_t i = 0; i <= hs.bounds.size(); ++i)
+            hs.bucketCounts.push_back(h->bucketCount(i));
+        hs.count = h->count();
+        hs.sum = h->sum();
+        hs.min = h->minValue();
+        hs.max = h->maxValue();
+        hs.p50 = h->percentile(0.50);
+        hs.p90 = h->percentile(0.90);
+        hs.p99 = h->percentile(0.99);
+        out.histograms.push_back(std::move(hs));
+    }
+    return out;
+}
+
 void
 MetricsRegistry::mergeJobSnapshot(const std::string &scope,
                                   const MetricSnapshot &snap)

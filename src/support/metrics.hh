@@ -173,6 +173,46 @@ class Histogram
 };
 
 /**
+ * A point-in-time, read-only enumeration of every registered
+ * instrument — the contract the live telemetry plane
+ * (support/telemetry.hh) builds on: sampling a registry observes it
+ * without mutating it, so exported dumps stay byte-identical whether
+ * or not a TelemetryHub was scraping mid-sweep. Histograms carry
+ * their derived percentiles (Histogram::percentile) so consumers need
+ * no bucket math.
+ */
+struct RegistrySample
+{
+    struct CounterSample
+    {
+        std::string path;
+        uint64_t value = 0;
+    };
+    struct GaugeSample
+    {
+        std::string path;
+        double value = 0.0;
+    };
+    struct HistogramSample
+    {
+        std::string path;
+        std::vector<uint64_t> bounds;
+        std::vector<uint64_t> bucketCounts; ///< bounds + overflow
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+        uint64_t p50 = 0;
+        uint64_t p90 = 0;
+        uint64_t p99 = 0;
+    };
+
+    std::vector<CounterSample> counters;     ///< path-sorted
+    std::vector<GaugeSample> gauges;         ///< path-sorted
+    std::vector<HistogramSample> histograms; ///< path-sorted
+};
+
+/**
  * The registry: register-or-get by dotted path (re-registration
  * returns the existing instrument; a path registered as a different
  * kind raises SimError(Invariant)), per-job snapshot merging with the
@@ -203,6 +243,15 @@ class MetricsRegistry
                           const MetricSnapshot &snap);
 
     size_t scopeCount() const;
+
+    /**
+     * Enumerate every registered instrument (path-sorted, a
+     * point-in-time read). Purely observational: sampling never
+     * registers, mutates, or reorders anything, which is what lets
+     * the telemetry plane scrape mid-sweep without perturbing the
+     * exported dumps.
+     */
+    RegistrySample sample() const;
 
     /** Schema-versioned exports ("vanguard-metrics v1"). */
     std::string toJson() const;

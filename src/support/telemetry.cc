@@ -1,0 +1,711 @@
+/**
+ * @file
+ * Telemetry-plane implementation: the STATS codec, the Prometheus
+ * text exposition writer and its test-side parser, the sampling
+ * TelemetryHub, and the single-threaded HTTP endpoint. See
+ * telemetry.hh for the live/authoritative split this enforces.
+ */
+
+#include "support/telemetry.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/flight_recorder.hh"
+#include "support/ipc.hh"
+#include "support/progress.hh"
+#include "support/versioned_format.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VANGUARD_TELEMETRY_POSIX 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace vanguard {
+
+namespace {
+
+/** Fold free-form text into one whitespace-free token so it can sit
+ *  on a stats line without quoting. */
+std::string
+token(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out += (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                   ? '-'
+                   : c;
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// STATS frame codec
+// ---------------------------------------------------------------------
+
+std::string
+serializePeerStats(const PeerStats &ps)
+{
+    std::ostringstream os;
+    os << kStatsMagic << " v" << kStatsVersion << "\n";
+    os << "pid " << ps.pid << "\n";
+    if (!ps.phase.empty())
+        os << "phase " << token(ps.phase) << "\n";
+    os << "jobs-done " << ps.jobsDone << "\n";
+    os << "insts " << ps.instsRetired << "\n";
+    os << "cache-hits " << ps.cacheHits << "\n";
+    os << "cache-misses " << ps.cacheMisses << "\n";
+    if (!ps.lease.empty())
+        os << "lease " << token(ps.lease) << "\n";
+    return os.str();
+}
+
+bool
+parsePeerStats(const std::string &body, PeerStats *out)
+{
+    *out = PeerStats{};
+    ipc::BodyCursor cur{body};
+    std::string line;
+    unsigned version = 0;
+    try {
+        if (!cur.line(&line) ||
+            !parseVersionedHeader(line, kStatsMagic, kStatsVersion,
+                                  &version)) {
+            return false;
+        }
+    } catch (const SimError &) {
+        // Advisory data from a version-skewed peer: drop, don't kill.
+        return false;
+    }
+    while (cur.line(&line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "pid")
+            ls >> out->pid;
+        else if (key == "phase")
+            ls >> out->phase;
+        else if (key == "jobs-done")
+            ls >> out->jobsDone;
+        else if (key == "insts")
+            ls >> out->instsRetired;
+        else if (key == "cache-hits")
+            ls >> out->cacheHits;
+        else if (key == "cache-misses")
+            ls >> out->cacheMisses;
+        else if (key == "lease")
+            ls >> out->lease;
+        // Unknown keys: a newer peer's extra fields. Skip.
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+std::string
+promSanitizeName(const std::string &path)
+{
+    std::string out = "vanguard_";
+    out.reserve(out.size() + path.size());
+    for (char c : path) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+promEscapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size() + 2);
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+metricsToPrometheus(const RegistrySample &s)
+{
+    std::ostringstream os;
+    for (const auto &c : s.counters) {
+        std::string name = promSanitizeName(c.path);
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << c.value << "\n";
+    }
+    for (const auto &g : s.gauges) {
+        std::string name = promSanitizeName(g.path);
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << fmtDouble(g.value) << "\n";
+    }
+    for (const auto &h : s.histograms) {
+        std::string name = promSanitizeName(h.path);
+        os << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            cumulative += i < h.bucketCounts.size()
+                ? h.bucketCounts[i] : 0;
+            os << name << "_bucket{le=\"" << h.bounds[i] << "\"} "
+               << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << name << "_sum " << h.sum << "\n";
+        os << name << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
+ParsedProm
+parsePrometheusText(const std::string &text)
+{
+    ParsedProm out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line);
+            std::string hash, kw, name, type;
+            ls >> hash >> kw >> name >> type;
+            if (kw == "TYPE") {
+                if (name.empty() || type.empty()) {
+                    out.error = "malformed TYPE line: " + line;
+                    return out;
+                }
+                out.types[name] = type;
+            }
+            continue;   // other comments are legal, skipped
+        }
+        // Sample line: name[{labels}] value. Label values may contain
+        // escaped quotes, so scan for the closing brace from a quote-
+        // aware walk rather than a blind find.
+        size_t name_end = 0;
+        if (line.find('{') != std::string::npos) {
+            bool in_quotes = false, esc = false;
+            size_t i = line.find('{');
+            for (++i; i < line.size(); ++i) {
+                char c = line[i];
+                if (esc) { esc = false; continue; }
+                if (c == '\\') { esc = true; continue; }
+                if (c == '"') in_quotes = !in_quotes;
+                else if (c == '}' && !in_quotes) break;
+            }
+            if (i >= line.size()) {
+                out.error = "unterminated label set: " + line;
+                return out;
+            }
+            name_end = i + 1;
+        } else {
+            name_end = line.find(' ');
+            if (name_end == std::string::npos) {
+                out.error = "sample line without value: " + line;
+                return out;
+            }
+        }
+        std::string name = line.substr(0, name_end);
+        const char *vs = line.c_str() + name_end;
+        char *end = nullptr;
+        double v = std::strtod(vs, &end);
+        if (end == vs) {
+            out.error = "unparseable sample value: " + line;
+            return out;
+        }
+        out.samples[name] = v;
+    }
+    out.ok = true;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// TelemetryHub
+// ---------------------------------------------------------------------
+
+TelemetryHub::TelemetryHub(const Options &opts)
+    : opts_(opts), epoch_(std::chrono::steady_clock::now())
+{
+    if (opts_.registry == nullptr) {
+        throw SimError(SimError::Kind::Invariant,
+                       "TelemetryHub requires a metrics registry");
+    }
+    if (opts_.sampleIntervalMs == 0)
+        opts_.sampleIntervalMs = 500;
+    if (opts_.historyCapacity == 0)
+        opts_.historyCapacity = 1;
+    sampleOnce();
+    sampler_ = std::thread([this] { samplerLoop(); });
+}
+
+TelemetryHub::~TelemetryHub()
+{
+    stop();
+}
+
+void
+TelemetryHub::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (sampler_.joinable())
+        sampler_.join();
+}
+
+uint64_t
+TelemetryHub::nowMicros() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+TelemetryHub::samplerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock,
+                     std::chrono::milliseconds(opts_.sampleIntervalMs),
+                     [this] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+}
+
+void
+TelemetryHub::sampleOnce()
+{
+    HistoryPoint pt;
+    pt.tsMicros = nowMicros();
+    if (const Counter *c =
+            opts_.registry->findCounter("engine.jobs.completed"))
+        pt.jobsCompleted = c->value();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!history_.empty()) {
+            const HistoryPoint &prev = history_.back();
+            double dt =
+                static_cast<double>(pt.tsMicros - prev.tsMicros) / 1e6;
+            if (dt > 1e-3 && pt.jobsCompleted >= prev.jobsCompleted) {
+                pt.jobsPerSec =
+                    static_cast<double>(pt.jobsCompleted -
+                                        prev.jobsCompleted) / dt;
+            }
+        }
+        history_.push_back(pt);
+        while (history_.size() > opts_.historyCapacity)
+            history_.pop_front();
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "completed=%" PRIu64 " rate=%.2f",
+                  pt.jobsCompleted, pt.jobsPerSec);
+    flightRecord("metric", "telemetry.sample", buf);
+}
+
+void
+TelemetryHub::notePeerStats(const PeerStats &ps)
+{
+    if (ps.identity.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    PeerSlot &slot = peers_[ps.identity];
+    slot.stats = ps;
+    slot.lastSeen = std::chrono::steady_clock::now();
+}
+
+void
+TelemetryHub::setLeaseTableProvider(LeaseTableProvider fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    leaseProvider_ = std::move(fn);
+}
+
+std::vector<TelemetryHub::HistoryPoint>
+TelemetryHub::history() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<HistoryPoint>(history_.begin(), history_.end());
+}
+
+std::vector<TelemetryHub::PeerView>
+TelemetryHub::peers() const
+{
+    auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PeerView> out;
+    out.reserve(peers_.size());
+    for (const auto &[identity, slot] : peers_) {
+        PeerView pv;
+        pv.stats = slot.stats;
+        pv.ageMs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - slot.lastSeen)
+                .count());
+        out.push_back(std::move(pv));
+    }
+    return out;
+}
+
+std::string
+TelemetryHub::metricsText() const
+{
+    std::string out = metricsToPrometheus(opts_.registry->sample());
+    std::vector<PeerView> pv = peers();
+    if (!pv.empty()) {
+        std::ostringstream os;
+        struct Series
+        {
+            const char *name;
+            uint64_t PeerStats::*field;
+        };
+        static const Series kSeries[] = {
+            {"vanguard_peer_jobs_done", &PeerStats::jobsDone},
+            {"vanguard_peer_insts_retired", &PeerStats::instsRetired},
+            {"vanguard_peer_cache_hits", &PeerStats::cacheHits},
+            {"vanguard_peer_cache_misses", &PeerStats::cacheMisses},
+        };
+        for (const Series &s : kSeries) {
+            os << "# TYPE " << s.name << " gauge\n";
+            for (const PeerView &p : pv) {
+                os << s.name << "{peer=\""
+                   << promEscapeLabelValue(p.stats.identity) << "\"} "
+                   << p.stats.*s.field << "\n";
+            }
+        }
+        os << "# TYPE vanguard_peer_age_ms gauge\n";
+        for (const PeerView &p : pv) {
+            os << "vanguard_peer_age_ms{peer=\""
+               << promEscapeLabelValue(p.stats.identity) << "\"} "
+               << p.ageMs << "\n";
+        }
+        out += os.str();
+    }
+    return out;
+}
+
+std::string
+TelemetryHub::progressJson() const
+{
+    auto counterValue = [this](const char *path) -> uint64_t {
+        const Counter *c = opts_.registry->findCounter(path);
+        return c != nullptr ? c->value() : 0;
+    };
+    uint64_t total = counterValue("engine.jobs.total");
+    uint64_t completed = counterValue("engine.jobs.completed");
+    uint64_t failed = counterValue("engine.jobs.failed");
+    uint64_t retries = counterValue("engine.jobs.retries");
+    uint64_t replayed = counterValue("engine.jobs.replayed");
+
+    std::vector<HistoryPoint> hist = history();
+    std::vector<PeerView> pv = peers();
+    LeaseTableProvider provider;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        provider = leaseProvider_;
+    }
+    // Invoked outside the hub mutex: the coordinator's provider takes
+    // the coordinator mutex, and the coordinator calls notePeerStats
+    // (hub mutex) from its service thread — holding both here would
+    // be a lock-order inversion.
+    std::vector<LeaseInfo> leases;
+    if (provider)
+        leases = provider();
+
+    double rate = hist.empty() ? 0.0 : hist.back().jobsPerSec;
+    double eta = -1.0;
+    if (completed >= total) {
+        eta = 0.0;
+    } else if (rate > 1e-9) {
+        eta = static_cast<double>(total - completed) / rate;
+        if (eta > ProgressReporter::kMaxEtaSecs)
+            eta = ProgressReporter::kMaxEtaSecs;
+    }
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"" << kProgressSchema << "\",\n";
+    os << "  \"uptime_secs\": "
+       << fmtDouble(static_cast<double>(nowMicros()) / 1e6) << ",\n";
+    os << "  \"jobs\": {\"total\": " << total << ", \"completed\": "
+       << completed << ", \"failed\": " << failed
+       << ", \"retries\": " << retries << ", \"replayed\": "
+       << replayed << "},\n";
+    os << "  \"throughput_jobs_per_sec\": " << fmtDouble(rate)
+       << ",\n";
+    os << "  \"eta_secs\": " << fmtDouble(eta) << ",\n";
+
+    auto histJson = [this, &os](const char *key, const char *path) {
+        const Histogram *h = opts_.registry->findHistogram(path);
+        os << "  \"" << key << "\": {\"count\": "
+           << (h != nullptr ? h->count() : 0) << ", \"p50\": "
+           << (h != nullptr ? h->percentile(0.50) : 0)
+           << ", \"p99\": "
+           << (h != nullptr ? h->percentile(0.99) : 0) << "},\n";
+    };
+    histJson("rtt_ms", "engine.worker.job_rtt");
+    histJson("sim_cycles", "engine.sim.cycles");
+
+    os << "  \"peers\": [";
+    for (size_t i = 0; i < pv.size(); ++i) {
+        const PeerView &p = pv[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"identity\": \"" << jsonEscape(p.stats.identity)
+           << "\", \"pid\": " << p.stats.pid << ", \"phase\": \""
+           << jsonEscape(p.stats.phase) << "\", \"jobs_done\": "
+           << p.stats.jobsDone << ", \"insts\": "
+           << p.stats.instsRetired << ", \"cache_hits\": "
+           << p.stats.cacheHits << ", \"cache_misses\": "
+           << p.stats.cacheMisses << ", \"lease\": \""
+           << jsonEscape(p.stats.lease) << "\", \"age_ms\": "
+           << p.ageMs << "}";
+    }
+    os << (pv.empty() ? "],\n" : "\n  ],\n");
+
+    os << "  \"leases\": [";
+    for (size_t i = 0; i < leases.size(); ++i) {
+        const LeaseInfo &l = leases[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"id\": " << l.id << ", \"key\": \""
+           << jsonEscape(l.key) << "\", \"peer\": \""
+           << jsonEscape(l.peer) << "\", \"expires_in_ms\": "
+           << l.expiresInMs << "}";
+    }
+    os << (leases.empty() ? "],\n" : "\n  ],\n");
+
+    os << "  \"history\": [";
+    for (size_t i = 0; i < hist.size(); ++i) {
+        const HistoryPoint &p = hist[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"ts_micros\": " << p.tsMicros
+           << ", \"jobs_completed\": " << p.jobsCompleted
+           << ", \"jobs_per_sec\": " << fmtDouble(p.jobsPerSec)
+           << "}";
+    }
+    os << (hist.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// TelemetryServer
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+httpResponse(int code, const char *status, const std::string &ctype,
+             const std::string &body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.0 " << code << " " << status << "\r\n"
+       << "Content-Type: " << ctype << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+#ifdef VANGUARD_TELEMETRY_POSIX
+
+/** Read until the request's terminating blank line (or 8 KiB, or the
+ *  deadline) — we only route on the request line, but draining the
+ *  headers first keeps the close clean for picky clients. */
+bool
+readRequest(int fd, std::string *out, int deadline_ms)
+{
+    out->clear();
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+    while (out->find("\r\n\r\n") == std::string::npos &&
+           out->find("\n\n") == std::string::npos) {
+        if (out->size() > 8192)
+            return false;
+        auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0)
+            return !out->empty();
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+        if (pr <= 0)
+            return !out->empty();
+        char buf[1024];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return !out->empty();
+        out->append(buf, static_cast<size_t>(n));
+    }
+    return true;
+}
+
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+        );
+        if (n <= 0)
+            return;     // scraper went away; its loss
+        off += static_cast<size_t>(n);
+    }
+}
+
+#endif // VANGUARD_TELEMETRY_POSIX
+
+} // namespace
+
+bool
+TelemetryServer::supported()
+{
+    return ipc::ipcSupported();
+}
+
+TelemetryServer::TelemetryServer(const Options &opts)
+    : hub_(opts.hub)
+{
+    if (!ipc::ipcSupported()) {
+        throw SimError(SimError::Kind::Config,
+                       "--telemetry-port requires the POSIX "
+                       "transport; this platform has no socket "
+                       "support");
+    }
+    if (hub_ == nullptr) {
+        throw SimError(SimError::Kind::Invariant,
+                       "TelemetryServer requires a TelemetryHub");
+    }
+    listen_fd_ = ipc::listenTcp(opts.port);
+    port_ = ipc::listenPort(listen_fd_);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+void
+TelemetryServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+#ifdef VANGUARD_TELEMETRY_POSIX
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+#endif
+}
+
+void
+TelemetryServer::serveLoop()
+{
+#ifdef VANGUARD_TELEMETRY_POSIX
+    while (!stopping_.load()) {
+        int fd = -1;
+        try {
+            fd = ipc::acceptPeer(listen_fd_, 200, nullptr);
+        } catch (const SimError &) {
+            break;      // listener died; telemetry is best-effort
+        }
+        if (fd < 0)
+            continue;
+        std::string req;
+        if (!readRequest(fd, &req, 1000)) {
+            ::close(fd);
+            continue;
+        }
+        std::istringstream rl(req.substr(0, req.find('\n')));
+        std::string method, path;
+        rl >> method >> path;
+        std::string resp;
+        if (method != "GET") {
+            resp = httpResponse(405, "Method Not Allowed",
+                                "text/plain", "GET only\n");
+        } else if (path == "/metrics") {
+            resp = httpResponse(
+                200, "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                hub_->metricsText());
+        } else if (path == "/progress") {
+            resp = httpResponse(200, "OK", "application/json",
+                                hub_->progressJson());
+        } else if (path == "/healthz") {
+            resp = httpResponse(200, "OK", "text/plain", "ok\n");
+        } else {
+            resp = httpResponse(404, "Not Found", "text/plain",
+                                "not found\n");
+        }
+        writeAll(fd, resp);
+        ::close(fd);
+    }
+#endif
+}
+
+} // namespace vanguard

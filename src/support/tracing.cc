@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "support/flight_recorder.hh"
+
 namespace vanguard {
 
 namespace {
@@ -94,6 +96,11 @@ void
 Tracer::instant(const std::string &name, const std::string &args_json)
 {
     record('i', name, args_json);
+    // Instant events are rare one-shot markers (phase transitions,
+    // notable engine events) — mirror them into the crash flight
+    // recorder so a post-mortem dump carries the same landmarks as
+    // the trace, even when the trace itself was never written out.
+    flightRecord("trace", name, args_json);
 }
 
 std::string

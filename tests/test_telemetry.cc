@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Tier-1 unit tests for the live telemetry plane:
+ *
+ *   - the Prometheus text writer (name sanitization, label escaping,
+ *     TYPE lines, cumulative histogram buckets) round-trips through
+ *     its own parser with the exact registry values,
+ *   - the `vanguard-stats v1` peer codec round-trips and degrades
+ *     tolerantly (unknown keys skipped, bad headers and future
+ *     versions dropped, never a throw),
+ *   - the flight recorder's ring overwrites oldest-first with an
+ *     accurate dropped count, serializes to a parseable
+ *     `vanguard-flightrec v1` dump, and honors the best-effort dump
+ *     contract under an armed `telemetry.emit` fault,
+ *   - ProgressReporter::formatLine's rate/ETA hardening: no rate on a
+ *     near-zero interval or when every job was a journal replay, ETA
+ *     clamped, replayed>done saturates instead of wrapping,
+ *   - TelemetryHub samples the registry into bounded history, folds
+ *     peer STATS into the live views, and exposes the lease table,
+ *   - TelemetryServer answers GET /metrics, /progress, /healthz (and
+ *     404s the rest) over a real localhost socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "support/fault_inject.hh"
+#include "support/flight_recorder.hh"
+#include "support/ipc.hh"
+#include "support/metrics.hh"
+#include "support/progress.hh"
+#include "support/telemetry.hh"
+
+namespace vanguard {
+namespace {
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("vanguard_telemetry_" + leaf))
+        .string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ---------------------------------------------------------------------
+// Prometheus writer
+// ---------------------------------------------------------------------
+
+TEST(PrometheusWriter, SanitizesDottedPaths)
+{
+    EXPECT_EQ(promSanitizeName("engine.jobs.total"),
+              "vanguard_engine_jobs_total");
+    EXPECT_EQ(promSanitizeName("engine.faults.injected.io-err"),
+              "vanguard_engine_faults_injected_io_err");
+    EXPECT_EQ(promSanitizeName("a b%c"), "vanguard_a_b_c");
+}
+
+TEST(PrometheusWriter, EscapesLabelValues)
+{
+    EXPECT_EQ(promEscapeLabelValue("plain"), "plain");
+    EXPECT_EQ(promEscapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(promEscapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(promEscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusWriter, TypeLinesAndRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("engine.jobs.total").add(42);
+    reg.gauge("engine.faults.injected.io").set(2.5);
+    Histogram &h = reg.histogram("engine.sim.cycles", {10, 100, 1000});
+    h.observe(5);      // le=10
+    h.observe(50);     // le=100
+    h.observe(500);    // le=1000
+    h.observe(5000);   // overflow
+
+    std::string text = metricsToPrometheus(reg.sample());
+    ParsedProm p = parsePrometheusText(text);
+    ASSERT_TRUE(p.ok) << p.error;
+
+    EXPECT_EQ(p.types.at("vanguard_engine_jobs_total"), "counter");
+    EXPECT_EQ(p.types.at("vanguard_engine_faults_injected_io"),
+              "gauge");
+    EXPECT_EQ(p.types.at("vanguard_engine_sim_cycles"), "histogram");
+
+    EXPECT_EQ(p.samples.at("vanguard_engine_jobs_total"), 42.0);
+    EXPECT_EQ(p.samples.at("vanguard_engine_faults_injected_io"), 2.5);
+
+    // Exposition buckets are CUMULATIVE: 1, 2, 3, then +Inf = count.
+    EXPECT_EQ(
+        p.samples.at("vanguard_engine_sim_cycles_bucket{le=\"10\"}"),
+        1.0);
+    EXPECT_EQ(
+        p.samples.at("vanguard_engine_sim_cycles_bucket{le=\"100\"}"),
+        2.0);
+    EXPECT_EQ(
+        p.samples.at("vanguard_engine_sim_cycles_bucket{le=\"1000\"}"),
+        3.0);
+    EXPECT_EQ(
+        p.samples.at("vanguard_engine_sim_cycles_bucket{le=\"+Inf\"}"),
+        4.0);
+    EXPECT_EQ(p.samples.at("vanguard_engine_sim_cycles_sum"), 5555.0);
+    EXPECT_EQ(p.samples.at("vanguard_engine_sim_cycles_count"), 4.0);
+}
+
+TEST(PrometheusWriter, ParserRejectsGarbage)
+{
+    EXPECT_FALSE(parsePrometheusText("name_without_value\n").ok);
+    EXPECT_FALSE(parsePrometheusText("metric{le=\"unclosed} 1\n").ok);
+    EXPECT_FALSE(parsePrometheusText("metric not-a-number\n").ok);
+    // Non-TYPE comments are legal and skipped.
+    EXPECT_TRUE(parsePrometheusText("# HELP x something\nx 1\n").ok);
+}
+
+// ---------------------------------------------------------------------
+// STATS codec
+// ---------------------------------------------------------------------
+
+TEST(PeerStatsCodec, RoundTrips)
+{
+    PeerStats in;
+    in.pid = 4242;
+    in.phase = "simulate";
+    in.jobsDone = 17;
+    in.instsRetired = 123456789;
+    in.cacheHits = 3;
+    in.cacheMisses = 9;
+    in.lease = "simulate:5";
+
+    PeerStats out;
+    ASSERT_TRUE(parsePeerStats(serializePeerStats(in), &out));
+    EXPECT_EQ(out.pid, 4242u);
+    EXPECT_EQ(out.phase, "simulate");
+    EXPECT_EQ(out.jobsDone, 17u);
+    EXPECT_EQ(out.instsRetired, 123456789u);
+    EXPECT_EQ(out.cacheHits, 3u);
+    EXPECT_EQ(out.cacheMisses, 9u);
+    EXPECT_EQ(out.lease, "simulate:5");
+    // Identity is receiver-assigned, never serialized.
+    EXPECT_TRUE(out.identity.empty());
+}
+
+TEST(PeerStatsCodec, ToleratesUnknownKeys)
+{
+    std::string body = std::string(kStatsMagic) + " v1\n" +
+                       "pid 7\n" +
+                       "some-future-field 99\n" +
+                       "jobs-done 2\n";
+    PeerStats out;
+    ASSERT_TRUE(parsePeerStats(body, &out));
+    EXPECT_EQ(out.pid, 7u);
+    EXPECT_EQ(out.jobsDone, 2u);
+}
+
+TEST(PeerStatsCodec, DropsBadHeaderAndFutureVersion)
+{
+    PeerStats out;
+    EXPECT_FALSE(parsePeerStats("", &out));
+    EXPECT_FALSE(parsePeerStats("not-a-stats-frame v1\npid 1\n",
+                                &out));
+    // A version-skewed peer is advisory data to drop, not a SimError
+    // escaping into the supervisor's frame loop.
+    EXPECT_FALSE(parsePeerStats(
+        std::string(kStatsMagic) + " v999\npid 1\n", &out));
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RingOverwritesOldestAndCountsDropped)
+{
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; ++i)
+        rec.record("event", "e" + std::to_string(i));
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+
+    std::vector<FlightRecorder::Event> ev = rec.events();
+    ASSERT_EQ(ev.size(), 4u);
+    // Oldest-first, and only the newest four survive.
+    EXPECT_EQ(ev[0].name, "e6");
+    EXPECT_EQ(ev[3].name, "e9");
+    // Sequence numbers are global, never reused.
+    EXPECT_EQ(ev[0].seq, 6u);
+    EXPECT_EQ(ev[3].seq, 9u);
+}
+
+TEST(FlightRecorder, SerializeParsesBack)
+{
+    FlightRecorder rec(8);
+    rec.record("event", "worker.lost", "slot 2 pid 123");
+    rec.record("error", "job.failed",
+               "simulate gobmk-like: Io: disk on fire\nsecond line");
+    ParsedFlightRec p = parseFlightRec(rec.serialize());
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.version, 1u);
+    EXPECT_EQ(p.capacity, 8u);
+    EXPECT_EQ(p.dropped, 0u);
+    ASSERT_EQ(p.events.size(), 2u);
+    EXPECT_EQ(p.events[0].kind, "event");
+    EXPECT_EQ(p.events[0].name, "worker.lost");
+    EXPECT_EQ(p.events[0].detail, "slot 2 pid 123");
+    EXPECT_EQ(p.events[1].kind, "error");
+    // Multi-line details survive the blob framing byte-exactly.
+    EXPECT_EQ(p.events[1].detail,
+              "simulate gobmk-like: Io: disk on fire\nsecond line");
+}
+
+TEST(FlightRecorder, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(parseFlightRec("").ok);
+    EXPECT_FALSE(parseFlightRec("not-a-flightrec v1\n").ok);
+}
+
+TEST(FlightRecorder, DumpWritesParseableFile)
+{
+    std::string path = tmpPath("dump.vgfr");
+    std::filesystem::remove(path);
+    FlightRecorder rec(8);
+    rec.record("event", "fabric.peer_lost", "123@127.0.0.1: eof");
+    ASSERT_TRUE(rec.dump(path));
+    ParsedFlightRec p = parseFlightRec(readFile(path));
+    ASSERT_TRUE(p.ok) << p.error;
+    ASSERT_EQ(p.events.size(), 1u);
+    EXPECT_EQ(p.events[0].name, "fabric.peer_lost");
+    std::filesystem::remove(path);
+}
+
+TEST(FlightRecorder, DumpIsBestEffortUnderInjectedFault)
+{
+    // telemetry.emit at io:1.0 always fires: dump must warn-and-return
+    // false, never throw — a failing disk cannot turn a drained sweep
+    // into a crash.
+    std::string path = tmpPath("dump_fault.vgfr");
+    std::filesystem::remove(path);
+    FlightRecorder rec(8);
+    rec.record("event", "x");
+    faultinject::arm(parseFaultPlan("io:1.0,seed=7"));
+    bool ok = true;
+    EXPECT_NO_THROW(ok = rec.dump(path));
+    faultinject::disarm();
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(FlightRecorder, AmbientRecorderScoping)
+{
+    EXPECT_EQ(currentFlightRecorder(), nullptr);
+    flightRecord("event", "ignored.no.recorder"); // must be a no-op
+    {
+        FlightRecorder rec(8);
+        ScopedFlightRecorder scope(&rec);
+        EXPECT_EQ(currentFlightRecorder(), &rec);
+        flightRecord("event", "seen", "detail");
+        ASSERT_EQ(rec.size(), 1u);
+        EXPECT_EQ(rec.events()[0].name, "seen");
+    }
+    EXPECT_EQ(currentFlightRecorder(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Progress-line hardening
+// ---------------------------------------------------------------------
+
+TEST(ProgressFormat, NoRateOnNearZeroElapsed)
+{
+    ProgressReporter::LineInputs in;
+    in.tag = "t";
+    in.phase = "simulate";
+    in.done = 5;
+    in.total = 10;
+    in.secs = 0.0;
+    EXPECT_EQ(ProgressReporter::formatLine(in), "[t] simulate 5/10");
+    in.secs = ProgressReporter::kMinRateElapsedSecs / 2;
+    EXPECT_EQ(ProgressReporter::formatLine(in), "[t] simulate 5/10");
+}
+
+TEST(ProgressFormat, ReplaysExcludedFromRate)
+{
+    ProgressReporter::LineInputs in;
+    in.tag = "t";
+    in.phase = "simulate";
+    in.done = 100;
+    in.total = 200;
+    in.replayed = 100;  // a pure --resume replay burst
+    in.secs = 10.0;
+    // Zero fresh jobs: no rate, no wildly-optimistic ETA.
+    EXPECT_EQ(ProgressReporter::formatLine(in),
+              "[t] simulate 100/200");
+
+    in.replayed = 90;   // 10 fresh jobs over 10s = 1.0 jobs/s
+    EXPECT_EQ(ProgressReporter::formatLine(in),
+              "[t] simulate 100/200 (1.0 jobs/s, ETA 100s)");
+}
+
+TEST(ProgressFormat, ReplayedBeyondDoneSaturates)
+{
+    // Counter skew after a reset: replayed > done must saturate at
+    // zero fresh jobs, not wrap around to ~2^64 jobs/s.
+    ProgressReporter::LineInputs in;
+    in.tag = "t";
+    in.phase = "simulate";
+    in.done = 3;
+    in.total = 10;
+    in.replayed = 5;
+    in.secs = 60.0;
+    EXPECT_EQ(ProgressReporter::formatLine(in), "[t] simulate 3/10");
+}
+
+TEST(ProgressFormat, EtaClampsAndDisappearsWhenDone)
+{
+    ProgressReporter::LineInputs in;
+    in.tag = "t";
+    in.phase = "simulate";
+    in.done = 1;
+    in.total = 2000000000;
+    in.secs = 1000.0;   // 0.001 jobs/s -> astronomic raw ETA
+    std::string line = ProgressReporter::formatLine(in);
+    EXPECT_NE(line.find("ETA 9999999s"), std::string::npos) << line;
+
+    in.done = in.total; // complete: rate but no ETA
+    in.secs = 10.0;
+    line = ProgressReporter::formatLine(in);
+    EXPECT_NE(line.find("jobs/s)"), std::string::npos) << line;
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(ProgressFormat, PercentilesAndTallies)
+{
+    Histogram rtt({1, 2, 4, 8, 16});
+    rtt.observe(1);
+    rtt.observe(3);
+    rtt.observe(12);
+    Histogram cyc({1000, 10000});
+    cyc.observe(900);
+    cyc.observe(9000);
+
+    ProgressReporter::LineInputs in;
+    in.tag = "t";
+    in.phase = "simulate";
+    in.done = 4;
+    in.total = 8;
+    in.secs = 2.0;
+    in.failed = 1;
+    in.retries = 3;
+    in.rttMs = &rtt;
+    in.simCycles = &cyc;
+    std::string line = ProgressReporter::formatLine(in);
+    EXPECT_NE(line.find(", rtt p50/p99 "), std::string::npos) << line;
+    EXPECT_NE(line.find("ms"), std::string::npos) << line;
+    EXPECT_NE(line.find(", cyc p50/p99 "), std::string::npos) << line;
+    EXPECT_NE(line.find(", 1 failed"), std::string::npos) << line;
+    EXPECT_NE(line.find(", 3 retried"), std::string::npos) << line;
+
+    // Empty histograms contribute nothing.
+    Histogram empty({1});
+    in.rttMs = &empty;
+    in.simCycles = nullptr;
+    line = ProgressReporter::formatLine(in);
+    EXPECT_EQ(line.find("rtt"), std::string::npos) << line;
+    EXPECT_EQ(line.find("cyc"), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------
+// Registry sampling
+// ---------------------------------------------------------------------
+
+TEST(RegistrySampling, SampleIsCompleteAndSorted)
+{
+    MetricsRegistry reg;
+    reg.counter("b.two").add(2);
+    reg.counter("a.one").add(1);
+    reg.gauge("g.level").set(1.5);
+    Histogram &h = reg.histogram("h.lat", {10, 100});
+    h.observe(7);
+    h.observe(70);
+    h.observe(700);
+
+    RegistrySample s = reg.sample();
+    ASSERT_EQ(s.counters.size(), 2u);
+    EXPECT_EQ(s.counters[0].path, "a.one");   // path-sorted
+    EXPECT_EQ(s.counters[1].path, "b.two");
+    ASSERT_EQ(s.gauges.size(), 1u);
+    EXPECT_EQ(s.gauges[0].value, 1.5);
+    ASSERT_EQ(s.histograms.size(), 1u);
+    const auto &hs = s.histograms[0];
+    EXPECT_EQ(hs.count, 3u);
+    EXPECT_EQ(hs.sum, 777u);
+    EXPECT_EQ(hs.min, 7u);
+    EXPECT_EQ(hs.max, 700u);
+    ASSERT_EQ(hs.bucketCounts.size(), 3u);   // bounds + overflow
+    EXPECT_EQ(hs.bucketCounts[0], 1u);
+    EXPECT_EQ(hs.bucketCounts[1], 1u);
+    EXPECT_EQ(hs.bucketCounts[2], 1u);
+    EXPECT_EQ(hs.p50, h.percentile(0.50));
+    EXPECT_EQ(hs.p99, h.percentile(0.99));
+
+    // Sampling registers nothing: the dump is unchanged by it.
+    std::string before = reg.toCsv();
+    (void)reg.sample();
+    EXPECT_EQ(reg.toCsv(), before);
+}
+
+// ---------------------------------------------------------------------
+// TelemetryHub
+// ---------------------------------------------------------------------
+
+TEST(TelemetryHubTest, SamplesHistoryAndRendersViews)
+{
+    MetricsRegistry reg;
+    reg.counter("engine.jobs.total").add(8);
+    Counter &completed = reg.counter("engine.jobs.completed");
+    reg.counter("engine.jobs.failed");
+    reg.counter("engine.jobs.retries");
+    reg.counter("engine.jobs.replayed");
+
+    TelemetryHub::Options opts;
+    opts.registry = &reg;
+    opts.sampleIntervalMs = 20;
+    opts.historyCapacity = 4;
+    TelemetryHub hub(opts);
+
+    completed.add(3);
+    for (int spin = 0; spin < 200 && hub.history().size() < 4; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::vector<TelemetryHub::HistoryPoint> hist = hub.history();
+    ASSERT_GE(hist.size(), 2u);
+    EXPECT_LE(hist.size(), 4u);     // bounded
+    EXPECT_EQ(hist.back().jobsCompleted, 3u);
+
+    PeerStats ps;
+    ps.identity = "slot0:pid99";
+    ps.pid = 99;
+    ps.phase = "simulate";
+    ps.jobsDone = 2;
+    hub.notePeerStats(ps);
+    ASSERT_EQ(hub.peers().size(), 1u);
+    EXPECT_EQ(hub.peers()[0].stats.identity, "slot0:pid99");
+
+    hub.setLeaseTableProvider([] {
+        std::vector<LeaseInfo> t;
+        LeaseInfo l;
+        l.id = 7;
+        l.key = "simulate:3";
+        l.peer = "99@127.0.0.1";
+        l.expiresInMs = 1234;
+        t.push_back(l);
+        return t;
+    });
+
+    std::string prom = hub.metricsText();
+    ParsedProm p = parsePrometheusText(prom);
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.samples.at("vanguard_engine_jobs_total"), 8.0);
+    EXPECT_EQ(p.samples.at(
+                  "vanguard_peer_jobs_done{peer=\"slot0:pid99\"}"),
+              2.0);
+
+    std::string json = hub.progressJson();
+    EXPECT_NE(json.find("\"schema\": \"vanguard-progress v1\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"completed\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"identity\": \"slot0:pid99\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"key\": \"simulate:3\""), std::string::npos);
+
+    hub.setLeaseTableProvider(nullptr);
+    hub.stop();     // idempotent with the destructor
+}
+
+TEST(TelemetryHubTest, RequiresRegistry)
+{
+    TelemetryHub::Options opts;
+    EXPECT_THROW(TelemetryHub hub(opts), SimError);
+}
+
+// ---------------------------------------------------------------------
+// TelemetryServer (real localhost HTTP)
+// ---------------------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::string
+httpGet(uint16_t port, const std::string &target)
+{
+    std::string err;
+    int fd = ipc::connectTcp("127.0.0.1", port, &err);
+    EXPECT_GE(fd, 0) << err;
+    if (fd < 0)
+        return "";
+    std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return resp;
+}
+
+TEST(TelemetryServerTest, ServesMetricsProgressAndHealthz)
+{
+    if (!TelemetryServer::supported())
+        GTEST_SKIP() << "no socket support on this platform";
+
+    MetricsRegistry reg;
+    reg.counter("engine.jobs.total").add(5);
+    reg.counter("engine.jobs.completed").add(5);
+    TelemetryHub::Options hopts;
+    hopts.registry = &reg;
+    hopts.sampleIntervalMs = 50;
+    TelemetryHub hub(hopts);
+
+    TelemetryServer::Options sopts;
+    sopts.port = 0;     // ephemeral
+    sopts.hub = &hub;
+    TelemetryServer server(sopts);
+    ASSERT_NE(server.port(), 0u);
+
+    std::string metrics = httpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("vanguard_engine_jobs_total 5"),
+              std::string::npos)
+        << metrics;
+
+    std::string progress = httpGet(server.port(), "/progress");
+    EXPECT_NE(progress.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(progress.find("vanguard-progress v1"),
+              std::string::npos);
+
+    std::string healthz = httpGet(server.port(), "/healthz");
+    EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+    std::string missing = httpGet(server.port(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+
+    server.stop();      // idempotent with the destructor
+}
+#endif // POSIX
+
+} // namespace
+} // namespace vanguard
